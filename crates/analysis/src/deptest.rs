@@ -1,0 +1,273 @@
+//! The dependence test: computing dependence vectors from a loop spec.
+//!
+//! This is the paper's Algorithm 2. For every pair of static references to
+//! the same DistArray (skipping read–read pairs always, and write–write
+//! pairs when the loop is unordered), we start from the fully conservative
+//! vector (`∞` everywhere) and refine each iteration-space dimension where
+//! both subscripts are a loop index variable of the *same* dimension plus a
+//! constant. Conflicting exact distances at one dimension prove the pair
+//! independent, as do constant subscripts that can never be equal.
+
+use orion_ir::{ArrayRef, LoopSpec, Subscript};
+
+use crate::depvec::{normalize, DepElem, DepVec};
+
+/// Computes the set of dependence vectors of a loop (Alg. 2 applied to
+/// every referenced DistArray), normalized to lexicographically positive
+/// form and deduplicated.
+///
+/// Writes to buffered arrays are exempted (paper §3.3): they are applied
+/// through DistArray Buffers outside the loop's dependence semantics.
+///
+/// # Examples
+///
+/// SGD matrix factorization (Fig. 6) yields `{(0, +∞), (+∞, 0)}`:
+///
+/// ```
+/// use orion_ir::{DistArrayId, LoopSpec, Subscript};
+/// use orion_analysis::{dependence_vectors, DepElem, DepVec};
+/// let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+/// let spec = LoopSpec::builder("sgd_mf", z, vec![6, 4])
+///     .read_write(w, vec![Subscript::Full, Subscript::loop_index(0)])
+///     .read_write(h, vec![Subscript::Full, Subscript::loop_index(1)])
+///     .build()
+///     .unwrap();
+/// let dvecs = dependence_vectors(&spec);
+/// assert!(dvecs.contains(&DepVec::new(vec![DepElem::Int(0), DepElem::PosAny])));
+/// assert!(dvecs.contains(&DepVec::new(vec![DepElem::PosAny, DepElem::Int(0)])));
+/// assert_eq!(dvecs.len(), 2);
+/// ```
+pub fn dependence_vectors(spec: &LoopSpec) -> Vec<DepVec> {
+    let refs = spec.analyzed_refs();
+    let mut dvecs: Vec<DepVec> = Vec::new();
+
+    for (i, ref_a) in refs.iter().enumerate() {
+        for ref_b in refs.iter().skip(i) {
+            if ref_a.array != ref_b.array {
+                continue;
+            }
+            // Read–read pairs never carry a dependence. Write–write pairs
+            // may be skipped when the loop iterations can execute in any
+            // order (`unordered_loop` in Alg. 2): the final value of a
+            // location is then whichever ordering the schedule realizes,
+            // which serializability permits.
+            let both_read = ref_a.kind.is_read() && ref_b.kind.is_read();
+            let both_write = ref_a.kind.is_write() && ref_b.kind.is_write();
+            if both_read || (!spec.ordered && both_write) {
+                continue;
+            }
+            if let Some(raw) = pair_dependence(spec, ref_a, ref_b) {
+                for d in normalize(raw) {
+                    if !dvecs.contains(&d) {
+                        dvecs.push(d);
+                    }
+                }
+            }
+        }
+    }
+    dvecs
+}
+
+/// The dependence pattern between one pair of references, or `None` when
+/// the pair is provably independent.
+///
+/// The returned raw vector has one element per *iteration-space* dimension:
+/// `Int(c)` where the subscripts pin the distance exactly, `Any` elsewhere.
+fn pair_dependence(spec: &LoopSpec, ref_a: &ArrayRef, ref_b: &ArrayRef) -> Option<Vec<DepElem>> {
+    let mut dvec = vec![DepElem::Any; spec.ndims()];
+    let npos = ref_a.subscripts.len().min(ref_b.subscripts.len());
+
+    for pos in 0..npos {
+        let sub_a = ref_a.subscripts[pos];
+        let sub_b = ref_b.subscripts[pos];
+        match (sub_a, sub_b) {
+            (
+                Subscript::LoopIndex { dim: da, offset: ca },
+                Subscript::LoopIndex { dim: db, offset: cb },
+            ) if da == db => {
+                // sub_a(p) == sub_b(p') requires p[da] - p'[da] == cb - ca.
+                let dist = cb - ca;
+                match dvec[da] {
+                    DepElem::Int(existing) if existing != dist => {
+                        // Two positions demand contradictory distances on
+                        // the same iteration dimension: independent.
+                        return None;
+                    }
+                    _ => dvec[da] = DepElem::Int(dist),
+                }
+            }
+            (Subscript::Constant(a), Subscript::Constant(b)) if a != b => {
+                // Distinct constants never address the same element.
+                return None;
+            }
+            // Loop indices of different iteration dimensions, constants
+            // against loop indices, full ranges and runtime-dependent
+            // subscripts constrain absolute positions (or nothing), not
+            // iteration distances: stay conservative.
+            _ => {}
+        }
+    }
+    Some(dvec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_ir::DistArrayId;
+
+    fn d(e: &[DepElem]) -> DepVec {
+        DepVec::new(e.to_vec())
+    }
+
+    /// A loop with no cross-iteration sharing at all: `A[i0] += ...`.
+    #[test]
+    fn private_access_has_self_dependence_only_when_ordered() {
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10])
+            .read_write(a, vec![Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        // Read/write of the same element by the same iteration only:
+        // distance pinned to 0 on the only dimension -> all-zero vector,
+        // dropped by normalization.
+        assert!(dependence_vectors(&spec).is_empty());
+    }
+
+    #[test]
+    fn stencil_offsets_produce_exact_distance() {
+        // A[i0] = f(A[i0 - 1]) — classic loop-carried distance 1.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("scan", z, vec![10])
+            .read(a, vec![Subscript::loop_index(0).shifted(-1)])
+            .write(a, vec![Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        let dvecs = dependence_vectors(&spec);
+        assert_eq!(dvecs, vec![d(&[DepElem::Int(1)])]);
+    }
+
+    #[test]
+    fn contradictory_distances_prove_independence() {
+        // A[i0, i0 + 1] vs A[i0, i0]: position 0 demands distance 0,
+        // position 1 demands distance 1 on the same iteration dim.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10])
+            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(0).shifted(1)])
+            .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        assert!(dependence_vectors(&spec).is_empty());
+    }
+
+    #[test]
+    fn distinct_constants_prove_independence() {
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10])
+            .read(a, vec![Subscript::Constant(0), Subscript::loop_index(0)])
+            .write(a, vec![Subscript::Constant(1), Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        assert!(dependence_vectors(&spec).is_empty());
+    }
+
+    #[test]
+    fn equal_constants_leave_dependence() {
+        // Everyone writes A[7]: unordered write-write is skipped, but the
+        // read-write pair forces a serial dependence (∞) on the dimension.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10])
+            .read(a, vec![Subscript::Constant(7)])
+            .write(a, vec![Subscript::Constant(7)])
+            .build()
+            .unwrap();
+        let dvecs = dependence_vectors(&spec);
+        assert_eq!(dvecs, vec![d(&[DepElem::PosAny])]);
+    }
+
+    #[test]
+    fn unknown_subscripts_are_fully_conservative() {
+        let (z, w) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("slr", z, vec![100])
+            .read(w, vec![Subscript::unknown()])
+            .write(w, vec![Subscript::unknown()])
+            .build()
+            .unwrap();
+        assert_eq!(dependence_vectors(&spec), vec![d(&[DepElem::PosAny])]);
+    }
+
+    #[test]
+    fn buffered_writes_remove_dependences() {
+        let (z, w) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("slr", z, vec![100])
+            .read(w, vec![Subscript::unknown()])
+            .write(w, vec![Subscript::unknown()])
+            .buffer_writes(w)
+            .build()
+            .unwrap();
+        assert!(dependence_vectors(&spec).is_empty());
+    }
+
+    #[test]
+    fn ordered_loop_keeps_write_write() {
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10, 10])
+            .write(a, vec![Subscript::loop_index(0)])
+            .ordered()
+            .build()
+            .unwrap();
+        // Same static write paired with itself: distance 0 on dim 0, any
+        // on dim 1 -> (0, +∞).
+        let dvecs = dependence_vectors(&spec);
+        assert_eq!(dvecs, vec![d(&[DepElem::Int(0), DepElem::PosAny])]);
+    }
+
+    #[test]
+    fn unordered_loop_skips_write_write() {
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10, 10])
+            .write(a, vec![Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        assert!(dependence_vectors(&spec).is_empty());
+    }
+
+    #[test]
+    fn different_iter_dims_stay_conservative() {
+        // A[i0] read, A[i1] write: distances unconstrained -> (+∞, ∞)
+        // style expansion.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![4, 4])
+            .read(a, vec![Subscript::loop_index(0)])
+            .write(a, vec![Subscript::loop_index(1)])
+            .build()
+            .unwrap();
+        let dvecs = dependence_vectors(&spec);
+        assert!(dvecs.contains(&d(&[DepElem::PosAny, DepElem::Any])));
+        assert!(dvecs.contains(&d(&[DepElem::Int(0), DepElem::PosAny])));
+    }
+
+    #[test]
+    fn lda_token_loop_shape() {
+        // LDA: doc-topic[:, i0], word-topic[:, i1] both read-write, the
+        // topic-summary row is buffered (non-critical). Expect exactly the
+        // MF-shaped vectors.
+        let (tokens, dt, wt, summary) = (
+            DistArrayId(0),
+            DistArrayId(1),
+            DistArrayId(2),
+            DistArrayId(3),
+        );
+        let spec = LoopSpec::builder("lda", tokens, vec![300, 500])
+            .read_write(dt, vec![Subscript::Full, Subscript::loop_index(0)])
+            .read_write(wt, vec![Subscript::Full, Subscript::loop_index(1)])
+            .read(summary, vec![Subscript::Full])
+            .write(summary, vec![Subscript::Full])
+            .buffer_writes(summary)
+            .build()
+            .unwrap();
+        let dvecs = dependence_vectors(&spec);
+        assert_eq!(dvecs.len(), 2);
+        assert!(dvecs.contains(&d(&[DepElem::Int(0), DepElem::PosAny])));
+        assert!(dvecs.contains(&d(&[DepElem::PosAny, DepElem::Int(0)])));
+    }
+}

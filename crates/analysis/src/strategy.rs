@@ -1,0 +1,464 @@
+//! Parallelization strategy selection (paper §3.2, §4.3).
+
+use orion_ir::{ArrayMeta, Dim, LoopSpec};
+
+use crate::comm::{plan_placements, ArrayPlacement};
+use crate::depvec::DepVec;
+use crate::deptest::dependence_vectors;
+use crate::unimodular::{find_unimodular, UniMat};
+
+/// How a parallel for-loop is executed across distributed workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// No loop-carried dependence at all: iterations are partitioned by
+    /// one dimension and run with a single synchronization per pass.
+    FullyParallel {
+        /// Partitioning (space) dimension.
+        dim: Dim,
+    },
+    /// 1D parallelization: some dimension carries no dependence, so
+    /// partitioning by it makes partitions independent (Fig. 7a/7d).
+    OneD {
+        /// Partitioning (space) dimension.
+        dim: Dim,
+    },
+    /// 2D parallelization: every dependence is annihilated by fixing the
+    /// space *and* time dimensions (Fig. 7b/7c). Unordered by default;
+    /// `ordered` loops use the wavefront schedule (Fig. 7e).
+    TwoD {
+        /// Dimension statically assigned to workers.
+        space: Dim,
+        /// Dimension swept over global time steps.
+        time: Dim,
+        /// Whether lexicographic order must be preserved.
+        ordered: bool,
+    },
+    /// 2D parallelization after a unimodular transformation of the
+    /// iteration space (§4.3): all dependences are carried by the
+    /// transformed outermost dimension, which becomes the (ordered) time
+    /// dimension; `space` is a transformed inner dimension.
+    TwoDUnimodular {
+        /// The transformation applied to iteration index vectors.
+        transform: UniMat,
+        /// Space dimension *in the transformed space*.
+        space: Dim,
+        /// Time dimension in the transformed space (always 0).
+        time: Dim,
+    },
+    /// No dependence-preserving parallelization found: execute serially
+    /// (or the programmer opts into data parallelism via buffers).
+    Serial,
+}
+
+impl Strategy {
+    /// Short human-readable label, as used in the paper's Table 2.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::FullyParallel { .. } => "1D (independent)".into(),
+            Strategy::OneD { .. } => "1D".into(),
+            Strategy::TwoD { ordered: false, .. } => "2D Unordered".into(),
+            Strategy::TwoD { ordered: true, .. } => "2D Ordered".into(),
+            Strategy::TwoDUnimodular { .. } => "2D w/ Unimodular Transformation".into(),
+            Strategy::Serial => "Serial".into(),
+        }
+    }
+
+    /// True for strategies that execute iterations on multiple workers.
+    pub fn is_parallel(&self) -> bool {
+        !matches!(self, Strategy::Serial)
+    }
+}
+
+/// The complete result of statically parallelizing one loop: the schedule
+/// class, the dependence vectors that justify it, where each referenced
+/// DistArray lives, and the estimated communication volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelPlan {
+    /// Chosen execution strategy.
+    pub strategy: Strategy,
+    /// Normalized loop-carried dependence vectors.
+    pub dep_vectors: Vec<DepVec>,
+    /// Placement of every referenced DistArray.
+    pub placements: Vec<ArrayPlacement>,
+    /// Estimated bytes communicated per data pass under the chosen plan.
+    pub est_bytes_per_pass: u64,
+}
+
+/// Statically parallelizes a loop: computes dependence vectors (Alg. 2),
+/// selects the strategy (1D ≻ 2D ≻ unimodular ≻ serial), and picks
+/// partitioning dimensions by the minimum-communication heuristic.
+///
+/// `n_workers` only scales the communication estimates used to break ties
+/// between candidate dimensions; the returned plan is valid for any
+/// worker count.
+///
+/// # Examples
+///
+/// ```
+/// use orion_ir::{ArrayMeta, DistArrayId, LoopSpec, Subscript};
+/// use orion_analysis::{analyze, Strategy};
+/// let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+/// let spec = LoopSpec::builder("sgd_mf", z, vec![600, 480])
+///     .read_write(w, vec![Subscript::Full, Subscript::loop_index(0)])
+///     .read_write(h, vec![Subscript::Full, Subscript::loop_index(1)])
+///     .build()
+///     .unwrap();
+/// let metas = [
+///     ArrayMeta::sparse(z, "ratings", vec![600, 480], 4, 80_000),
+///     ArrayMeta::dense(w, "W", vec![32, 600], 4),
+///     ArrayMeta::dense(h, "H", vec![32, 480], 4),
+/// ];
+/// let plan = analyze(&spec, &metas, 8);
+/// // 2D unordered, rotating the smaller factor matrix H.
+/// assert_eq!(plan.strategy, Strategy::TwoD { space: 0, time: 1, ordered: false });
+/// ```
+pub fn analyze(spec: &LoopSpec, metas: &[ArrayMeta], n_workers: u64) -> ParallelPlan {
+    let dvecs = dependence_vectors(spec);
+    let ndims = spec.ndims();
+
+    // No loop-carried dependence: partition by the cheapest dimension.
+    if dvecs.is_empty() {
+        let (dim, placements, cost) = best_single_dim(spec, metas, (0..ndims).collect(), n_workers);
+        return ParallelPlan {
+            strategy: Strategy::FullyParallel { dim },
+            dep_vectors: dvecs,
+            placements,
+            est_bytes_per_pass: cost,
+        };
+    }
+
+    // 1D: a dimension with zero distance in every dependence vector.
+    let one_d: Vec<Dim> = (0..ndims)
+        .filter(|&i| dvecs.iter().all(|d| d.elem(i).is_zero()))
+        .collect();
+    if !one_d.is_empty() {
+        let (dim, placements, cost) = best_single_dim(spec, metas, one_d, n_workers);
+        return ParallelPlan {
+            strategy: Strategy::OneD { dim },
+            dep_vectors: dvecs,
+            placements,
+            est_bytes_per_pass: cost,
+        };
+    }
+
+    // 2D: a pair (i, j) such that every dependence vector is zero in i or
+    // in j; fixing distinct coordinates on both dims then breaks every
+    // dependence pattern.
+    let mut best: Option<(Dim, Dim, Vec<ArrayPlacement>, u64)> = None;
+    for space in 0..ndims {
+        for time in 0..ndims {
+            if space == time {
+                continue;
+            }
+            let ok = dvecs
+                .iter()
+                .all(|d| d.elem(space).is_zero() || d.elem(time).is_zero());
+            if !ok {
+                continue;
+            }
+            let (placements, cost) =
+                plan_placements(spec, metas, Some(space), Some(time), n_workers);
+            if best.as_ref().map(|b| cost < b.3).unwrap_or(true) {
+                best = Some((space, time, placements, cost));
+            }
+        }
+    }
+    if let Some((space, time, placements, cost)) = best {
+        return ParallelPlan {
+            strategy: Strategy::TwoD {
+                space,
+                time,
+                ordered: spec.ordered,
+            },
+            dep_vectors: dvecs,
+            placements,
+            est_bytes_per_pass: cost,
+        };
+    }
+
+    // Unimodular transformation: make the outermost transformed dimension
+    // carry every dependence, then time = 0 and space = the inner
+    // dimension with the cheapest placement (estimated in original
+    // coordinates; exact placement is resolved by the runtime).
+    if ndims >= 2 && dvecs.iter().all(DepVec::unimodular_eligible) {
+        if let Some(t) = find_unimodular(&dvecs, ndims) {
+            let space = pick_transformed_space(&t, spec);
+            // When the transform is the identity, transformed dimensions
+            // coincide with original ones and the range-partitioning
+            // classification still applies; otherwise no single original
+            // dimension aligns with the transformed space/time dims, so
+            // arrays fall back to server placement.
+            let (placements, cost) = if t == UniMat::identity(ndims) {
+                plan_placements(spec, metas, Some(space), Some(0), n_workers)
+            } else {
+                plan_placements(spec, metas, None, None, n_workers)
+            };
+            return ParallelPlan {
+                strategy: Strategy::TwoDUnimodular {
+                    transform: t,
+                    space,
+                    time: 0,
+                },
+                dep_vectors: dvecs,
+                placements,
+                est_bytes_per_pass: cost,
+            };
+        }
+    }
+
+    let (placements, cost) = plan_placements(spec, metas, Some(0), None, 1);
+    ParallelPlan {
+        strategy: Strategy::Serial,
+        dep_vectors: dvecs,
+        placements,
+        est_bytes_per_pass: cost,
+    }
+}
+
+/// Picks the cheapest dimension among `candidates` for 1D partitioning.
+fn best_single_dim(
+    spec: &LoopSpec,
+    metas: &[ArrayMeta],
+    candidates: Vec<Dim>,
+    n_workers: u64,
+) -> (Dim, Vec<ArrayPlacement>, u64) {
+    debug_assert!(!candidates.is_empty());
+    let mut best: Option<(Dim, Vec<ArrayPlacement>, u64)> = None;
+    for dim in candidates {
+        let (placements, cost) = plan_placements(spec, metas, Some(dim), None, n_workers);
+        if best.as_ref().map(|b| cost < b.2).unwrap_or(true) {
+            best = Some((dim, placements, cost));
+        }
+    }
+    best.expect("candidates is non-empty")
+}
+
+/// Chooses the space dimension in the transformed iteration space: the
+/// inner (non-time) transformed dimension whose row in `T` touches the
+/// largest original extent, which maximizes usable parallelism.
+fn pick_transformed_space(t: &UniMat, spec: &LoopSpec) -> Dim {
+    let ndims = spec.ndims();
+    let mut best = 1;
+    let mut best_extent = 0u64;
+    for q in 1..ndims {
+        // The transformed extent of dimension q is at most the weighted
+        // sum of the original extents its row combines.
+        let mut extent = 0u64;
+        for c in 0..ndims {
+            extent += t.at(q, c).unsigned_abs() * spec.iter_dims[c];
+        }
+        if extent > best_extent {
+            best_extent = extent;
+            best = q;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_ir::{DistArrayId, Subscript};
+
+    fn meta_dense(id: u32, name: &str, dims: Vec<u64>) -> ArrayMeta {
+        ArrayMeta::dense(DistArrayId(id), name, dims, 4)
+    }
+
+    #[test]
+    fn independent_loop_is_fully_parallel() {
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("map", z, vec![100])
+            .read_write(a, vec![Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        let metas = [meta_dense(0, "z", vec![100]), meta_dense(1, "a", vec![100])];
+        let plan = analyze(&spec, &metas, 4);
+        assert_eq!(plan.strategy, Strategy::FullyParallel { dim: 0 });
+        assert_eq!(plan.est_bytes_per_pass, 0);
+    }
+
+    #[test]
+    fn mf_selects_2d_unordered_rotating_smaller_factor() {
+        let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+        let spec = LoopSpec::builder("mf", z, vec![600, 480])
+            .read_write(w, vec![Subscript::Full, Subscript::loop_index(0)])
+            .read_write(h, vec![Subscript::Full, Subscript::loop_index(1)])
+            .build()
+            .unwrap();
+        let metas = [
+            ArrayMeta::sparse(z, "ratings", vec![600, 480], 4, 80_000),
+            meta_dense(1, "W", vec![32, 600]),
+            meta_dense(2, "H", vec![32, 480]),
+        ];
+        let plan = analyze(&spec, &metas, 8);
+        // H is smaller, so space = 0 (W local) and time = 1 (H rotates).
+        assert_eq!(
+            plan.strategy,
+            Strategy::TwoD {
+                space: 0,
+                time: 1,
+                ordered: false
+            }
+        );
+        assert_eq!(plan.dep_vectors.len(), 2);
+    }
+
+    #[test]
+    fn mf_ordered_flag_propagates() {
+        let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+        let spec = LoopSpec::builder("mf", z, vec![10, 10])
+            .read_write(w, vec![Subscript::Full, Subscript::loop_index(0)])
+            .read_write(h, vec![Subscript::Full, Subscript::loop_index(1)])
+            .ordered()
+            .build()
+            .unwrap();
+        let metas = [
+            meta_dense(0, "z", vec![10, 10]),
+            meta_dense(1, "W", vec![4, 10]),
+            meta_dense(2, "H", vec![4, 10]),
+        ];
+        let plan = analyze(&spec, &metas, 4);
+        assert!(matches!(plan.strategy, Strategy::TwoD { ordered: true, .. }));
+    }
+
+    #[test]
+    fn slr_with_buffers_is_one_d_data_parallel() {
+        let (z, w) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("slr", z, vec![10_000])
+            .read(w, vec![Subscript::unknown()])
+            .write(w, vec![Subscript::unknown()])
+            .buffer_writes(w)
+            .build()
+            .unwrap();
+        let metas = [
+            ArrayMeta::sparse(z, "samples", vec![10_000], 64, 10_000),
+            meta_dense(1, "weights", vec![100_000]),
+        ];
+        let plan = analyze(&spec, &metas, 4);
+        assert_eq!(plan.strategy, Strategy::FullyParallel { dim: 0 });
+    }
+
+    #[test]
+    fn slr_without_buffers_is_serial() {
+        let (z, w) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("slr", z, vec![10_000])
+            .read(w, vec![Subscript::unknown()])
+            .write(w, vec![Subscript::unknown()])
+            .build()
+            .unwrap();
+        let metas = [
+            ArrayMeta::sparse(z, "samples", vec![10_000], 64, 10_000),
+            meta_dense(1, "weights", vec![100_000]),
+        ];
+        let plan = analyze(&spec, &metas, 4);
+        assert_eq!(plan.strategy, Strategy::Serial);
+    }
+
+    #[test]
+    fn gauss_seidel_stencil_uses_plain_2d() {
+        // A[i0, i1] = f(A[i0 - 1, i1], A[i0, i1 - 1]): dvecs {(1,0), (0,1)}.
+        // Every vector is zero in one of the two dims, so the ordered 2D
+        // wavefront schedule applies without transformation.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("gs", z, vec![64, 64])
+            .read(a, vec![Subscript::loop_index(0).shifted(-1), Subscript::loop_index(1)])
+            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(1).shifted(-1)])
+            .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(1)])
+            .ordered()
+            .build()
+            .unwrap();
+        let metas = [
+            meta_dense(0, "grid", vec![64, 64]),
+            meta_dense(1, "field", vec![64, 64]),
+        ];
+        let plan = analyze(&spec, &metas, 4);
+        assert!(matches!(plan.strategy, Strategy::TwoD { ordered: true, .. }));
+    }
+
+    #[test]
+    fn skewed_stencil_uses_unimodular() {
+        // A[i0, i1] = f(A[i0 - 1, i1 + 1], A[i0, i1 - 1]): dvecs
+        // {(1,-1), (0,1)}. (1,-1) is zero in neither dim, so plain 2D
+        // fails; skewing the outer loop makes both carried by it.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("skewed", z, vec![64, 64])
+            .read(
+                a,
+                vec![
+                    Subscript::loop_index(0).shifted(-1),
+                    Subscript::loop_index(1).shifted(1),
+                ],
+            )
+            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(1).shifted(-1)])
+            .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(1)])
+            .ordered()
+            .build()
+            .unwrap();
+        let metas = [
+            meta_dense(0, "grid", vec![64, 64]),
+            meta_dense(1, "field", vec![64, 64]),
+        ];
+        let plan = analyze(&spec, &metas, 4);
+        match &plan.strategy {
+            Strategy::TwoDUnimodular { transform, time, space } => {
+                assert_eq!(*time, 0);
+                assert_ne!(*space, 0);
+                assert_ne!(transform, &UniMat::identity(2));
+                for d in &plan.dep_vectors {
+                    assert!(transform.apply_dep(d)[0].definitely_positive());
+                }
+            }
+            other => panic!("expected unimodular strategy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serial_when_any_distance_everywhere() {
+        // Single global cell read+written by everyone, ordered.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10])
+            .read(a, vec![Subscript::Constant(0)])
+            .write(a, vec![Subscript::Constant(0)])
+            .ordered()
+            .build()
+            .unwrap();
+        let metas = [meta_dense(0, "z", vec![10]), meta_dense(1, "a", vec![1])];
+        let plan = analyze(&spec, &metas, 4);
+        assert_eq!(plan.strategy, Strategy::Serial);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(Strategy::OneD { dim: 0 }.label(), "1D");
+        assert_eq!(
+            Strategy::TwoD {
+                space: 0,
+                time: 1,
+                ordered: false
+            }
+            .label(),
+            "2D Unordered"
+        );
+        assert!(!Strategy::Serial.is_parallel());
+        assert!(Strategy::OneD { dim: 0 }.is_parallel());
+    }
+
+    #[test]
+    fn one_d_preferred_over_two_d() {
+        // Dependence only along dim 1: dim 0 is a 1D candidate even
+        // though (0, x) pairs would also qualify for 2D.
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![10, 10])
+            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(1).shifted(-1)])
+            .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(1)])
+            .ordered()
+            .build()
+            .unwrap();
+        let metas = [
+            meta_dense(0, "z", vec![10, 10]),
+            meta_dense(1, "a", vec![10, 10]),
+        ];
+        let plan = analyze(&spec, &metas, 4);
+        assert_eq!(plan.strategy, Strategy::OneD { dim: 0 });
+    }
+}

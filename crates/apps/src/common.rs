@@ -1,0 +1,88 @@
+//! Shared helpers for the ML applications.
+
+/// Compute-cost constants (nanoseconds of reference CPU) declared by the
+/// applications and consumed by the cluster simulator. Calibrated to the
+/// rough per-element costs of the paper's Julia implementations.
+pub mod cost {
+    /// SGD MF: one rating updates two rank-length rows.
+    pub fn mf_iter_ns(rank: usize) -> f64 {
+        8.0 * rank as f64
+    }
+
+    /// LDA collapsed Gibbs: one token resamples over K topics.
+    pub fn lda_token_ns(n_topics: usize) -> f64 {
+        6.0 * n_topics as f64
+    }
+
+    /// SLR: one sample touches its nonzero features.
+    pub fn slr_iter_ns(nnz: usize) -> f64 {
+        10.0 * nnz as f64
+    }
+
+    /// GBT split finding: one feature scans all samples into bins.
+    pub fn gbt_feature_ns(n_samples: usize) -> f64 {
+        4.0 * n_samples as f64
+    }
+
+    /// Relative overhead of Orion's abstraction vs the plain serial
+    /// program (Fig. 9a: parallelization outperforms serial "using only
+    /// two workers", i.e. one Orion worker is a bit slower than serial).
+    pub const ORION_OVERHEAD: f64 = 1.25;
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A deterministic 64-bit mix (SplitMix64 finalizer) for per-iteration
+/// RNG seeding: sampling decisions depend only on `(pass, cell)`, never
+/// on execution order, so schedules stay exactly reproducible.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        for x in [-30.0f32, -2.0, 0.5, 10.0, 80.0] {
+            let s = sigmoid(x);
+            assert!(s >= 0.0 && s <= 1.0);
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_no_overflow_at_extremes() {
+        assert_eq!(sigmoid(-1e4), 0.0);
+        assert_eq!(sigmoid(1e4), 1.0);
+    }
+
+    #[test]
+    fn mix64_distinct_and_deterministic() {
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert_eq!(mix64(1), a);
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn cost_constants_scale() {
+        assert!(cost::mf_iter_ns(32) > cost::mf_iter_ns(8));
+        assert!(cost::lda_token_ns(1000) > cost::lda_token_ns(100));
+        assert!(cost::ORION_OVERHEAD > 1.0);
+    }
+}

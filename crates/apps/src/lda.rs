@@ -1,0 +1,731 @@
+//! Latent Dirichlet Allocation by collapsed Gibbs sampling — the paper's
+//! second major benchmark (Table 2: "2D Unordered, 1D"; Figs. 9–12).
+//!
+//! State: the doc–topic table `dt` (D × K), the word–topic table `wt`
+//! (V × K), the topic-summary row `ts` (K), and per-token topic
+//! assignments. The token loop iterates over `(doc, word)` cells of the
+//! corpus; a cell reads/writes `dt[doc, :]` and `wt[word, :]` — the same
+//! dependence shape as SGD MF, so Orion derives unordered 2-D
+//! parallelization (documents = space, vocabulary = time/rotated). The
+//! topic-summary row is read and written by *every* iteration; its
+//! writes are exempted through a DistArray Buffer — the "non-critical
+//! dependences in LDA" the paper deliberately violates (§6.3).
+//!
+//! Sampling decisions are seeded per `(pass, cell, occurrence)`, so any
+//! serializable schedule produces exactly reproducible chains.
+
+use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Subscript};
+use orion_data::CorpusData;
+use orion_ps::{PsApp, PsView, UpdateLog};
+
+use crate::common::{cost, mix64};
+
+/// LDA hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LdaConfig {
+    /// Number of topics K.
+    pub n_topics: usize,
+    /// Document–topic smoothing α.
+    pub alpha: f32,
+    /// Topic–word smoothing β.
+    pub beta: f32,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl LdaConfig {
+    /// Defaults used by the harnesses.
+    pub fn new(n_topics: usize) -> Self {
+        LdaConfig {
+            n_topics,
+            alpha: 0.1,
+            beta: 0.01,
+            seed: 11,
+        }
+    }
+}
+
+/// The Gibbs sampler state.
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    /// Doc–topic counts, D × K.
+    pub dt: DistArray<u32>,
+    /// Word–topic counts, V × K.
+    pub wt: DistArray<u32>,
+    /// Topic totals, length K.
+    pub ts: Vec<i64>,
+    /// Topic assignment of every token occurrence, aligned with the
+    /// corpus item list (one inner vec per `(doc, word)` cell).
+    pub z: Vec<Vec<u16>>,
+    /// Hyperparameters.
+    pub cfg: LdaConfig,
+    /// Vocabulary size (for the β-sum in sampling weights).
+    pub vocab: u64,
+}
+
+impl LdaModel {
+    /// Initializes assignments uniformly at random (seeded) and builds
+    /// the count tables consistently.
+    pub fn init(corpus: &CorpusData, cfg: LdaConfig) -> Self {
+        let dims = corpus.tokens.shape().dims().to_vec();
+        let (n_docs, vocab) = (dims[0], dims[1]);
+        let k = cfg.n_topics;
+        let mut dt = DistArray::dense("doc_topic", vec![n_docs, k as u64]);
+        let mut wt = DistArray::dense("word_topic", vec![vocab, k as u64]);
+        let mut ts = vec![0i64; k];
+        let items = corpus.items();
+        let mut z = Vec::with_capacity(items.len());
+        for (pos, (idx, count)) in items.iter().enumerate() {
+            let mut cell = Vec::with_capacity(*count as usize);
+            for occ in 0..*count {
+                let topic =
+                    (mix64(cfg.seed ^ (pos as u64) << 20 ^ occ as u64) % k as u64) as u16;
+                cell.push(topic);
+                dt.update(&[idx[0], topic as i64], |c| *c += 1);
+                wt.update(&[idx[1], topic as i64], |c| *c += 1);
+                ts[topic as usize] += 1;
+            }
+            z.push(cell);
+        }
+        LdaModel {
+            dt,
+            wt,
+            ts,
+            z,
+            cfg,
+            vocab,
+        }
+    }
+
+    /// Negative per-token predictive log likelihood (lower is better) —
+    /// the convergence metric of Figs. 9c/10c/11.
+    pub fn neg_log_likelihood(&self, corpus: &CorpusData) -> f64 {
+        let k = self.cfg.n_topics;
+        let (alpha, beta) = (self.cfg.alpha as f64, self.cfg.beta as f64);
+        let vbeta = self.vocab as f64 * beta;
+        let kalpha = k as f64 * alpha;
+        let doc_lens = corpus.tokens.histogram_along(0);
+        let mut ll = 0.0f64;
+        for (idx, &count) in corpus.tokens.iter() {
+            let (d, w) = (idx[0], idx[1]);
+            let dt_row = self.dt.row_slice(d);
+            let wt_row = self.wt.row_slice(w);
+            let len_d = doc_lens[d as usize] as f64;
+            let mut p = 0.0f64;
+            for t in 0..k {
+                p += (dt_row[t] as f64 + alpha) / (len_d + kalpha)
+                    * (wt_row[t] as f64 + beta)
+                    / (self.ts[t] as f64 + vbeta);
+            }
+            ll += count as f64 * p.max(1e-300).ln();
+        }
+        -ll / corpus.n_tokens as f64
+    }
+}
+
+/// Resamples every occurrence of one `(doc, word)` cell.
+///
+/// `ts` is the *effective* topic-summary the worker sees (global for
+/// serial execution, a worker-local copy under parallel execution —
+/// the deliberately violated dependence). The decision sequence depends
+/// only on `(pass, cell position, occurrence)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gibbs_cell(
+    cfg: &LdaConfig,
+    vocab: u64,
+    dt_row: &mut [u32],
+    wt_row: &mut [u32],
+    ts: &mut [i64],
+    zs: &mut [u16],
+    pass: u64,
+    cell_pos: usize,
+) {
+    let k = cfg.n_topics;
+    let (alpha, beta) = (cfg.alpha as f64, cfg.beta as f64);
+    let vbeta = vocab as f64 * beta;
+    let mut weights = vec![0.0f64; k];
+    for (occ, zslot) in zs.iter_mut().enumerate() {
+        let old = *zslot as usize;
+        dt_row[old] -= 1;
+        wt_row[old] -= 1;
+        ts[old] -= 1;
+        let mut total = 0.0f64;
+        for t in 0..k {
+            let w = (dt_row[t] as f64 + alpha) * (wt_row[t] as f64 + beta)
+                / ((ts[t].max(0) as f64) + vbeta);
+            total += w;
+            weights[t] = total;
+        }
+        let u = (mix64(
+            pass.wrapping_mul(0x9E37_79B9)
+                ^ (cell_pos as u64) << 24
+                ^ occ as u64,
+        ) as f64
+            / u64::MAX as f64)
+            * total;
+        let new = weights.partition_point(|&c| c < u).min(k - 1);
+        *zslot = new as u16;
+        dt_row[new] += 1;
+        wt_row[new] += 1;
+        ts[new] += 1;
+    }
+}
+
+/// Run configuration for LDA.
+#[derive(Debug, Clone)]
+pub struct LdaRunConfig {
+    /// Simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Gibbs passes.
+    pub passes: u64,
+    /// Preserve lexicographic order.
+    pub ordered: bool,
+}
+
+fn lda_spec(
+    tokens: orion_core::DistArrayId,
+    dt: orion_core::DistArrayId,
+    wt: orion_core::DistArrayId,
+    ts: orion_core::DistArrayId,
+    dims: Vec<u64>,
+    ordered: bool,
+) -> LoopSpec {
+    let b = LoopSpec::builder("lda_gibbs", tokens, dims)
+        .read_write(dt, vec![Subscript::loop_index(0), Subscript::Full])
+        .read_write(wt, vec![Subscript::loop_index(1), Subscript::Full])
+        .read(ts, vec![Subscript::Full])
+        .write(ts, vec![Subscript::Full])
+        .buffer_writes(ts);
+    let b = if ordered { b.ordered() } else { b };
+    b.build().expect("static LDA spec is valid")
+}
+
+/// Trains with Orion's automatic parallelization: `dt` local by
+/// document, `wt` rotated by word, `ts` worker-local with buffered
+/// write-back at pass boundaries.
+pub fn train_orion(
+    corpus: &CorpusData,
+    cfg: LdaConfig,
+    run: &LdaRunConfig,
+) -> (LdaModel, RunStats) {
+    let items = corpus.items();
+    let dims = corpus.tokens.shape().dims().to_vec();
+    let mut model = LdaModel::init(corpus, cfg);
+    let k = model.cfg.n_topics;
+
+    let mut driver = Driver::new(run.cluster.clone());
+    let tok_id = driver.register(&corpus.tokens);
+    let dt_id = driver.register(&model.dt);
+    let wt_id = driver.register(&model.wt);
+    let ts_arr: DistArray<i64> = DistArray::dense("topic_sum", vec![k as u64]);
+    let ts_id = driver.register(&ts_arr);
+    driver.set_served_reads_per_iter(0.25);
+    let spec = lda_spec(tok_id, dt_id, wt_id, ts_id, dims, run.ordered);
+    let compiled = driver
+        .parallel_for(spec, &items)
+        .expect("LDA loop parallelizes");
+
+    let n_workers = compiled.schedule.n_workers;
+    let iter_cost: Vec<f64> = items
+        .iter()
+        .map(|(_, c)| cost::lda_token_ns(k) * *c as f64 * cost::ORION_OVERHEAD)
+        .collect();
+
+    for pass in 0..run.passes {
+        // Worker-local topic summaries: snapshot + local updates; merged
+        // at the pass boundary (the buffered-write application).
+        let snapshot = model.ts.clone();
+        let mut local_ts: Vec<Vec<i64>> = vec![snapshot.clone(); n_workers];
+        {
+            let LdaModel {
+                dt, wt, z, cfg, vocab, ..
+            } = &mut model;
+            driver.run_pass(&compiled, &mut |pos| iter_cost[pos], &mut |w, pos| {
+                let (idx, _) = &items[pos];
+                gibbs_cell(
+                    cfg,
+                    *vocab,
+                    dt.row_slice_mut(idx[0]),
+                    wt.row_slice_mut(idx[1]),
+                    &mut local_ts[w],
+                    &mut z[pos],
+                    pass,
+                    pos,
+                );
+            });
+        }
+        // Apply buffered summary deltas.
+        for w in 0..n_workers {
+            for t in 0..k {
+                model.ts[t] += local_ts[w][t] - snapshot[t];
+            }
+        }
+        driver.record_progress(pass, model.neg_log_likelihood(corpus));
+    }
+    (model, driver.finish())
+}
+
+/// Trains serially: one worker, globally fresh topic summary.
+pub fn train_serial(corpus: &CorpusData, cfg: LdaConfig, passes: u64) -> (LdaModel, RunStats) {
+    let run = LdaRunConfig {
+        cluster: ClusterSpec::serial(),
+        passes,
+        ordered: false,
+    };
+    // On one worker the local summary *is* the global one and merging is
+    // exact, so the parallel runner degenerates to true serial execution
+    // (minus the Orion abstraction overhead, handled by the caller's
+    // interpretation).
+    train_orion(corpus, cfg, &run)
+}
+
+
+/// Resamples one cell under *stale* word–topic counts: the worker reads
+/// a pass-start snapshot of `wt`/`ts` corrected by its own buffered
+/// deltas (data parallelism — the "1D" parallelization of LDA in the
+/// paper's Table 2, expressed in the same programming model by exempting
+/// the `wt` and `ts` writes through buffers).
+#[allow(clippy::too_many_arguments)]
+pub fn gibbs_cell_stale(
+    cfg: &LdaConfig,
+    vocab: u64,
+    dt_row: &mut [u32],
+    wt_snapshot_row: &[u32],
+    wt_delta_row: &mut [i64],
+    ts_snapshot: &[i64],
+    ts_delta: &mut [i64],
+    zs: &mut [u16],
+    pass: u64,
+    cell_pos: usize,
+) {
+    let k = cfg.n_topics;
+    let (alpha, beta) = (cfg.alpha as f64, cfg.beta as f64);
+    let vbeta = vocab as f64 * beta;
+    let mut weights = vec![0.0f64; k];
+    for (occ, zslot) in zs.iter_mut().enumerate() {
+        let old = *zslot as usize;
+        dt_row[old] -= 1;
+        wt_delta_row[old] -= 1;
+        ts_delta[old] -= 1;
+        let mut total = 0.0f64;
+        for t in 0..k {
+            let wt_c = (wt_snapshot_row[t] as i64 + wt_delta_row[t]).max(0) as f64;
+            let ts_c = (ts_snapshot[t] + ts_delta[t]).max(0) as f64;
+            let w = (dt_row[t] as f64 + alpha) * (wt_c + beta) / (ts_c + vbeta);
+            total += w;
+            weights[t] = total;
+        }
+        let u = (mix64(
+            pass.wrapping_mul(0x9E37_79B9) ^ (cell_pos as u64) << 24 ^ occ as u64,
+        ) as f64
+            / u64::MAX as f64)
+            * total;
+        let new = weights.partition_point(|&c| c < u).min(k - 1);
+        *zslot = new as u16;
+        dt_row[new] += 1;
+        wt_delta_row[new] += 1;
+        ts_delta[new] += 1;
+    }
+}
+
+/// Trains LDA with 1-D data parallelism: documents sharded across
+/// workers (the doc–topic table stays exact), while the word–topic table
+/// and summary row are read stale and written through buffers applied at
+/// pass boundaries — the alternative "1D" parallelization the paper's
+/// Table 2 lists for LDA, expressed in the same programming model.
+pub fn train_orion_1d(
+    corpus: &CorpusData,
+    cfg: LdaConfig,
+    run: &LdaRunConfig,
+) -> (LdaModel, RunStats) {
+    let items = corpus.items();
+    let dims = corpus.tokens.shape().dims().to_vec();
+    let mut model = LdaModel::init(corpus, cfg);
+    let k = model.cfg.n_topics;
+    let vocab = dims[1] as usize;
+
+    let mut driver = Driver::new(run.cluster.clone());
+    let tok_id = driver.register(&corpus.tokens);
+    let dt_id = driver.register(&model.dt);
+    let wt_id = driver.register(&model.wt);
+    let ts_arr: DistArray<i64> = DistArray::dense("topic_sum", vec![k as u64]);
+    let ts_id = driver.register(&ts_arr);
+    // Buffering the word-topic and summary writes removes their
+    // dependences; only the doc-topic dependence (zero along the doc
+    // dimension) remains, so the analyzer derives 1-D over documents.
+    let spec = LoopSpec::builder("lda_gibbs_1d", tok_id, dims)
+        .read_write(dt_id, vec![Subscript::loop_index(0), Subscript::Full])
+        .read(wt_id, vec![Subscript::loop_index(1), Subscript::Full])
+        .write(wt_id, vec![Subscript::loop_index(1), Subscript::Full])
+        .read(ts_id, vec![Subscript::Full])
+        .write(ts_id, vec![Subscript::Full])
+        .buffer_writes(wt_id)
+        .buffer_writes(ts_id)
+        .build()
+        .expect("static 1-D LDA spec is valid");
+    let compiled = driver
+        .parallel_for(spec, &items)
+        .expect("1-D LDA parallelizes");
+    debug_assert!(matches!(
+        compiled.strategy(),
+        orion_core::Strategy::OneD { dim: 0 }
+    ));
+
+    let n_workers = compiled.schedule.n_workers;
+    let iter_cost: Vec<f64> = items
+        .iter()
+        .map(|(_, c)| cost::lda_token_ns(k) * *c as f64 * cost::ORION_OVERHEAD)
+        .collect();
+
+    for pass in 0..run.passes {
+        // Pass-start snapshots of the buffered tables; per-worker deltas.
+        let wt_snapshot = model.wt.clone();
+        let ts_snapshot = model.ts.clone();
+        let mut wt_delta: Vec<Vec<i64>> = vec![vec![0i64; vocab * k]; n_workers];
+        let mut ts_delta: Vec<Vec<i64>> = vec![vec![0i64; k]; n_workers];
+        {
+            let LdaModel { dt, z, cfg, vocab: vc, .. } = &mut model;
+            driver.run_pass(&compiled, &mut |pos| iter_cost[pos], &mut |w, pos| {
+                let (idx, _) = &items[pos];
+                let word = idx[1] as usize;
+                gibbs_cell_stale(
+                    cfg,
+                    *vc,
+                    dt.row_slice_mut(idx[0]),
+                    wt_snapshot.row_slice(idx[1]),
+                    &mut wt_delta[w][word * k..(word + 1) * k],
+                    &ts_snapshot,
+                    &mut ts_delta[w],
+                    &mut z[pos],
+                    pass,
+                    pos,
+                );
+            });
+        }
+        // Apply buffered deltas (the DistArray Buffer flush), and model
+        // its traffic: each worker ships its nonzero deltas.
+        let mut up_bytes = 0u64;
+        for w in 0..n_workers {
+            up_bytes += wt_delta[w].iter().filter(|&&d| d != 0).count() as u64 * 12;
+            for word in 0..vocab {
+                for t in 0..k {
+                    let d = wt_delta[w][word * k + t];
+                    if d != 0 {
+                        model.wt.update(&[word as i64, t as i64], |c| {
+                            *c = (*c as i64 + d).max(0) as u32;
+                        });
+                    }
+                }
+            }
+            for t in 0..k {
+                model.ts[t] += ts_delta[w][t];
+            }
+        }
+        driver.sync_exchange(up_bytes / n_workers.max(1) as u64, up_bytes / n_workers.max(1) as u64);
+        driver.record_progress(pass, model.neg_log_likelihood(corpus));
+    }
+    (model, driver.finish())
+}
+
+/// Adapter for Bösen-style data-parallel LDA: `wt` and `ts` live on the
+/// parameter server as counts (stale between syncs); `dt` and the
+/// assignments are worker-local state (documents are sharded), which the
+/// engine's sequential execution keeps exact.
+pub struct LdaPsAdapter {
+    items: Vec<(Vec<i64>, u32)>,
+    state: std::cell::RefCell<LdaPsState>,
+    k: usize,
+    vocab: usize,
+    cfg: LdaConfig,
+    doc_lens: Vec<u64>,
+    n_tokens: u64,
+}
+
+struct LdaPsState {
+    dt: Vec<u32>,
+    z: Vec<Vec<u16>>,
+    pass_of_item: Vec<u64>,
+}
+
+impl LdaPsAdapter {
+    /// Builds the adapter with the same seeded initialization as
+    /// [`LdaModel::init`].
+    pub fn new(corpus: &CorpusData, cfg: LdaConfig) -> Self {
+        let model = LdaModel::init(corpus, cfg.clone());
+        let items = corpus.items();
+        let dims = corpus.tokens.shape().dims();
+        let (n_docs, vocab) = (dims[0] as usize, dims[1] as usize);
+        let k = cfg.n_topics;
+        let mut dt = vec![0u32; n_docs * k];
+        for d in 0..n_docs {
+            dt[d * k..(d + 1) * k].copy_from_slice(model.dt.row_slice(d as i64));
+        }
+        LdaPsAdapter {
+            state: std::cell::RefCell::new(LdaPsState {
+                dt,
+                z: model.z,
+                pass_of_item: vec![0; items.len()],
+            }),
+            items,
+            k,
+            vocab,
+            cfg,
+            doc_lens: corpus.tokens.histogram_along(0),
+            n_tokens: corpus.n_tokens,
+        }
+    }
+
+    /// Initial word–topic + summary parameters consistent with the
+    /// assignments.
+    fn init_wt_ts(&self) -> Vec<f32> {
+        let mut p = vec![0f32; self.n_params()];
+        let state = self.state.borrow();
+        for (pos, (idx, _)) in self.items.iter().enumerate() {
+            for &t in &state.z[pos] {
+                p[idx[1] as usize * self.k + t as usize] += 1.0;
+                p[self.vocab * self.k + t as usize] += 1.0;
+            }
+        }
+        p
+    }
+}
+
+impl PsApp for LdaPsAdapter {
+    fn n_params(&self) -> usize {
+        (self.vocab + 1) * self.k
+    }
+
+    fn init_params(&self) -> Vec<f32> {
+        self.init_wt_ts()
+    }
+
+    fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item_cost_ns(&self, item: usize) -> f64 {
+        cost::lda_token_ns(self.k) * self.items[item].1 as f64
+    }
+
+    fn update(&self, item: usize, view: &PsView<'_>, out: &mut UpdateLog) {
+        let (idx, _) = &self.items[item];
+        let (d, w) = (idx[0] as usize, idx[1] as usize);
+        let k = self.k;
+        let (alpha, beta) = (self.cfg.alpha as f64, self.cfg.beta as f64);
+        let vbeta = self.vocab as f64 * beta;
+        let mut st = self.state.borrow_mut();
+        let pass = st.pass_of_item[item];
+        st.pass_of_item[item] += 1;
+        let mut weights = vec![0.0f64; k];
+        let zs_len = st.z[item].len();
+        for occ in 0..zs_len {
+            let old = st.z[item][occ] as usize;
+            st.dt[d * k + old] -= 1;
+            out.add((w * k + old) as u32, -1.0);
+            out.add((self.vocab * k + old) as u32, -1.0);
+            let mut total = 0.0f64;
+            for t in 0..k {
+                let wt_c = (view.get((w * k + t) as u32) + out.get((w * k + t) as u32))
+                    .max(0.0) as f64;
+                let ts_c = (view.get((self.vocab * k + t) as u32)
+                    + out.get((self.vocab * k + t) as u32))
+                .max(0.0) as f64;
+                let wgt =
+                    (st.dt[d * k + t] as f64 + alpha) * (wt_c + beta) / (ts_c + vbeta);
+                total += wgt;
+                weights[t] = total;
+            }
+            let u = (mix64(
+                pass.wrapping_mul(0x9E37_79B9) ^ (item as u64) << 24 ^ occ as u64,
+            ) as f64
+                / u64::MAX as f64)
+                * total;
+            let new = weights.partition_point(|&c| c < u).min(k - 1);
+            st.z[item][occ] = new as u16;
+            st.dt[d * k + new] += 1;
+            out.add((w * k + new) as u32, 1.0);
+            out.add((self.vocab * k + new) as u32, 1.0);
+        }
+    }
+
+    fn loss(&self, params: &[f32]) -> f64 {
+        let k = self.k;
+        let (alpha, beta) = (self.cfg.alpha as f64, self.cfg.beta as f64);
+        let vbeta = self.vocab as f64 * beta;
+        let kalpha = k as f64 * alpha;
+        let st = self.state.borrow();
+        let mut ll = 0.0f64;
+        for (idx, count) in self.items.iter().map(|(i, c)| (i, *c)) {
+            let (d, w) = (idx[0] as usize, idx[1] as usize);
+            let len_d = self.doc_lens[d] as f64;
+            let mut p = 0.0f64;
+            for t in 0..k {
+                p += (st.dt[d * k + t] as f64 + alpha) / (len_d + kalpha)
+                    * (params[w * k + t].max(0.0) as f64 + beta)
+                    / (params[self.vocab * k + t].max(0.0) as f64 + vbeta);
+            }
+            ll += count as f64 * p.max(1e-300).ln();
+        }
+        -ll / self.n_tokens as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_data::CorpusConfig;
+
+    fn corpus() -> CorpusData {
+        CorpusData::generate(CorpusConfig::tiny())
+    }
+
+    #[test]
+    fn init_counts_are_consistent() {
+        let c = corpus();
+        let m = LdaModel::init(&c, LdaConfig::new(4));
+        let total_dt: u64 = (0..c.config.n_docs as i64)
+            .flat_map(|d| m.dt.row_slice(d).iter().map(|&x| x as u64).collect::<Vec<_>>())
+            .sum();
+        let total_ts: i64 = m.ts.iter().sum();
+        assert_eq!(total_dt, c.n_tokens);
+        assert_eq!(total_ts as u64, c.n_tokens);
+    }
+
+    #[test]
+    fn serial_gibbs_improves_likelihood() {
+        let c = corpus();
+        let (_, stats) = train_serial(&c, LdaConfig::new(4), 12);
+        let first = stats.progress[0].metric;
+        let last = stats.final_metric().unwrap();
+        assert!(
+            last < first - 0.05,
+            "NLL should drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn counts_stay_consistent_after_training() {
+        let c = corpus();
+        let run = LdaRunConfig {
+            cluster: ClusterSpec::new(2, 2),
+            passes: 3,
+            ordered: false,
+        };
+        let (m, _) = train_orion(&c, LdaConfig::new(4), &run);
+        let total_ts: i64 = m.ts.iter().sum();
+        assert_eq!(total_ts as u64, c.n_tokens, "topic totals conserved");
+        let total_wt: u64 = (0..c.config.vocab as i64)
+            .flat_map(|w| m.wt.row_slice(w).iter().map(|&x| x as u64).collect::<Vec<_>>())
+            .sum();
+        assert_eq!(total_wt, c.n_tokens, "word-topic counts conserved");
+    }
+
+    #[test]
+    fn orion_parallel_tracks_serial_convergence() {
+        let c = corpus();
+        let passes = 8;
+        let (_, serial) = train_serial(&c, LdaConfig::new(4), passes);
+        let run = LdaRunConfig {
+            cluster: ClusterSpec::new(4, 2),
+            passes,
+            ordered: false,
+        };
+        let (_, par) = train_orion(&c, LdaConfig::new(4), &run);
+        let ls = serial.final_metric().unwrap();
+        let lp = par.final_metric().unwrap();
+        assert!(
+            (ls - lp).abs() / ls.abs() < 0.05,
+            "parallel NLL {lp} strays from serial {ls}"
+        );
+    }
+
+    #[test]
+    fn ps_lda_converges_but_slower_per_pass() {
+        let c = corpus();
+        let passes = 8;
+        let (_, orion) = train_orion(
+            &c,
+            LdaConfig::new(4),
+            &LdaRunConfig {
+                cluster: ClusterSpec::new(4, 2),
+                passes,
+                ordered: false,
+            },
+        );
+        let ps_cfg = orion_ps::PsConfig::vanilla(ClusterSpec::new(4, 2), 1.0);
+        let mut ps = orion_ps::PsEngine::new(LdaPsAdapter::new(&c, LdaConfig::new(4)), ps_cfg);
+        for _ in 0..passes {
+            ps.run_pass();
+        }
+        let stats = ps.finish();
+        let first = stats.progress[0].metric;
+        let last = stats.final_metric().unwrap();
+        assert!(last < first, "PS LDA should still improve");
+        assert!(
+            orion.final_metric().unwrap() <= last + 0.02,
+            "dependence-aware should converge at least as fast per pass"
+        );
+    }
+
+
+    #[test]
+    fn one_d_data_parallel_lda_converges_but_lags() {
+        let c = corpus();
+        let passes = 8;
+        let run = LdaRunConfig {
+            cluster: ClusterSpec::new(4, 2),
+            passes,
+            ordered: false,
+        };
+        let (m1d, s1d) = train_orion_1d(&c, LdaConfig::new(4), &run);
+        // Counts stay conserved under the buffered flush.
+        let total_ts: i64 = m1d.ts.iter().sum();
+        assert_eq!(total_ts as u64, c.n_tokens);
+        // It converges...
+        let first = s1d.progress[0].metric;
+        let last = s1d.final_metric().unwrap();
+        assert!(last < first, "1D LDA should improve: {first} -> {last}");
+        // ...to a likelihood comparable to the dependence-aware schedule
+        // (at this tiny scale sampling noise dominates the staleness
+        // penalty; Fig. 9c measures the real gap at benchmark scale).
+        let (_, s2d) = train_orion(&c, LdaConfig::new(4), &run);
+        let l2d = s2d.final_metric().unwrap();
+        assert!(
+            (l2d - last).abs() < 0.15,
+            "2D {l2d} vs 1D {last} diverged unreasonably"
+        );
+    }
+
+    #[test]
+    fn one_d_lda_analyzer_chooses_one_d() {
+        // Covered by the debug_assert inside train_orion_1d; exercise it
+        // on a single short run in debug-capable test builds.
+        let c = corpus();
+        let run = LdaRunConfig {
+            cluster: ClusterSpec::new(2, 2),
+            passes: 1,
+            ordered: false,
+        };
+        let (_, stats) = train_orion_1d(&c, LdaConfig::new(4), &run);
+        assert_eq!(stats.progress.len(), 1);
+        assert!(stats.total_bytes > 0, "buffer flush must be communicated");
+    }
+
+    #[test]
+    fn gibbs_cell_preserves_count_invariants() {
+        let cfg = LdaConfig::new(4);
+        let mut dt = vec![2u32, 1, 1, 3];
+        let mut wt = vec![2u32, 1, 1, 3];
+        let mut ts = vec![10i64, 8, 5, 7];
+        let mut zs = vec![0u16, 0, 1, 3, 3, 3];
+        let dt_sum: u32 = dt.iter().sum();
+        let wt_sum: u32 = wt.iter().sum();
+        let ts_sum: i64 = ts.iter().sum();
+        gibbs_cell(&cfg, 120, &mut dt, &mut wt, &mut ts, &mut zs, 0, 0);
+        assert_eq!(dt.iter().sum::<u32>(), dt_sum);
+        assert_eq!(wt.iter().sum::<u32>(), wt_sum);
+        assert_eq!(ts.iter().sum::<i64>(), ts_sum);
+        // Assignments must agree with what was moved.
+        assert_eq!(zs.len(), 6);
+    }
+}

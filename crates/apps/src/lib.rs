@@ -1,0 +1,26 @@
+//! ML training applications parallelized by Orion — the paper's Table 2.
+//!
+//! | App | Model | Algorithm | Parallelization chosen by the analyzer |
+//! |-----|-------|-----------|----------------------------------------|
+//! | [`sgd_mf`] | Matrix factorization | SGD (± adaptive revision) | 2D Unordered |
+//! | [`lda`] | Latent Dirichlet Allocation | Collapsed Gibbs sampling | 2D Unordered (+ buffered summary) |
+//! | [`slr`] | Sparse logistic regression | SGD (± adaptive revision) | 1D data parallelism via buffers |
+//! | [`gbt`] | Gradient boosted trees | Gradient boosting | 1D (independent features) |
+//! | [`tensor_cp`] | CP tensor decomposition | SGD | Serial as written; 2D Unordered with the context factor buffered |
+//!
+//! Each application provides the *serial imperative program* (the code a
+//! user writes), the Orion-parallelized runner (automatic dependence
+//! analysis + distributed schedule on the simulated cluster), and —
+//! where the paper compares systems — adapters for the Bösen-style
+//! parameter server, the STRADS-style manual model-parallel baseline,
+//! and the TensorFlow-style mini-batch dataflow baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod gbt;
+pub mod lda;
+pub mod sgd_mf;
+pub mod slr;
+pub mod tensor_cp;

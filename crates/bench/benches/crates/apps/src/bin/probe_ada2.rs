@@ -1,0 +1,16 @@
+use orion_apps::sgd_mf::*;
+use orion_core::ClusterSpec;
+use orion_data::{RatingsConfig, RatingsData};
+
+fn main() {
+    let d = RatingsData::generate(RatingsConfig::netflix_like());
+    let run = MfRunConfig { cluster: ClusterSpec::new(8, 4), passes: 15, ordered: false };
+    for &(mult, pow) in &[(2.0f32, 0.5f32), (4.0, 0.25), (8.0, 0.25), (2.0, 0.15)] {
+        std::env::set_var("ORION_ADA_MULT", mult.to_string());
+        std::env::set_var("ORION_ADA_POW", pow.to_string());
+        let mut cfg = MfConfig::new(16);
+        cfg.adaptive = true;
+        let (_, s) = train_orion(&d, cfg, &run);
+        println!("mult={mult} pow={pow}: {:?}", s.progress.iter().step_by(2).map(|p| p.metric as i64).collect::<Vec<_>>());
+    }
+}

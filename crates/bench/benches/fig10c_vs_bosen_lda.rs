@@ -1,0 +1,70 @@
+//! Fig. 10c: LDA on the ClueWeb-like corpus over virtual time — manual
+//! data parallelism on Bösen, data parallelism with managed
+//! communication, and auto-parallelization by Orion.
+
+use orion_apps::lda::{train_orion, LdaConfig, LdaPsAdapter, LdaRunConfig};
+use orion_bench::{banner, csv_rows, eval_cluster, write_csv};
+use orion_data::{CorpusConfig, CorpusData};
+use orion_ps::{CmConfig, PsConfig, PsEngine};
+use orion_sim::RunStats;
+
+fn run_ps(corpus: &CorpusData, cfg: PsConfig, passes: u64, k: usize) -> RunStats {
+    let mut e = PsEngine::new(LdaPsAdapter::new(corpus, LdaConfig::new(k)), cfg);
+    for _ in 0..passes {
+        e.run_pass();
+    }
+    e.finish()
+}
+
+fn main() {
+    banner("Fig 10c", "LDA (ClueWeb-like) over time: Bösen DP vs Bösen CM vs Orion");
+    let corpus = CorpusData::generate(CorpusConfig::clueweb_like());
+    let passes = 10u64;
+    let k = 64;
+
+    let dp = run_ps(&corpus, PsConfig::vanilla(eval_cluster(), 1.0), passes, k);
+    let mut cm_cfg = PsConfig::vanilla(eval_cluster(), 1.0);
+    cm_cfg.managed = Some(CmConfig {
+        budget_mbps: 2560.0,
+        rounds_per_pass: 16,
+    });
+    let cm = run_ps(&corpus, cm_cfg, passes, k);
+    let (_, orion_stats) = train_orion(
+        &corpus,
+        LdaConfig::new(k),
+        &LdaRunConfig {
+            cluster: eval_cluster(),
+            passes,
+            ordered: false,
+        },
+    );
+
+    println!(
+        "\n{:>4}  {:>18}  {:>18}  {:>18}",
+        "pass", "Bosen DP (t, NLL)", "Bosen CM (t, NLL)", "Orion (t, NLL)"
+    );
+    for p in 0..passes as usize {
+        let f = |s: &RunStats| {
+            format!(
+                "{:.3}s {:.4}",
+                s.progress[p].time.as_secs_f64(),
+                s.progress[p].metric
+            )
+        };
+        println!("{:>4}  {:>18}  {:>18}  {:>18}", p, f(&dp), f(&cm), f(&orion_stats));
+    }
+
+    let mut csv = csv_rows("bosen_dp", &dp);
+    csv.extend(csv_rows("bosen_cm", &cm));
+    csv.extend(csv_rows("orion", &orion_stats));
+    write_csv(
+        "fig10c_vs_bosen_lda.csv",
+        "series,iteration,seconds,neg_loglik_per_token",
+        &csv,
+    );
+    println!(
+        "\nbytes: DP {}, CM {}, Orion {}  (paper: CM burns bandwidth to approach\n\
+         Orion's rate; excessive communication costs it overall on ClueWeb)",
+        dp.total_bytes, cm.total_bytes, orion_stats.total_bytes
+    );
+}

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the static analysis itself: the
+//! dependence test (Alg. 2 is O(N² · D) in static references), strategy
+//! selection, the unimodular search, and schedule construction — the
+//! costs Orion pays once at "macro expansion" time (§4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use orion_analysis::{analyze, dependence_vectors, find_unimodular, DepElem, DepVec, Strategy};
+use orion_ir::{ArrayMeta, DistArrayId, LoopSpec, Subscript};
+use orion_runtime::build_schedule;
+
+fn mf_spec() -> (LoopSpec, Vec<ArrayMeta>) {
+    let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+    let spec = LoopSpec::builder("mf", z, vec![600, 480])
+        .read_write(w, vec![Subscript::loop_index(0), Subscript::Full])
+        .read_write(h, vec![Subscript::loop_index(1), Subscript::Full])
+        .build()
+        .unwrap();
+    let metas = vec![
+        ArrayMeta::sparse(z, "z", vec![600, 480], 4, 80_000),
+        ArrayMeta::dense(w, "W", vec![600, 16], 4),
+        ArrayMeta::dense(h, "H", vec![480, 16], 4),
+    ];
+    (spec, metas)
+}
+
+/// A loop with `n` read-write reference pairs over distinct arrays.
+fn wide_spec(n: usize) -> (LoopSpec, Vec<ArrayMeta>) {
+    let z = DistArrayId(0);
+    let mut b = LoopSpec::builder("wide", z, vec![100, 100]);
+    let mut metas = vec![ArrayMeta::dense(z, "z", vec![100, 100], 4)];
+    for i in 0..n {
+        let id = DistArrayId(1 + i as u32);
+        b = b.read_write(id, vec![Subscript::loop_index(i % 2), Subscript::Full]);
+        metas.push(ArrayMeta::dense(id, format!("a{i}"), vec![100, 8], 4));
+    }
+    (b.build().unwrap(), metas)
+}
+
+fn bench_dependence_test(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependence_vectors");
+    for n in [2usize, 8, 16, 32] {
+        let (spec, _) = wide_spec(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| dependence_vectors(black_box(spec)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let (spec, metas) = mf_spec();
+    c.bench_function("analyze_mf", |b| {
+        b.iter(|| analyze(black_box(&spec), black_box(&metas), 384));
+    });
+}
+
+fn bench_unimodular(c: &mut Criterion) {
+    let dvecs = vec![
+        DepVec::new(vec![DepElem::Int(1), DepElem::Int(-1)]),
+        DepVec::new(vec![DepElem::Int(0), DepElem::Int(1)]),
+    ];
+    c.bench_function("find_unimodular_skewed", |b| {
+        b.iter(|| find_unimodular(black_box(&dvecs), 2));
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let indices: Vec<Vec<i64>> = (0..200)
+        .flat_map(|i| (0..200).map(move |j| vec![i, j]))
+        .collect();
+    let strat = Strategy::TwoD {
+        space: 0,
+        time: 1,
+        ordered: false,
+    };
+    c.bench_function("build_schedule_40k_iters_32_workers", |b| {
+        b.iter(|| build_schedule(black_box(&strat), black_box(&indices), &[200, 200], 32));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dependence_test, bench_analyze, bench_unimodular, bench_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the DSM substrate: DistArray access
+//! paths, write-back buffers, the wire codec, and histogram-balanced
+//! partitioning — the per-element costs behind the runtime's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use orion_dsm::{codec, DistArray, DistArrayBuffer, RangePartition};
+
+fn bench_dense_access(c: &mut Criterion) {
+    let mut a: DistArray<f32> = DistArray::dense("a", vec![1000, 16]);
+    c.bench_function("dense_point_get", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1000i64 {
+                acc += a.get(black_box(&[i, 3])).copied().unwrap_or(0.0);
+            }
+            acc
+        });
+    });
+    c.bench_function("dense_row_slice_mut_update", |b| {
+        b.iter(|| {
+            for i in 0..1000i64 {
+                for v in a.row_slice_mut(black_box(i)) {
+                    *v += 1.0;
+                }
+            }
+        });
+    });
+}
+
+fn bench_sparse_access(c: &mut Criterion) {
+    let a: DistArray<f32> = DistArray::sparse_from(
+        "s",
+        vec![100_000],
+        (0..10_000).map(|i| (vec![i * 7 % 100_000], i as f32)),
+    );
+    c.bench_function("sparse_iter_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (_, &v) in a.iter() {
+                acc += v;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    c.bench_function("buffer_write_drain_4k", |b| {
+        let shape = orion_dsm::Shape::new(vec![100_000]);
+        b.iter(|| {
+            let mut buf: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape.clone());
+            for i in 0..4_000i64 {
+                buf.write(black_box(&[(i * 13) % 100_000]), 0.5);
+            }
+            black_box(buf.drain().len())
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let updates: Vec<(u64, f32)> = (0..10_000).map(|i| (i * 3, i as f32 * 0.5)).collect();
+    c.bench_function("codec_encode_decode_10k_updates", |b| {
+        b.iter(|| {
+            let wire = codec::encode_updates(black_box(&updates));
+            black_box(codec::decode_updates::<f32>(wire).len())
+        });
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let weights: Vec<u64> = (0..100_000).map(|i| (i % 97) + 1).collect();
+    c.bench_function("balanced_partition_100k_384", |b| {
+        b.iter(|| RangePartition::balanced(0, black_box(&weights), 384));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dense_access, bench_sparse_access, bench_buffer, bench_codec, bench_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Shared harness utilities for the per-figure/per-table benchmarks.
+//!
+//! Every bench target regenerates one table or figure of the paper's
+//! evaluation (§6): it prints the same rows/series the paper reports and
+//! writes a CSV under `results/` for plotting. Absolute numbers differ —
+//! the substrate is a calibrated simulator over scaled synthetic
+//! datasets (see DESIGN.md §4) — but the *shape* (who wins, by what
+//! factor, where crossovers fall) is the reproduction target, recorded
+//! against the paper in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use orion_sim::{ClusterSpec, RunStats};
+
+/// The standard evaluation cluster for figure runs: 8 machines × 4
+/// workers = 32 workers. The paper uses 12 × 32 = 384 on ~1000× larger
+/// datasets; worker count is scaled with the data so per-block compute
+/// stays in the same regime (documented substitution).
+pub fn eval_cluster() -> ClusterSpec {
+    ClusterSpec::new(8, 4)
+}
+
+/// Directory for CSV outputs (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map(|p| p.join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes rows of `(label, x, y)` series points as CSV.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("  [csv written to {}]", path.display());
+}
+
+/// Prints a convergence-over-iterations series.
+pub fn print_over_iterations(label: &str, stats: &RunStats) {
+    print!("{label:<44}");
+    for p in &stats.progress {
+        print!(" {:.4}", p.metric);
+    }
+    println!();
+}
+
+/// Collects `label,iteration,seconds,metric` CSV rows from a run.
+pub fn csv_rows(label: &str, stats: &RunStats) -> Vec<String> {
+    stats
+        .progress
+        .iter()
+        .map(|p| {
+            format!(
+                "{label},{},{:.6},{:.6}",
+                p.iteration,
+                p.time.as_secs_f64(),
+                p.metric
+            )
+        })
+        .collect()
+}
+
+/// Prints a banner for one experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("\n==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.2}ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_is_32_workers() {
+        assert_eq!(eval_cluster().n_workers(), 32);
+    }
+
+    #[test]
+    fn fmt() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0031), "3.10ms");
+    }
+}

@@ -1,0 +1,360 @@
+//! The Orion driver: the program a user writes (paper §3, Fig. 5).
+//!
+//! An application is an imperative driver program that creates
+//! DistArrays, declares accumulators, and runs `@parallel_for` loops.
+//! [`Driver`] plays that role: it registers arrays (recording the
+//! metadata the analyzer needs), *compiles* loops — static dependence
+//! analysis, strategy selection, schedule construction, communication
+//! model — exactly once per loop (like the macro expansion of §4.1), and
+//! executes passes on the simulated cluster.
+
+use std::collections::HashMap;
+
+use orion_analysis::{analyze, report, ParallelPlan, Strategy};
+use orion_dsm::{DistArray, Element};
+use orion_ir::{ArrayMeta, DistArrayId, LoopSpec};
+use orion_runtime::{
+    build_schedule, comm_model_with_spec, LoopCommModel, PassStats, Schedule, SimExecutor,
+};
+use orion_sim::{ClusterSpec, RunStats, VirtualTime};
+
+/// Errors surfaced by the driver.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The loop spec failed validation.
+    Spec(orion_ir::SpecError),
+    /// A loop body requires parallelization but analysis found none and
+    /// the caller required a parallel strategy.
+    NotParallelizable(String),
+}
+
+impl core::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DriverError::Spec(e) => write!(f, "invalid loop spec: {e}"),
+            DriverError::NotParallelizable(name) => {
+                write!(f, "loop `{name}` has no dependence-preserving parallelization")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<orion_ir::SpecError> for DriverError {
+    fn from(e: orion_ir::SpecError) -> Self {
+        DriverError::Spec(e)
+    }
+}
+
+/// A loop after static parallelization: analysis result, compiled
+/// schedule, and communication model, reusable across executions
+/// ("the macro expansion and compilation is executed only once", §4.1).
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    /// The analyzed spec.
+    pub spec: LoopSpec,
+    /// Dependence vectors, strategy and placements.
+    pub plan: ParallelPlan,
+    /// The computation schedule.
+    pub schedule: Schedule,
+    /// Communication model used by the simulator.
+    pub comm: LoopCommModel,
+}
+
+impl CompiledLoop {
+    /// The chosen strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.plan.strategy
+    }
+}
+
+/// The driver program state: registered arrays, the simulated cluster,
+/// and compiled loops.
+///
+/// # Examples
+///
+/// A miniature SGD-MF-shaped program:
+///
+/// ```
+/// use orion_core::Driver;
+/// use orion_dsm::DistArray;
+/// use orion_ir::{LoopSpec, Subscript};
+/// use orion_sim::ClusterSpec;
+///
+/// let mut driver = Driver::new(ClusterSpec::new(2, 2));
+/// let ratings: DistArray<f32> =
+///     DistArray::sparse_from("ratings", vec![8, 6], vec![(vec![1, 2], 1.0), (vec![5, 0], 2.0)]);
+/// let mut w: DistArray<f32> = DistArray::dense("W", vec![8, 4]);
+/// let z = driver.register(&ratings);
+/// let w_id = driver.register(&w);
+///
+/// let spec = LoopSpec::builder("update", z, vec![8, 6])
+///     .read_write(w_id, vec![Subscript::loop_index(0), Subscript::Full])
+///     .build()
+///     .unwrap();
+/// let items: Vec<(Vec<i64>, f32)> = ratings.iter().map(|(i, &v)| (i, v)).collect();
+/// let compiled = driver.parallel_for(spec, &items).unwrap();
+/// driver.run_pass(&compiled, &mut |_pos| 100.0, &mut |_w, pos| {
+///     let (idx, val) = &items[pos];
+///     w.update(&[idx[0], 0], |x| *x += val);
+/// });
+/// assert_eq!(w.get(&[1, 0]), Some(&1.0));
+/// ```
+pub struct Driver {
+    executor: SimExecutor,
+    metas: Vec<ArrayMeta>,
+    next_id: u32,
+    compiled: HashMap<String, usize>,
+    /// Average served reads per iteration, settable before compiling a
+    /// loop with served arrays (e.g. nonzeros per sample for SLR).
+    served_reads_per_iter: f64,
+    stats: RunStats,
+}
+
+impl Driver {
+    /// A driver targeting the given simulated cluster.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Driver {
+            executor: SimExecutor::new(cluster),
+            metas: Vec::new(),
+            next_id: 0,
+            compiled: HashMap::new(),
+            served_reads_per_iter: 1.0,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Registers a DistArray, assigning its id and recording the metadata
+    /// the analyzer's communication heuristic uses.
+    pub fn register<T: Element>(&mut self, array: &DistArray<T>) -> DistArrayId {
+        let id = DistArrayId(self.next_id);
+        self.next_id += 1;
+        self.metas.push(array.meta(id));
+        id
+    }
+
+    /// Refreshes the recorded metadata of `id` (e.g. after inserting into
+    /// a sparse array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this driver.
+    pub fn refresh_meta<T: Element>(&mut self, id: DistArrayId, array: &DistArray<T>) {
+        let slot = self
+            .metas
+            .iter_mut()
+            .find(|m| m.id == id)
+            .unwrap_or_else(|| panic!("{id} is not registered"));
+        *slot = array.meta(id);
+    }
+
+    /// Registered metadata (analyzer input).
+    pub fn metas(&self) -> &[ArrayMeta] {
+        &self.metas
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.executor.cluster
+    }
+
+    /// Declares the average number of served-array reads per iteration
+    /// for subsequently compiled loops (the value Orion's synthesized
+    /// recording function discovers at runtime).
+    pub fn set_served_reads_per_iter(&mut self, reads: f64) {
+        self.served_reads_per_iter = reads;
+    }
+
+    /// Statically parallelizes a loop (the `@parallel_for` macro):
+    /// dependence analysis, strategy selection, schedule construction.
+    ///
+    /// `items` is the materialized iteration space (index/value pairs);
+    /// the returned [`CompiledLoop`] refers to items by position in this
+    /// slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Spec`] for invalid specs.
+    pub fn parallel_for<T: Element>(
+        &mut self,
+        spec: LoopSpec,
+        items: &[(Vec<i64>, T)],
+    ) -> Result<CompiledLoop, DriverError> {
+        spec.validate()?;
+        let n_workers = self.executor.cluster.n_workers();
+        let plan = analyze(&spec, &self.metas, n_workers as u64);
+        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+        let schedule = build_schedule(&plan.strategy, &indices, &spec.iter_dims, n_workers);
+        let comm = comm_model_with_spec(&plan, &self.metas, self.served_reads_per_iter, Some(&spec));
+        self.compiled.insert(spec.name.clone(), 0);
+        Ok(CompiledLoop {
+            spec,
+            plan,
+            schedule,
+            comm,
+        })
+    }
+
+    /// Executes one pass of a compiled loop: `cost(pos)` returns the
+    /// compute nanoseconds of iteration `pos`, `body(worker, pos)`
+    /// performs it. Returns the pass statistics.
+    pub fn run_pass(
+        &mut self,
+        compiled: &CompiledLoop,
+        cost: &mut dyn FnMut(usize) -> f64,
+        body: &mut dyn FnMut(usize, usize),
+    ) -> PassStats {
+        self.executor
+            .run_pass(&compiled.schedule, &compiled.comm, cost, body)
+    }
+
+    /// Models a data-parallel buffer flush: every worker ships `up_bytes`
+    /// and receives `down_bytes`, then synchronizes (§3.3 buffered
+    /// writes reaching the DistArray).
+    pub fn sync_exchange(&mut self, up_bytes: u64, down_bytes: u64) -> VirtualTime {
+        self.executor.sync_exchange(up_bytes, down_bytes)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.executor.now()
+    }
+
+    /// Records a convergence observation (driver-side metric evaluation,
+    /// like the `err` accumulator readout of Fig. 5).
+    pub fn record_progress(&mut self, iteration: u64, metric: f64) {
+        let time = self.now();
+        self.stats.progress.push(orion_sim::ProgressPoint {
+            iteration,
+            time,
+            metric,
+        });
+    }
+
+    /// Consumes the driver and returns the accumulated run statistics
+    /// (progress curve, network traffic, bandwidth trace).
+    pub fn finish(self) -> RunStats {
+        let mut stats = self.stats;
+        stats.total_bytes = self.executor.net.total_bytes();
+        stats.n_messages = self.executor.net.n_messages() as u64;
+        // Bin the bandwidth trace into ~50 windows over the run.
+        let horizon = self.executor.clocks.max();
+        let bin = VirtualTime::from_nanos((horizon.as_nanos() / 50).max(1_000_000));
+        stats.bandwidth = self.executor.net.bandwidth_trace(bin);
+        stats
+    }
+
+    /// Renders the Fig. 6-style compilation report of a compiled loop.
+    pub fn report(&self, compiled: &CompiledLoop) -> String {
+        report(&compiled.spec, &self.metas, &compiled.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_ir::Subscript;
+
+    fn ratings() -> DistArray<f32> {
+        DistArray::sparse_from(
+            "ratings",
+            vec![16, 12],
+            (0..48).map(|k| (vec![k % 16, (k * 5) % 12], 1.0 + k as f32)),
+        )
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut d = Driver::new(ClusterSpec::serial());
+        let a: DistArray<f32> = DistArray::dense("a", vec![4]);
+        let b: DistArray<u32> = DistArray::sparse("b", vec![4, 4]);
+        assert_eq!(d.register(&a), DistArrayId(0));
+        assert_eq!(d.register(&b), DistArrayId(1));
+        assert_eq!(d.metas().len(), 2);
+        assert_eq!(d.metas()[1].name, "b");
+    }
+
+    #[test]
+    fn refresh_meta_updates_nnz() {
+        let mut d = Driver::new(ClusterSpec::serial());
+        let mut a: DistArray<f32> = DistArray::sparse("a", vec![8]);
+        let id = d.register(&a);
+        assert_eq!(d.metas()[0].nnz, 0);
+        a.set(&[3], 1.0);
+        d.refresh_meta(id, &a);
+        assert_eq!(d.metas()[0].nnz, 1);
+    }
+
+    #[test]
+    fn mf_loop_compiles_to_2d_unordered() {
+        let z = ratings();
+        let mut d = Driver::new(ClusterSpec::new(2, 2));
+        let w: DistArray<f32> = DistArray::dense("W", vec![16, 8]);
+        let h: DistArray<f32> = DistArray::dense("H", vec![12, 8]);
+        let z_id = d.register(&z);
+        let w_id = d.register(&w);
+        let h_id = d.register(&h);
+        let spec = LoopSpec::builder("sgd_mf", z_id, vec![16, 12])
+            .read_write(w_id, vec![Subscript::loop_index(0), Subscript::Full])
+            .read_write(h_id, vec![Subscript::loop_index(1), Subscript::Full])
+            .build()
+            .unwrap();
+        let items: Vec<(Vec<i64>, f32)> = z.iter().map(|(i, &v)| (i, v)).collect();
+        let c = d.parallel_for(spec, &items).unwrap();
+        assert!(matches!(
+            c.strategy(),
+            Strategy::TwoD { ordered: false, .. }
+        ));
+        assert!(c.comm.rotated_bytes > 0);
+        let rep = d.report(&c);
+        assert!(rep.contains("2D Unordered"));
+    }
+
+    #[test]
+    fn run_pass_executes_and_advances_time() {
+        let z = ratings();
+        let mut d = Driver::new(ClusterSpec::new(2, 2));
+        let z_id = d.register(&z);
+        let mut a: DistArray<f32> = DistArray::dense("a", vec![16, 1]);
+        let a_id = d.register(&a);
+        let spec = LoopSpec::builder("agg", z_id, vec![16, 12])
+            .read_write(a_id, vec![Subscript::loop_index(0), Subscript::Constant(0)])
+            .build()
+            .unwrap();
+        let items: Vec<(Vec<i64>, f32)> = z.iter().map(|(i, &v)| (i, v)).collect();
+        let c = d.parallel_for(spec, &items).unwrap();
+        let stats = d.run_pass(&c, &mut |_| 50.0, &mut |_w, pos| {
+            let (idx, v) = &items[pos];
+            a.update(&[idx[0], 0], |x| *x += v);
+        });
+        assert_eq!(stats.iterations, 48);
+        assert!(d.now() > VirtualTime::ZERO);
+        let total: f32 = a.iter().map(|(_, &v)| v).sum();
+        let expect: f32 = items.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn progress_recording_lands_in_stats() {
+        let mut d = Driver::new(ClusterSpec::serial());
+        d.record_progress(0, 10.0);
+        d.record_progress(1, 5.0);
+        let stats = d.finish();
+        assert_eq!(stats.progress.len(), 2);
+        assert_eq!(stats.progress[1].metric, 5.0);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let mut d = Driver::new(ClusterSpec::serial());
+        let z: DistArray<f32> = DistArray::sparse_from("z", vec![4], vec![(vec![0], 1.0)]);
+        let z_id = d.register(&z);
+        let a: DistArray<f32> = DistArray::dense("a", vec![4]);
+        let a_id = d.register(&a);
+        let spec_result = LoopSpec::builder("bad", z_id, vec![4])
+            .read(a_id, vec![Subscript::loop_index(3)])
+            .build();
+        assert!(spec_result.is_err());
+    }
+}

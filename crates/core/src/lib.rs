@@ -1,0 +1,49 @@
+//! Orion: automatic dependence-aware parallelization of serial
+//! imperative ML training programs on distributed shared memory.
+//!
+//! This crate is the user-facing API of the system described in
+//! *"Automating Dependence-Aware Parallelization of Machine Learning
+//! Training on Distributed Shared Memory"* (Wei, Gibson, Gibbons, Xing —
+//! EuroSys 2019). A program:
+//!
+//! 1. creates [`orion_dsm::DistArray`]s (dense or sparse tensors on DSM),
+//!    registers them with the [`Driver`];
+//! 2. declares each training loop's access pattern as an
+//!    [`orion_ir::LoopSpec`] (the information Orion's Julia macro
+//!    extracts from the loop AST);
+//! 3. calls [`Driver::parallel_for`], which runs static dependence
+//!    analysis, picks a parallelization strategy (1D / 2D ordered /
+//!    2D unordered / unimodular-transformed / serial), chooses array
+//!    placements and prefetch plans, and compiles a distributed
+//!    computation schedule;
+//! 4. runs passes with [`Driver::run_pass`]: the real algorithm executes
+//!    in schedule order while a cluster simulation accounts time and
+//!    network traffic.
+//!
+//! See the `examples/` directory for complete programs (SGD matrix
+//! factorization, LDA topic modeling, sparse logistic regression,
+//! gradient boosted trees).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+
+pub use driver::{CompiledLoop, Driver, DriverError};
+
+// The layers re-exported for convenience, so applications can depend on
+// `orion-core` alone.
+pub use orion_analysis::{
+    analyze, dependence_vectors, DepElem, DepVec, ParallelPlan, Placement, PrefetchPlan, Strategy,
+    UniMat,
+};
+pub use orion_dsm::{
+    codec, group_by, Accumulator, DistArray, DistArrayBuffer, Element, LazyArray, RangePartition,
+    Shape,
+};
+pub use orion_ir::{ArrayMeta, ArrayRef, Dim, DistArrayId, LoopSpec, Subscript};
+pub use orion_runtime::{
+    build_schedule, run_grid_pass_threaded, run_one_d_pass_threaded, IndexRecorder, PassStats,
+    PrefetchMode, Schedule,
+};
+pub use orion_sim::{ClusterSpec, ProgressPoint, RunStats, VirtualTime};

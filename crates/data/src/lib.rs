@@ -1,0 +1,27 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The paper's evaluation uses Netflix (SGD MF), NYTimes and ClueWeb
+//! (LDA), and KDD2010 Algebra (SLR). None are redistributable here, so
+//! each gets a structurally matched synthetic generator (documented as a
+//! substitution in DESIGN.md): same sparsity pattern family, Zipf skew,
+//! and *planted signal* so the training algorithms genuinely converge —
+//! which is what the paper's convergence-rate comparisons measure.
+//!
+//! Everything is seeded and exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod ratings;
+mod sparse_features;
+mod tabular;
+mod tensor;
+mod zipf;
+
+pub use corpus::{CorpusConfig, CorpusData};
+pub use ratings::{RatingsConfig, RatingsData};
+pub use sparse_features::{SparseConfig, SparseData, SparseSample};
+pub use tabular::{TabularConfig, TabularData};
+pub use tensor::{TensorConfig, TensorData};
+pub use zipf::Zipf;

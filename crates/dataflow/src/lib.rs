@@ -1,0 +1,254 @@
+//! A TensorFlow-like mini-batch dataflow baseline (paper §5.1, §6.4).
+//!
+//! The paper's TensorFlow SGD MF comparison (Fig. 13) builds a dataflow
+//! DAG that processes one mini-batch of sparse matrix entries per
+//! execution: parameters are read at the *start* of the mini-batch and
+//! updated only at its *end* — no intra-batch dependence is preserved —
+//! so per-iteration convergence degrades with mini-batch size. Dense
+//! tensor operators also perform redundant computation on sparse data,
+//! and small mini-batches fail to utilize all cores; both effects are
+//! modeled here as they are measured in Fig. 13b.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use orion_sim::{ClusterSpec, ProgressPoint, RunStats, SimNet, VirtualTime, WorkerClocks};
+
+/// A training application expressible as a mini-batch dataflow graph.
+pub trait DataflowApp {
+    /// Total flattened parameter count.
+    fn n_params(&self) -> usize;
+
+    /// Initial parameter values.
+    fn init_params(&self) -> Vec<f32>;
+
+    /// Number of data items.
+    fn n_items(&self) -> usize;
+
+    /// Declared compute nanoseconds of one item (reference
+    /// implementation; the engine applies the dense-overhead factor).
+    fn item_cost_ns(&self, item: usize) -> f64;
+
+    /// Accumulates the gradient contribution of `item` at the given
+    /// (fixed) parameters into `out` as `(param, descent-direction)`.
+    fn gradient(&self, item: usize, params: &[f32], out: &mut Vec<(u32, f32)>);
+
+    /// Full objective (lower is better).
+    fn loss(&self, params: &[f32]) -> f64;
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DataflowConfig {
+    /// Simulated machine (the paper runs TF on a single CPU machine).
+    pub cluster: ClusterSpec,
+    /// Mini-batch size in items.
+    pub minibatch: usize,
+    /// Learning rate applied to the summed mini-batch gradient.
+    pub learning_rate: f32,
+    /// Multiplier on compute for dense operators applied to sparse data
+    /// ("redundant computation with respect to sparse data matrix").
+    pub dense_overhead: f64,
+    /// Fixed per-mini-batch DAG execution overhead (op dispatch,
+    /// allocator, inter-op scheduling) in nanoseconds.
+    pub batch_overhead_ns: f64,
+    /// Items a single core processes efficiently per mini-batch; smaller
+    /// batches leave cores idle (Fig. 13b: "each iteration takes longer
+    /// with a smaller mini-batch size because of not fully utilizing all
+    /// CPU cores").
+    pub per_core_grain: usize,
+}
+
+impl DataflowConfig {
+    /// The paper's single-machine CPU setting with typical constants.
+    pub fn single_machine(minibatch: usize, learning_rate: f32) -> Self {
+        DataflowConfig {
+            cluster: ClusterSpec::new(1, 32),
+            minibatch,
+            learning_rate,
+            dense_overhead: 2.2,
+            batch_overhead_ns: 5e4,
+            per_core_grain: 64,
+        }
+    }
+}
+
+/// The mini-batch dataflow engine.
+pub struct DataflowEngine<A: DataflowApp> {
+    app: A,
+    cfg: DataflowConfig,
+    params: Vec<f32>,
+    clocks: WorkerClocks,
+    net: SimNet,
+    stats: RunStats,
+    pass: u64,
+}
+
+impl<A: DataflowApp> DataflowEngine<A> {
+    /// Creates the engine.
+    pub fn new(app: A, cfg: DataflowConfig) -> Self {
+        let params = app.init_params();
+        assert_eq!(params.len(), app.n_params());
+        let clocks = WorkerClocks::new(1); // a single session clock
+        let net = SimNet::new(&cfg.cluster);
+        DataflowEngine {
+            app,
+            params,
+            clocks,
+            net,
+            stats: RunStats::default(),
+            cfg,
+            pass: 0,
+        }
+    }
+
+    /// Master parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.clocks.max()
+    }
+
+    /// Runs one data pass as a sequence of mini-batch DAG executions and
+    /// records the post-pass loss.
+    pub fn run_pass(&mut self) {
+        let n = self.app.n_items();
+        let mb = self.cfg.minibatch.max(1);
+        let cores = self.cfg.cluster.n_workers();
+        let mut grads: Vec<(u32, f32)> = Vec::new();
+        let mut batch_start = 0usize;
+        while batch_start < n {
+            let batch_end = (batch_start + mb).min(n);
+            grads.clear();
+            let mut batch_ns = 0.0f64;
+            for item in batch_start..batch_end {
+                self.app.gradient(item, &self.params, &mut grads);
+                batch_ns += self.app.item_cost_ns(item);
+            }
+            // Parameters update once per mini-batch: aggregate first.
+            let mut agg = std::collections::BTreeMap::new();
+            for &(p, g) in &grads {
+                *agg.entry(p).or_insert(0.0f32) += g;
+            }
+            for (p, g) in agg {
+                self.params[p as usize] += self.cfg.learning_rate * g;
+            }
+            // Timing: dense-overheaded compute spread over the cores the
+            // batch can feed, plus fixed DAG overhead.
+            let usable = ((batch_end - batch_start).div_ceil(self.cfg.per_core_grain))
+                .clamp(1, cores);
+            let t = batch_ns * self.cfg.dense_overhead / usable as f64
+                + self.cfg.batch_overhead_ns;
+            self.clocks.advance(0, self.cfg.cluster.compute_time(t));
+            batch_start = batch_end;
+        }
+        self.pass += 1;
+        let metric = self.app.loss(&self.params);
+        self.stats.progress.push(ProgressPoint {
+            iteration: self.pass - 1,
+            time: self.now(),
+            metric,
+        });
+    }
+
+    /// Finishes the run.
+    pub fn finish(self) -> RunStats {
+        let mut stats = self.stats;
+        stats.total_bytes = self.net.total_bytes();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Quad {
+        target: Vec<f32>,
+    }
+
+    impl DataflowApp for Quad {
+        fn n_params(&self) -> usize {
+            self.target.len()
+        }
+
+        fn init_params(&self) -> Vec<f32> {
+            vec![0.0; self.target.len()]
+        }
+
+        fn n_items(&self) -> usize {
+            self.target.len() * 8
+        }
+
+        fn item_cost_ns(&self, _item: usize) -> f64 {
+            1000.0
+        }
+
+        fn gradient(&self, item: usize, params: &[f32], out: &mut Vec<(u32, f32)>) {
+            let p = (item % self.target.len()) as u32;
+            // A deliberately aggressive per-item step: summed over a large
+            // mini-batch at fixed parameters it overshoots — the mechanism
+            // behind the paper's large-batch convergence penalty.
+            out.push((p, 0.2 * (self.target[p as usize] - params[p as usize])));
+        }
+
+        fn loss(&self, params: &[f32]) -> f64 {
+            params
+                .iter()
+                .zip(&self.target)
+                .map(|(&p, &t)| ((p - t) as f64).powi(2))
+                .sum()
+        }
+    }
+
+    fn quad() -> Quad {
+        Quad {
+            target: (0..16).map(|i| i as f32 / 4.0).collect(),
+        }
+    }
+
+    #[test]
+    fn converges_with_small_minibatch() {
+        let mut e = DataflowEngine::new(quad(), DataflowConfig::single_machine(4, 1.0));
+        let l0 = e.app.loss(e.params());
+        for _ in 0..40 {
+            e.run_pass();
+        }
+        let lf = e.finish().final_metric().unwrap();
+        assert!(lf < l0 * 0.1, "loss {lf} vs initial {l0}");
+    }
+
+    #[test]
+    fn larger_minibatch_converges_slower_per_pass() {
+        let run = |mb: usize| {
+            let mut e = DataflowEngine::new(quad(), DataflowConfig::single_machine(mb, 1.0));
+            for _ in 0..10 {
+                e.run_pass();
+            }
+            e.finish().final_metric().unwrap()
+        };
+        let small = run(2);
+        let large = run(128);
+        assert!(
+            small < large,
+            "small-batch loss {small} must beat large-batch {large} per pass"
+        );
+    }
+
+    #[test]
+    fn small_minibatch_takes_longer_wallclock_per_pass() {
+        let time_of = |mb: usize| {
+            let mut cfg = DataflowConfig::single_machine(mb, 1.0);
+            cfg.per_core_grain = 4;
+            let mut e = DataflowEngine::new(quad(), cfg);
+            e.run_pass();
+            e.now().as_secs_f64()
+        };
+        // 128 items per pass: batch of 2 pays the DAG overhead 64 times
+        // and uses one core; batch of 128 amortizes it across all cores.
+        assert!(time_of(2) > time_of(128) * 2.0);
+    }
+}

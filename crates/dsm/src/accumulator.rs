@@ -1,0 +1,134 @@
+//! Accumulators: per-worker reduction variables (paper §3.4).
+//!
+//! When the driver declares an accumulator, every worker gets its own
+//! instance whose state persists across parallel for-loop executions; the
+//! driver aggregates all instances with a commutative–associative
+//! operator (e.g. the training-loss `err` of Fig. 5).
+
+/// A distributed accumulator with one slot per worker.
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::Accumulator;
+/// let mut err = Accumulator::new("err", 0.0f64, 4);
+/// *err.slot_mut(0) += 1.5;
+/// *err.slot_mut(3) += 2.5;
+/// assert_eq!(err.aggregate(|a, b| a + b), 4.0);
+/// err.reset();
+/// assert_eq!(err.aggregate(|a, b| a + b), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accumulator<T> {
+    name: String,
+    init: T,
+    slots: Vec<T>,
+}
+
+impl<T: Clone> Accumulator<T> {
+    /// Creates an accumulator named `name` with `n_workers` slots, each
+    /// initialized to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers == 0`.
+    pub fn new(name: impl Into<String>, init: T, n_workers: usize) -> Self {
+        assert!(n_workers > 0, "an accumulator needs at least one worker");
+        Accumulator {
+            name: name.into(),
+            slots: vec![init.clone(); n_workers],
+            init,
+        }
+    }
+
+    /// The accumulator's name (used by `get_aggregated_value(:err, ...)`
+    /// style driver lookups).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of worker slots.
+    pub fn n_workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Mutable access to one worker's instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn slot_mut(&mut self, worker: usize) -> &mut T {
+        &mut self.slots[worker]
+    }
+
+    /// Read access to one worker's instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn slot(&self, worker: usize) -> &T {
+        &self.slots[worker]
+    }
+
+    /// Folds all worker instances with the user-provided commutative and
+    /// associative operator (`Orion.get_aggregated_value`).
+    pub fn aggregate(&self, mut op: impl FnMut(T, T) -> T) -> T {
+        let mut acc = self.init.clone();
+        for s in &self.slots {
+            acc = op(acc, s.clone());
+        }
+        acc
+    }
+
+    /// Resets every instance to the initial value
+    /// (`Orion.reset_accumulator`).
+    pub fn reset(&mut self) {
+        for s in &mut self.slots {
+            *s = self.init.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_worker_state_persists() {
+        let mut a = Accumulator::new("tokens", 0u64, 3);
+        *a.slot_mut(1) += 10;
+        *a.slot_mut(1) += 5;
+        assert_eq!(*a.slot(1), 15);
+        assert_eq!(*a.slot(0), 0);
+        assert_eq!(a.aggregate(|x, y| x + y), 15);
+    }
+
+    #[test]
+    fn aggregate_with_non_sum_op() {
+        let mut a = Accumulator::new("max_err", f64::NEG_INFINITY, 4);
+        *a.slot_mut(0) = 3.0;
+        *a.slot_mut(2) = 9.0;
+        assert_eq!(a.aggregate(f64::max), 9.0);
+    }
+
+    #[test]
+    fn reset_restores_init() {
+        let mut a = Accumulator::new("err", 1.0f32, 2);
+        *a.slot_mut(0) = 100.0;
+        a.reset();
+        assert_eq!(a.aggregate(|x, y| x + y), 3.0); // init + 1 + 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slot_panics() {
+        let mut a = Accumulator::new("err", 0i32, 2);
+        let _ = a.slot_mut(2);
+    }
+
+    #[test]
+    fn name_is_kept() {
+        let a = Accumulator::new("loss", 0.0f64, 1);
+        assert_eq!(a.name(), "loss");
+    }
+}

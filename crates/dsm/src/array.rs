@@ -1,0 +1,676 @@
+//! The DistArray: Orion's N-dimensional distributed shared-memory tensor.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use orion_ir::{ArrayMeta, Density, Dim, DistArrayId};
+
+use crate::element::Element;
+use crate::index::Shape;
+
+/// Backing storage of a DistArray (paper §3.1: "A DistArray can contain
+/// elements of any serializable type and may be either dense or sparse").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Storage<T> {
+    /// Row-major dense values, one per index position.
+    Dense(Vec<T>),
+    /// Explicitly materialized elements keyed by local flat index.
+    ///
+    /// A `BTreeMap` keeps iteration deterministic, which the simulated
+    /// runtime relies on for reproducible schedules.
+    Sparse(BTreeMap<u64, T>),
+}
+
+/// An N-dimensional dense or sparse array, addressable by global index.
+///
+/// A `DistArray` value represents either a whole logical array or one
+/// *partition* of it living on a worker: `origin` records the global
+/// coordinate of the local element `[0, 0, ...]`, so partitions answer
+/// the same global indices as the whole (see [`DistArray::split_along`]).
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::DistArray;
+/// let mut w: DistArray<f32> = DistArray::dense("W", vec![4, 3]);
+/// w.set(&[2, 1], 5.0);
+/// assert_eq!(w.get(&[2, 1]), Some(&5.0));
+/// assert_eq!(w.row_slice(2), &[0.0, 5.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistArray<T> {
+    name: String,
+    shape: Shape,
+    origin: Vec<i64>,
+    storage: Storage<T>,
+}
+
+impl<T: Element> DistArray<T> {
+    /// Creates a dense array of default-valued elements.
+    pub fn dense(name: impl Into<String>, dims: Vec<u64>) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![T::default(); shape.volume() as usize];
+        DistArray {
+            name: name.into(),
+            origin: vec![0; shape.ndims()],
+            shape,
+            storage: Storage::Dense(data),
+        }
+    }
+
+    /// Creates a dense array initialized per index (the analog of
+    /// `Orion.randn` / `Orion.map` initialization chains).
+    pub fn dense_from_fn(
+        name: impl Into<String>,
+        dims: Vec<u64>,
+        mut f: impl FnMut(&[i64]) -> T,
+    ) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume())
+            .map(|flat| f(&shape.unflatten(flat)))
+            .collect();
+        DistArray {
+            name: name.into(),
+            origin: vec![0; shape.ndims()],
+            shape,
+            storage: Storage::Dense(data),
+        }
+    }
+
+    /// Creates a dense array filled with values drawn from `rng` by
+    /// `sample` (e.g. Gaussian factor-matrix initialization).
+    pub fn dense_random(
+        name: impl Into<String>,
+        dims: Vec<u64>,
+        rng: &mut impl Rng,
+        mut sample: impl FnMut(&mut dyn rand::RngCore) -> T,
+    ) -> Self {
+        Self::dense_from_fn(name, dims, |_| sample(rng))
+    }
+
+    /// Creates an empty sparse array with the given bounds.
+    pub fn sparse(name: impl Into<String>, dims: Vec<u64>) -> Self {
+        DistArray {
+            name: name.into(),
+            origin: vec![0; dims.len()],
+            shape: Shape::new(dims),
+            storage: Storage::Sparse(BTreeMap::new()),
+        }
+    }
+
+    /// Creates a sparse array from `(index, value)` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn sparse_from(
+        name: impl Into<String>,
+        dims: Vec<u64>,
+        items: impl IntoIterator<Item = (Vec<i64>, T)>,
+    ) -> Self {
+        let mut a = Self::sparse(name, dims);
+        for (idx, v) in items {
+            a.set(&idx, v);
+        }
+        a
+    }
+
+    /// The array's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Local shape (for a whole array, also the global shape).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Global coordinate of the local origin (all zeros for whole arrays).
+    pub fn origin(&self) -> &[i64] {
+        &self.origin
+    }
+
+    /// The backing storage (read-only; used by checkpointing).
+    pub fn storage(&self) -> &Storage<T> {
+        &self.storage
+    }
+
+    /// True for dense storage.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.storage, Storage::Dense(_))
+    }
+
+    /// Number of materialized elements.
+    pub fn nnz(&self) -> u64 {
+        match &self.storage {
+            Storage::Dense(v) => v.len() as u64,
+            Storage::Sparse(m) => m.len() as u64,
+        }
+    }
+
+    /// Translates a global index to a local flat offset.
+    fn local_flat(&self, index: &[i64]) -> Option<u64> {
+        if index.len() != self.shape.ndims() {
+            return None;
+        }
+        let local: Vec<i64> = index
+            .iter()
+            .zip(&self.origin)
+            .map(|(&g, &o)| g - o)
+            .collect();
+        self.shape.flatten(&local)
+    }
+
+    /// Reads the element at a global index (point query).
+    ///
+    /// Returns `None` when out of bounds (or outside this partition), or
+    /// when a sparse element is absent.
+    pub fn get(&self, index: &[i64]) -> Option<&T> {
+        let flat = self.local_flat(index)?;
+        match &self.storage {
+            Storage::Dense(v) => v.get(flat as usize),
+            Storage::Sparse(m) => m.get(&flat),
+        }
+    }
+
+    /// Reads the element at a global index, or the default value for
+    /// absent sparse elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds of this (partition of the)
+    /// array — addressing DSM out of bounds is a program error.
+    pub fn get_or_default(&self, index: &[i64]) -> T {
+        let flat = self
+            .local_flat(index)
+            .unwrap_or_else(|| panic!("index {index:?} out of bounds of `{}`", self.name));
+        match &self.storage {
+            Storage::Dense(v) => v[flat as usize].clone(),
+            Storage::Sparse(m) => m.get(&flat).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Writes the element at a global index (in-place update, the
+    /// capability RDDs lack — paper §3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds of this partition.
+    pub fn set(&mut self, index: &[i64], value: T) {
+        let flat = self
+            .local_flat(index)
+            .unwrap_or_else(|| panic!("index {index:?} out of bounds of `{}`", self.name));
+        match &mut self.storage {
+            Storage::Dense(v) => v[flat as usize] = value,
+            Storage::Sparse(m) => {
+                m.insert(flat, value);
+            }
+        }
+    }
+
+    /// Read-modify-write of one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds of this partition.
+    pub fn update(&mut self, index: &[i64], f: impl FnOnce(&mut T)) {
+        let flat = self
+            .local_flat(index)
+            .unwrap_or_else(|| panic!("index {index:?} out of bounds of `{}`", self.name));
+        match &mut self.storage {
+            Storage::Dense(v) => f(&mut v[flat as usize]),
+            Storage::Sparse(m) => f(m.entry(flat).or_default()),
+        }
+    }
+
+    /// Contiguous slice of the last dimension at a (dense, 2-D) row —
+    /// the workhorse set query of the ML applications (`W[i, :]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for sparse or non-2-D arrays, or an out-of-range row.
+    pub fn row_slice(&self, row: i64) -> &[T] {
+        let (start, len) = self.row_bounds(row);
+        match &self.storage {
+            Storage::Dense(v) => &v[start..start + len],
+            Storage::Sparse(_) => panic!("row_slice on sparse array `{}`", self.name),
+        }
+    }
+
+    /// Mutable variant of [`DistArray::row_slice`].
+    ///
+    /// # Panics
+    ///
+    /// As [`DistArray::row_slice`].
+    pub fn row_slice_mut(&mut self, row: i64) -> &mut [T] {
+        let (start, len) = self.row_bounds(row);
+        match &mut self.storage {
+            Storage::Dense(v) => &mut v[start..start + len],
+            Storage::Sparse(_) => panic!("row_slice_mut on sparse array `{}`", self.name),
+        }
+    }
+
+    fn row_bounds(&self, row: i64) -> (usize, usize) {
+        assert_eq!(
+            self.shape.ndims(),
+            2,
+            "row_slice requires a 2-D array, `{}` has {} dims",
+            self.name,
+            self.shape.ndims()
+        );
+        let local = row - self.origin[0];
+        assert!(
+            local >= 0 && (local as u64) < self.shape.dims()[0],
+            "row {row} out of bounds of `{}` (origin {}, extent {})",
+            self.name,
+            self.origin[0],
+            self.shape.dims()[0]
+        );
+        let width = self.shape.dims()[1] as usize;
+        (local as usize * width, width)
+    }
+
+    /// Iterates `(global_index, &value)` over materialized elements in
+    /// deterministic (row-major / key) order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (Vec<i64>, &T)> + '_> {
+        let to_global = move |flat: u64| -> Vec<i64> {
+            self.shape
+                .unflatten(flat)
+                .iter()
+                .zip(&self.origin)
+                .map(|(&l, &o)| l + o)
+                .collect()
+        };
+        match &self.storage {
+            Storage::Dense(v) => Box::new(
+                v.iter()
+                    .enumerate()
+                    .map(move |(f, val)| (to_global(f as u64), val)),
+            ),
+            Storage::Sparse(m) => Box::new(m.iter().map(move |(&f, val)| (to_global(f), val))),
+        }
+    }
+
+    /// Applies `f` to every materialized element in place (the `map`
+    /// transformation with `map_values = true`).
+    pub fn map_values(&mut self, mut f: impl FnMut(&mut T)) {
+        match &mut self.storage {
+            Storage::Dense(v) => v.iter_mut().for_each(&mut f),
+            Storage::Sparse(m) => m.values_mut().for_each(&mut f),
+        }
+    }
+
+    /// Counts materialized elements per coordinate along `dim` — the
+    /// histogram the partitioner uses to balance skewed data (§4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn histogram_along(&self, dim: Dim) -> Vec<u64> {
+        assert!(dim < self.shape.ndims(), "dim {dim} out of range");
+        let extent = self.shape.dims()[dim] as usize;
+        let mut counts = vec![0u64; extent];
+        for (idx, _) in self.iter() {
+            counts[(idx[dim] - self.origin[dim]) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Randomly permutes coordinates along each of `dims` (the
+    /// `randomize` operation for skew mitigation, §4.3). Deterministic
+    /// given the RNG state. Only meaningful for sparse arrays; dense
+    /// arrays are permuted by value movement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dim is out of range, or if the array is a partition
+    /// (`origin != 0`), which cannot be permuted independently.
+    pub fn randomize(&mut self, dims: &[Dim], rng: &mut impl Rng) {
+        assert!(
+            self.origin.iter().all(|&o| o == 0),
+            "cannot randomize a partition of `{}`",
+            self.name
+        );
+        for &dim in dims {
+            assert!(dim < self.shape.ndims(), "dim {dim} out of range");
+        }
+        // One permutation per requested dimension.
+        let mut perms: Vec<Option<Vec<i64>>> = vec![None; self.shape.ndims()];
+        for &dim in dims {
+            let extent = self.shape.dims()[dim] as usize;
+            let mut p: Vec<i64> = (0..extent as i64).collect();
+            p.shuffle(rng);
+            perms[dim] = Some(p);
+        }
+        let remap = |idx: &[i64]| -> Vec<i64> {
+            idx.iter()
+                .enumerate()
+                .map(|(d, &c)| match &perms[d] {
+                    Some(p) => p[c as usize],
+                    None => c,
+                })
+                .collect()
+        };
+        match &mut self.storage {
+            Storage::Sparse(m) => {
+                let old = std::mem::take(m);
+                for (flat, v) in old {
+                    let idx = self.shape.unflatten(flat);
+                    let new_flat = self
+                        .shape
+                        .flatten(&remap(&idx))
+                        .expect("permutation stays in bounds");
+                    m.insert(new_flat, v);
+                }
+            }
+            Storage::Dense(v) => {
+                let mut out = vec![T::default(); v.len()];
+                for (flat, val) in v.iter().enumerate() {
+                    let idx = self.shape.unflatten(flat as u64);
+                    let new_flat = self
+                        .shape
+                        .flatten(&remap(&idx))
+                        .expect("permutation stays in bounds");
+                    out[new_flat as usize] = val.clone();
+                }
+                *v = out;
+            }
+        }
+    }
+
+    /// Splits the array into per-range partitions along `dim`. Ranges
+    /// must be disjoint and cover `[0, extent)` in order. Each partition
+    /// keeps answering *global* indices within its range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges do not exactly tile the dimension, or the
+    /// array is already a partition.
+    pub fn split_along(self, dim: Dim, ranges: &[Range<u64>]) -> Vec<DistArray<T>> {
+        assert!(
+            self.origin.iter().all(|&o| o == 0),
+            "cannot split a partition of `{}`",
+            self.name
+        );
+        assert!(dim < self.shape.ndims(), "dim {dim} out of range");
+        let extent = self.shape.dims()[dim];
+        let mut expect = 0u64;
+        for r in ranges {
+            assert_eq!(r.start, expect, "ranges must tile [0, {extent}) in order");
+            assert!(r.end > r.start, "empty partition range {r:?}");
+            expect = r.end;
+        }
+        assert_eq!(expect, extent, "ranges must cover the dimension");
+
+        let mut parts: Vec<DistArray<T>> = ranges
+            .iter()
+            .map(|r| {
+                let mut dims = self.shape.dims().to_vec();
+                dims[dim] = r.end - r.start;
+                let mut origin = vec![0i64; dims.len()];
+                origin[dim] = r.start as i64;
+                let shape = Shape::new(dims);
+                let storage = if self.is_dense() {
+                    Storage::Dense(vec![T::default(); shape.volume() as usize])
+                } else {
+                    Storage::Sparse(BTreeMap::new())
+                };
+                DistArray {
+                    name: self.name.clone(),
+                    shape,
+                    origin,
+                    storage,
+                }
+            })
+            .collect();
+
+        let find_part = |coord: i64| -> usize {
+            ranges
+                .partition_point(|r| (r.end as i64) <= coord)
+                .min(ranges.len() - 1)
+        };
+        for (idx, v) in self.iter() {
+            let p = find_part(idx[dim]);
+            parts[p].set(&idx, v.clone());
+        }
+        parts
+    }
+
+    /// Reassembles partitions produced by [`DistArray::split_along`] into
+    /// a whole array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or shapes are inconsistent with a
+    /// tiling along `dim`.
+    pub fn merge_along(dim: Dim, parts: Vec<DistArray<T>>) -> DistArray<T> {
+        assert!(!parts.is_empty(), "cannot merge zero partitions");
+        let mut dims = parts[0].shape.dims().to_vec();
+        dims[dim] = parts.iter().map(|p| p.shape.dims()[dim]).sum();
+        let name = parts[0].name.clone();
+        let dense = parts[0].is_dense();
+        let mut whole = if dense {
+            DistArray::dense(name, dims)
+        } else {
+            DistArray::sparse(name, dims)
+        };
+        let _ = dense;
+        for part in &parts {
+            for (idx, v) in part.iter() {
+                whole.set(&idx, v.clone());
+            }
+        }
+        whole
+    }
+
+    /// Metadata snapshot for the analyzer.
+    pub fn meta(&self, id: DistArrayId) -> ArrayMeta {
+        ArrayMeta {
+            id,
+            name: self.name.clone(),
+            dims: self.shape.dims().to_vec(),
+            elem_bytes: T::WIRE_BYTES as u64,
+            density: if self.is_dense() {
+                Density::Dense
+            } else {
+                Density::Sparse
+            },
+            nnz: self.nnz(),
+        }
+    }
+
+    /// Total payload bytes if serialized.
+    pub fn payload_bytes(&self) -> u64 {
+        match &self.storage {
+            Storage::Dense(v) => (v.len() * T::WIRE_BYTES) as u64,
+            // Sparse elements carry their 8-byte flat index on the wire.
+            Storage::Sparse(m) => (m.len() * (T::WIRE_BYTES + 8)) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_point_queries() {
+        let mut a: DistArray<f32> = DistArray::dense("a", vec![2, 3]);
+        a.set(&[1, 2], 7.5);
+        assert_eq!(a.get(&[1, 2]), Some(&7.5));
+        assert_eq!(a.get(&[0, 0]), Some(&0.0));
+        assert_eq!(a.get(&[2, 0]), None);
+        assert_eq!(a.nnz(), 6);
+    }
+
+    #[test]
+    fn sparse_point_queries() {
+        let mut a: DistArray<u32> = DistArray::sparse("a", vec![10, 10]);
+        a.set(&[3, 4], 9);
+        assert_eq!(a.get(&[3, 4]), Some(&9));
+        assert_eq!(a.get(&[3, 5]), None);
+        assert_eq!(a.get_or_default(&[3, 5]), 0);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut a: DistArray<f32> = DistArray::dense("a", vec![2, 2]);
+        a.set(&[2, 0], 1.0);
+    }
+
+    #[test]
+    fn row_slices() {
+        let mut a: DistArray<f32> = DistArray::dense_from_fn("a", vec![3, 4], |i| {
+            (i[0] * 10 + i[1]) as f32
+        });
+        assert_eq!(a.row_slice(1), &[10.0, 11.0, 12.0, 13.0]);
+        a.row_slice_mut(2)[0] = -1.0;
+        assert_eq!(a.get(&[2, 0]), Some(&-1.0));
+    }
+
+    #[test]
+    fn update_rmw() {
+        let mut a: DistArray<u32> = DistArray::sparse("a", vec![5]);
+        a.update(&[3], |v| *v += 2);
+        a.update(&[3], |v| *v += 2);
+        assert_eq!(a.get(&[3]), Some(&4));
+    }
+
+    #[test]
+    fn iter_is_deterministic_and_global() {
+        let a: DistArray<f32> = DistArray::sparse_from(
+            "a",
+            vec![4, 4],
+            vec![(vec![3, 1], 1.0), (vec![0, 2], 2.0)],
+        );
+        let items: Vec<_> = a.iter().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(items, vec![(vec![0, 2], 2.0), (vec![3, 1], 1.0)]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let a: DistArray<f32> = DistArray::sparse_from(
+            "a",
+            vec![3, 4],
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![0, 3], 1.0),
+                (vec![2, 1], 1.0),
+            ],
+        );
+        assert_eq!(a.histogram_along(0), vec![2, 0, 1]);
+        assert_eq!(a.histogram_along(1), vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn split_merge_dense_roundtrip() {
+        let a: DistArray<f32> =
+            DistArray::dense_from_fn("a", vec![4, 2], |i| (i[0] * 2 + i[1]) as f32);
+        let orig = a.clone();
+        let parts = a.split_along(0, &[0..1, 1..3, 3..4]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[1].get(&[1, 0]), Some(&2.0));
+        assert_eq!(parts[1].get(&[2, 1]), Some(&5.0));
+        assert_eq!(parts[1].get(&[0, 0]), None); // outside its range
+        assert_eq!(parts[1].row_slice(2), &[4.0, 5.0]);
+        let merged = DistArray::merge_along(0, parts);
+        assert_eq!(merged, orig);
+    }
+
+    #[test]
+    fn split_merge_sparse_roundtrip() {
+        let a: DistArray<u32> = DistArray::sparse_from(
+            "a",
+            vec![6, 3],
+            vec![(vec![0, 0], 1), (vec![4, 2], 2), (vec![5, 1], 3)],
+        );
+        let orig = a.clone();
+        let parts = a.split_along(0, &[0..3, 3..6]);
+        assert_eq!(parts[0].nnz(), 1);
+        assert_eq!(parts[1].nnz(), 2);
+        assert_eq!(parts[1].get(&[4, 2]), Some(&2));
+        let merged = DistArray::merge_along(0, parts);
+        assert_eq!(merged, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the dimension")]
+    fn split_requires_full_cover() {
+        let a: DistArray<f32> = DistArray::dense("a", vec![4]);
+        let _ = a.split_along(0, &[0..2]);
+    }
+
+    #[test]
+    fn randomize_preserves_multiset() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a: DistArray<f32> = DistArray::sparse_from(
+            "a",
+            vec![8, 8],
+            (0..8).map(|i| (vec![i, (i * 3) % 8], i as f32)),
+        );
+        let before: Vec<f32> = a.iter().map(|(_, &v)| v).collect();
+        a.randomize(&[0, 1], &mut rng);
+        let mut after: Vec<f32> = a.iter().map(|(_, &v)| v).collect();
+        after.sort_by(f32::total_cmp);
+        let mut sorted_before = before;
+        sorted_before.sort_by(f32::total_cmp);
+        assert_eq!(after, sorted_before);
+        assert_eq!(a.nnz(), 8);
+    }
+
+    #[test]
+    fn randomize_is_seeded_deterministic() {
+        let items: Vec<(Vec<i64>, f32)> = (0..5).map(|i| (vec![i, i], i as f32)).collect();
+        let mut a: DistArray<f32> = DistArray::sparse_from("a", vec![5, 5], items.clone());
+        let mut b: DistArray<f32> = DistArray::sparse_from("a", vec![5, 5], items);
+        a.randomize(&[0], &mut StdRng::seed_from_u64(42));
+        b.randomize(&[0], &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_values_applies_everywhere() {
+        let mut a: DistArray<f32> = DistArray::dense_from_fn("a", vec![2, 2], |_| 1.0);
+        a.map_values(|v| *v *= 3.0);
+        assert!(a.iter().all(|(_, &v)| v == 3.0));
+    }
+
+    #[test]
+    fn meta_reflects_storage() {
+        let a: DistArray<f32> = DistArray::sparse_from("z", vec![10, 10], vec![(vec![1, 1], 1.0)]);
+        let m = a.meta(DistArrayId(3));
+        assert_eq!(m.nnz, 1);
+        assert_eq!(m.density, Density::Sparse);
+        assert_eq!(m.elem_bytes, 4);
+        let d: DistArray<f64> = DistArray::dense("w", vec![4, 4]);
+        let md = d.meta(DistArrayId(4));
+        assert_eq!(md.nnz, 16);
+        assert_eq!(md.density, Density::Dense);
+        assert_eq!(md.elem_bytes, 8);
+    }
+
+    #[test]
+    fn payload_bytes_accounting() {
+        let d: DistArray<f32> = DistArray::dense("w", vec![4, 4]);
+        assert_eq!(d.payload_bytes(), 64);
+        let s: DistArray<f32> = DistArray::sparse_from("z", vec![10], vec![(vec![1], 1.0)]);
+        assert_eq!(s.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn dense_random_uses_rng() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: DistArray<f32> =
+            DistArray::dense_random("w", vec![8], &mut rng, |r| r.random::<f32>());
+        let distinct: std::collections::BTreeSet<u32> =
+            a.iter().map(|(_, v)| v.to_bits()).collect();
+        assert!(distinct.len() > 1);
+    }
+}

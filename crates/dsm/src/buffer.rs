@@ -1,0 +1,265 @@
+//! DistArray Buffers: write-back buffers with user-defined apply logic
+//! (paper §3.3).
+//!
+//! A DistArray Buffer holds writes a worker makes during loop execution
+//! so they can be exempted from dependence analysis and applied to the
+//! backing DistArray later — making data parallelism expressible in the
+//! same programming model. Buffered writes for the same element combine
+//! locally (saving communication); the apply step runs a user-defined
+//! function atomically per element, which is where adaptive-gradient
+//! update rules (AdaGrad, AdaRevision, AdaDelay — [15, 34, 44]) live.
+
+use std::collections::BTreeMap;
+
+use crate::array::DistArray;
+use crate::element::Element;
+use crate::index::Shape;
+
+/// Combines a new buffered write into an existing pending update.
+type CombineFn<T> = Box<dyn Fn(&mut T, T) + Send>;
+
+/// A per-worker write-back buffer for one DistArray.
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::{DistArray, DistArrayBuffer};
+/// let mut w: DistArray<f32> = DistArray::dense("w", vec![4]);
+/// let mut buf = DistArrayBuffer::new(w.shape().clone(), |acc: &mut f32, v| *acc += v);
+/// buf.write(&[1], 0.5);
+/// buf.write(&[1], 0.25); // combines locally
+/// buf.apply_to(&mut w, |elem, update| *elem += update);
+/// assert_eq!(w.get(&[1]), Some(&0.75));
+/// assert!(buf.is_empty());
+/// ```
+pub struct DistArrayBuffer<T> {
+    shape: Shape,
+    /// Pending updates keyed by global flat index.
+    pending: BTreeMap<u64, T>,
+    combine: CombineFn<T>,
+    /// Loop executions since the buffer was last flushed (applications
+    /// may bound how long writes are buffered, §3.3).
+    age: u64,
+}
+
+impl<T: Element> DistArrayBuffer<T> {
+    /// Creates an empty buffer for arrays of the given shape, combining
+    /// same-element writes with `combine`.
+    pub fn new(shape: Shape, combine: impl Fn(&mut T, T) + Send + 'static) -> Self {
+        DistArrayBuffer {
+            shape,
+            pending: BTreeMap::new(),
+            combine: Box::new(combine),
+            age: 0,
+        }
+    }
+
+    /// Buffer for additive updates (the common gradient case).
+    pub fn additive(shape: Shape) -> Self
+    where
+        T: core::ops::AddAssign,
+    {
+        Self::new(shape, |acc: &mut T, v: T| *acc += v)
+    }
+
+    /// Records a write, combining with any pending update for the same
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn write(&mut self, index: &[i64], value: T) {
+        let flat = self
+            .shape
+            .flatten(index)
+            .unwrap_or_else(|| panic!("buffered write at {index:?} out of bounds"));
+        match self.pending.entry(flat) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                (self.combine)(e.get_mut(), value);
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    /// Number of distinct pending elements.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no writes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Wire size of the pending updates (index + value per element).
+    pub fn payload_bytes(&self) -> u64 {
+        (self.pending.len() * (T::WIRE_BYTES + 8)) as u64
+    }
+
+    /// Marks one more loop execution without a flush.
+    pub fn tick(&mut self) {
+        self.age += 1;
+    }
+
+    /// Loop executions since the last flush.
+    pub fn age(&self) -> u64 {
+        self.age
+    }
+
+    /// Drains pending updates in deterministic key order.
+    pub fn drain(&mut self) -> Vec<(Vec<i64>, T)> {
+        self.age = 0;
+        std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|(flat, v)| (self.shape.unflatten(flat), v))
+            .collect()
+    }
+
+    /// Drains the `k` pending updates with the largest magnitude according
+    /// to `magnitude`, leaving the rest buffered — the primitive behind
+    /// Bösen-style managed communication, which "prioritizes large
+    /// updates" under a bandwidth budget (§6.4).
+    pub fn drain_largest(
+        &mut self,
+        k: usize,
+        mut magnitude: impl FnMut(&T) -> f64,
+    ) -> Vec<(Vec<i64>, T)> {
+        if k >= self.pending.len() {
+            return self.drain();
+        }
+        let mut keys: Vec<(u64, f64)> = self
+            .pending
+            .iter()
+            .map(|(&f, v)| (f, magnitude(v)))
+            .collect();
+        // Sort by magnitude descending; ties broken by key for determinism.
+        keys.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        keys.truncate(k);
+        keys.iter()
+            .map(|&(flat, _)| {
+                let v = self.pending.remove(&flat).expect("key came from pending");
+                (self.shape.unflatten(flat), v)
+            })
+            .collect()
+    }
+
+    /// Applies (and clears) all pending updates to the backing array with
+    /// a user-defined element-wise function, executed atomically per
+    /// element (§3.3: "supports atomic read-modify-writes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array's shape differs from the buffer's.
+    pub fn apply_to(&mut self, array: &mut DistArray<T>, mut udf: impl FnMut(&mut T, T)) {
+        assert_eq!(
+            array.shape(),
+            &self.shape,
+            "buffer shape does not match array `{}`",
+            array.name()
+        );
+        for (idx, v) in self.drain() {
+            array.update(&idx, |elem| udf(elem, v));
+        }
+    }
+}
+
+impl<T: Element> core::fmt::Debug for DistArrayBuffer<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DistArrayBuffer")
+            .field("pending", &self.pending.len())
+            .field("age", &self.age)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[u64]) -> Shape {
+        Shape::new(dims.to_vec())
+    }
+
+    #[test]
+    fn writes_combine() {
+        let mut b: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape(&[10]));
+        b.write(&[2], 1.0);
+        b.write(&[2], 2.0);
+        b.write(&[5], 4.0);
+        assert_eq!(b.len(), 2);
+        let drained = b.drain();
+        assert_eq!(drained, vec![(vec![2], 3.0), (vec![5], 4.0)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn apply_runs_udf_per_element() {
+        let mut w: DistArray<f32> = DistArray::dense("w", vec![4]);
+        w.set(&[0], 10.0);
+        let mut b: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape(&[4]));
+        b.write(&[0], -1.0);
+        b.write(&[3], 2.0);
+        // A clipping apply-UDF.
+        b.apply_to(&mut w, |elem, u| *elem = (*elem + u).clamp(-5.0, 5.0));
+        assert_eq!(w.get(&[0]), Some(&5.0)); // clipped from 9
+        assert_eq!(w.get(&[3]), Some(&2.0));
+    }
+
+    #[test]
+    fn drain_largest_prioritizes_magnitude() {
+        let mut b: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape(&[10]));
+        b.write(&[0], 0.1);
+        b.write(&[1], -9.0);
+        b.write(&[2], 3.0);
+        let top = b.drain_largest(2, |v| v.abs() as f64);
+        assert_eq!(top, vec![(vec![1], -9.0), (vec![2], 3.0)]);
+        assert_eq!(b.len(), 1); // the small one stays buffered
+    }
+
+    #[test]
+    fn drain_largest_with_k_over_len_drains_all() {
+        let mut b: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape(&[4]));
+        b.write(&[0], 1.0);
+        let all = b.drain_largest(10, |v| v.abs() as f64);
+        assert_eq!(all.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn age_tracks_flushes() {
+        let mut b: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape(&[4]));
+        b.tick();
+        b.tick();
+        assert_eq!(b.age(), 2);
+        let _ = b.drain();
+        assert_eq!(b.age(), 0);
+    }
+
+    #[test]
+    fn payload_bytes() {
+        let mut b: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape(&[4]));
+        b.write(&[0], 1.0);
+        b.write(&[1], 1.0);
+        assert_eq!(b.payload_bytes(), 2 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_panics() {
+        let mut b: DistArrayBuffer<f32> = DistArrayBuffer::additive(shape(&[4]));
+        b.write(&[4], 1.0);
+    }
+
+    #[test]
+    fn custom_combine() {
+        // Max-combining buffer.
+        let mut b: DistArrayBuffer<u32> =
+            DistArrayBuffer::new(shape(&[4]), |acc: &mut u32, v: u32| *acc = (*acc).max(v));
+        b.write(&[1], 5);
+        b.write(&[1], 3);
+        b.write(&[1], 9);
+        assert_eq!(b.drain(), vec![(vec![1], 9)]);
+    }
+}

@@ -1,0 +1,250 @@
+//! DistArray checkpointing (paper §4.3, "Fault tolerance").
+//!
+//! "An Orion driver program can checkpoint a DistArray by writing it to
+//! disk, which is eagerly evaluated. For ML training, a common approach
+//! is to checkpoint the parameter DistArrays every N data passes."
+//!
+//! The on-disk format reuses the wire codec: a small header (magic,
+//! name, density, shape, origin) followed by either a dense run or
+//! sparse updates.
+
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::array::{DistArray, Storage};
+use crate::codec;
+use crate::element::Element;
+
+const MAGIC: u32 = 0x4F52_4E43; // "ORNC"
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint (bad magic, truncated, or an
+    /// element-size mismatch against the requested type).
+    Corrupt(String),
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes an array to its checkpoint byte representation.
+pub fn to_bytes<T: Element>(array: &DistArray<T>) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(T::WIRE_BYTES as u32);
+    let name = array.name().as_bytes();
+    buf.put_u32_le(name.len() as u32);
+    buf.put_slice(name);
+    let dims = array.shape().dims();
+    buf.put_u32_le(dims.len() as u32);
+    for &d in dims {
+        buf.put_u64_le(d);
+    }
+    for &o in array.origin() {
+        buf.put_i64_le(o);
+    }
+    match array.storage() {
+        Storage::Dense(values) => {
+            buf.put_u8(0);
+            buf.put_slice(&codec::encode_dense_run(0, values));
+        }
+        Storage::Sparse(map) => {
+            buf.put_u8(1);
+            let updates: Vec<(u64, T)> = map.iter().map(|(&k, v)| (k, v.clone())).collect();
+            buf.put_slice(&codec::encode_updates(&updates));
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a checkpoint produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Corrupt`] on malformed input or an element
+/// type whose wire size differs from the checkpoint's.
+pub fn from_bytes<T: Element>(mut wire: Bytes) -> Result<DistArray<T>, CheckpointError> {
+    let need = |n: usize, wire: &Bytes| -> Result<(), CheckpointError> {
+        if wire.remaining() < n {
+            Err(CheckpointError::Corrupt("truncated".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(12, &wire)?;
+    if wire.get_u32_le() != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let elem = wire.get_u32_le() as usize;
+    if elem != T::WIRE_BYTES {
+        return Err(CheckpointError::Corrupt(format!(
+            "element size {elem} does not match requested type ({})",
+            T::WIRE_BYTES
+        )));
+    }
+    let name_len = wire.get_u32_le() as usize;
+    need(name_len, &wire)?;
+    let name = String::from_utf8(wire.copy_to_bytes(name_len).to_vec())
+        .map_err(|_| CheckpointError::Corrupt("bad name".into()))?;
+    need(4, &wire)?;
+    let ndims = wire.get_u32_le() as usize;
+    if ndims == 0 || ndims > 16 {
+        return Err(CheckpointError::Corrupt(format!("ndims {ndims}")));
+    }
+    need(ndims * 16 + 1, &wire)?;
+    let dims: Vec<u64> = (0..ndims).map(|_| wire.get_u64_le()).collect();
+    let origin: Vec<i64> = (0..ndims).map(|_| wire.get_i64_le()).collect();
+    if origin.iter().any(|&o| o != 0) {
+        return Err(CheckpointError::Corrupt(
+            "checkpoints of partitions are not supported".into(),
+        ));
+    }
+    let tag = wire.get_u8();
+    match tag {
+        0 => {
+            let (base, values) = codec::decode_dense_run::<T>(wire);
+            if base != 0 {
+                return Err(CheckpointError::Corrupt("dense base must be 0".into()));
+            }
+            let expect: u64 = dims.iter().product();
+            if values.len() as u64 != expect {
+                return Err(CheckpointError::Corrupt(format!(
+                    "dense payload {} != volume {expect}",
+                    values.len()
+                )));
+            }
+            let mut a = DistArray::dense(name, dims.clone());
+            let shape = a.shape().clone();
+            for (flat, v) in values.into_iter().enumerate() {
+                a.set(&shape.unflatten(flat as u64), v);
+            }
+            Ok(a)
+        }
+        1 => {
+            let updates = codec::decode_updates::<T>(wire);
+            let mut a = DistArray::sparse(name, dims.clone());
+            let shape = a.shape().clone();
+            let volume = shape.volume();
+            for (flat, v) in updates {
+                if flat >= volume {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "index {flat} out of bounds {volume}"
+                    )));
+                }
+                a.set(&shape.unflatten(flat), v);
+            }
+            Ok(a)
+        }
+        other => Err(CheckpointError::Corrupt(format!("bad storage tag {other}"))),
+    }
+}
+
+/// Writes an array checkpoint to `path` (eagerly, like `Orion`'s
+/// checkpoint operation).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save<T: Element>(array: &DistArray<T>, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(array))?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Loads an array checkpoint from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and corrupt-checkpoint failures.
+pub fn load<T: Element>(path: impl AsRef<Path>) -> Result<DistArray<T>, CheckpointError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    from_bytes(Bytes::from(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("orion_ckpt_{}_{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a: DistArray<f32> =
+            DistArray::dense_from_fn("W", vec![6, 4], |i| (i[0] * 4 + i[1]) as f32);
+        let b = from_bytes::<f32>(to_bytes(&a)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.name(), "W");
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let a: DistArray<u32> = DistArray::sparse_from(
+            "tokens",
+            vec![100, 50],
+            vec![(vec![3, 4], 7), (vec![99, 49], 1)],
+        );
+        let b = from_bytes::<u32>(to_bytes(&a)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = tmp("file");
+        let a: DistArray<f64> = DistArray::dense_from_fn("H", vec![3, 3], |i| i[0] as f64 / 3.0);
+        save(&a, &path).unwrap();
+        let b = load::<f64>(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrong_element_type_rejected() {
+        let a: DistArray<f32> = DistArray::dense("W", vec![2, 2]);
+        let err = from_bytes::<f64>(to_bytes(&a)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let a: DistArray<f32> = DistArray::dense("W", vec![2, 2]);
+        let bytes = to_bytes(&a);
+        let cut = bytes.slice(0..bytes.len() / 2);
+        assert!(from_bytes::<f32>(cut).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes::<f32>(Bytes::from_static(&[0u8; 64])).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load::<f32>(tmp("does_not_exist")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Wire encoding of DSM traffic.
+//!
+//! The runtime serializes rotated partitions and parameter-server
+//! messages through these helpers; the simulator charges marshalling CPU
+//! time and network bytes based on the exact encoded sizes. (STRADS's
+//! intra-machine "pointer swapping" optimization — §6.4 — shows up as
+//! *skipping* this codec for same-machine transfers.)
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::element::Element;
+
+/// Encodes sparse updates (`flat index`, value) pairs.
+///
+/// Layout: `u64` count, then per item a `u64` index and the element.
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::codec;
+/// let updates = vec![(3u64, 1.5f32), (7, -2.0)];
+/// let wire = codec::encode_updates(&updates);
+/// assert_eq!(wire.len() as u64, codec::updates_wire_bytes::<f32>(2));
+/// assert_eq!(codec::decode_updates::<f32>(wire), updates);
+/// ```
+pub fn encode_updates<T: Element>(updates: &[(u64, T)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + updates.len() * (8 + T::WIRE_BYTES));
+    buf.put_u64_le(updates.len() as u64);
+    for (idx, v) in updates {
+        buf.put_u64_le(*idx);
+        v.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes the output of [`encode_updates`].
+///
+/// # Panics
+///
+/// Panics on a truncated or malformed buffer.
+pub fn decode_updates<T: Element>(mut wire: Bytes) -> Vec<(u64, T)> {
+    let n = wire.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = wire.get_u64_le();
+        out.push((idx, T::decode(&mut wire)));
+    }
+    assert!(!wire.has_remaining(), "trailing bytes after updates");
+    out
+}
+
+/// Wire size of `n` sparse updates without encoding them.
+pub fn updates_wire_bytes<T: Element>(n: u64) -> u64 {
+    8 + n * (8 + T::WIRE_BYTES as u64)
+}
+
+/// Encodes a dense run of values starting at a base flat index.
+///
+/// Layout: `u64` base, `u64` count, then the elements back to back.
+pub fn encode_dense_run<T: Element>(base: u64, values: &[T]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + values.len() * T::WIRE_BYTES);
+    buf.put_u64_le(base);
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        v.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes the output of [`encode_dense_run`].
+///
+/// # Panics
+///
+/// Panics on a truncated or malformed buffer.
+pub fn decode_dense_run<T: Element>(mut wire: Bytes) -> (u64, Vec<T>) {
+    let base = wire.get_u64_le();
+    let n = wire.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(&mut wire));
+    }
+    assert!(!wire.has_remaining(), "trailing bytes after dense run");
+    (base, out)
+}
+
+/// Wire size of a dense run of `n` values without encoding it.
+pub fn dense_run_wire_bytes<T: Element>(n: u64) -> u64 {
+    16 + n * T::WIRE_BYTES as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_roundtrip() {
+        let updates: Vec<(u64, f64)> = (0..100).map(|i| (i * 3, i as f64 * 0.5)).collect();
+        let wire = encode_updates(&updates);
+        assert_eq!(wire.len() as u64, updates_wire_bytes::<f64>(100));
+        assert_eq!(decode_updates::<f64>(wire), updates);
+    }
+
+    #[test]
+    fn empty_updates_roundtrip() {
+        let wire = encode_updates::<f32>(&[]);
+        assert_eq!(wire.len(), 8);
+        assert!(decode_updates::<f32>(wire).is_empty());
+    }
+
+    #[test]
+    fn dense_run_roundtrip() {
+        let values: Vec<u32> = (0..17).collect();
+        let wire = encode_dense_run(42, &values);
+        assert_eq!(wire.len() as u64, dense_run_wire_bytes::<u32>(17));
+        let (base, decoded) = decode_dense_run::<u32>(wire);
+        assert_eq!(base, 42);
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn trailing_bytes_rejected() {
+        let mut wire = BytesMut::new();
+        wire.put_u64_le(0);
+        wire.put_u8(0xFF);
+        let _ = decode_updates::<f32>(wire.freeze());
+    }
+}

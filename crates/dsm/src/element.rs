@@ -1,0 +1,74 @@
+//! Element types storable in DistArrays.
+
+use bytes::{Buf, BufMut};
+
+/// A value that can live in a DistArray: cloneable, sendable between
+/// workers, and encodable to a fixed-width wire format (used by the
+/// runtime to serialize rotated partitions and parameter-server traffic,
+/// and by the simulator to account communicated bytes).
+pub trait Element: Clone + Send + Sync + Default + PartialEq + core::fmt::Debug + 'static {
+    /// Encoded size in bytes.
+    const WIRE_BYTES: usize;
+
+    /// Appends the wire encoding to `buf`.
+    fn encode(&self, buf: &mut impl BufMut);
+
+    /// Decodes one value from `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` holds fewer than [`Element::WIRE_BYTES`] bytes —
+    /// framing is the caller's responsibility.
+    fn decode(buf: &mut impl Buf) -> Self;
+}
+
+macro_rules! impl_element {
+    ($t:ty, $bytes:expr, $put:ident, $get:ident) => {
+        impl Element for $t {
+            const WIRE_BYTES: usize = $bytes;
+
+            fn encode(&self, buf: &mut impl BufMut) {
+                buf.$put(*self);
+            }
+
+            fn decode(buf: &mut impl Buf) -> Self {
+                buf.$get()
+            }
+        }
+    };
+}
+
+impl_element!(f32, 4, put_f32_le, get_f32_le);
+impl_element!(f64, 8, put_f64_le, get_f64_le);
+impl_element!(u32, 4, put_u32_le, get_u32_le);
+impl_element!(u64, 8, put_u64_le, get_u64_le);
+impl_element!(i32, 4, put_i32_le, get_i32_le);
+impl_element!(i64, 8, put_i64_le, get_i64_le);
+
+/// A sparse rating / data-sample cell: the value plus nothing else; kept
+/// as a named type so application code reads naturally.
+pub type Rating = f32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip<T: Element>(v: T) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), T::WIRE_BYTES);
+        let mut b = buf.freeze();
+        assert_eq!(T::decode(&mut b), v);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(1.5f32);
+        roundtrip(-2.25f64);
+        roundtrip(42u32);
+        roundtrip(u64::MAX);
+        roundtrip(-7i32);
+        roundtrip(i64::MIN);
+    }
+}

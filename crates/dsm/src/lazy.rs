@@ -1,0 +1,247 @@
+//! Deferred DistArray creation with operator fusion (paper §3.1).
+//!
+//! `Orion.text_file` and `Orion.map` are *recorded*, not evaluated, until
+//! the driver calls `materialize`; Orion then fuses the user-defined
+//! functions across operations so no intermediate array is allocated.
+//! [`LazyArray`] reproduces that: a source plus a chain of map closures,
+//! all applied in a single pass at [`LazyArray::materialize`]. Set
+//! operations that shuffle data (like `group_by`) are evaluated eagerly
+//! (see [`group_by`]).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::array::DistArray;
+use crate::element::Element;
+
+/// Where a lazy array's items come from.
+enum LazySource<T> {
+    /// In-memory items (tests, synthetic data).
+    Items(Vec<(Vec<i64>, T)>),
+    /// A text file parsed line-by-line with a user-defined parser
+    /// (`Orion.text_file(path, parse_line)`); lines the parser rejects
+    /// are skipped.
+    TextFile {
+        path: PathBuf,
+        #[allow(clippy::type_complexity)]
+        parser: Box<dyn Fn(&str) -> Option<(Vec<i64>, T)> + Send>,
+    },
+}
+
+/// A recorded-but-unevaluated DistArray: source plus fused map chain.
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::LazyArray;
+/// let lazy = LazyArray::from_items("z", vec![4], vec![(vec![1], 2.0f32), (vec![3], 4.0)])
+///     .map(|_idx, v| v * 10.0)
+///     .map(|_idx, v| v + 1.0); // fused: one pass, no intermediate array
+/// let z = lazy.materialize_sparse();
+/// assert_eq!(z.get(&[1]), Some(&21.0));
+/// assert_eq!(z.get(&[3]), Some(&41.0));
+/// ```
+pub struct LazyArray<T> {
+    name: String,
+    dims: Vec<u64>,
+    source: LazySource<T>,
+    #[allow(clippy::type_complexity)]
+    maps: Vec<Box<dyn Fn(&[i64], T) -> T + Send>>,
+}
+
+impl<T: Element> LazyArray<T> {
+    /// Records an in-memory source.
+    pub fn from_items(
+        name: impl Into<String>,
+        dims: Vec<u64>,
+        items: Vec<(Vec<i64>, T)>,
+    ) -> Self {
+        LazyArray {
+            name: name.into(),
+            dims,
+            source: LazySource::Items(items),
+            maps: Vec::new(),
+        }
+    }
+
+    /// Records a text-file source with a line parser
+    /// (`Orion.text_file(data_path, parse_line)`).
+    pub fn from_text_file(
+        name: impl Into<String>,
+        dims: Vec<u64>,
+        path: impl Into<PathBuf>,
+        parser: impl Fn(&str) -> Option<(Vec<i64>, T)> + Send + 'static,
+    ) -> Self {
+        LazyArray {
+            name: name.into(),
+            dims,
+            source: LazySource::TextFile {
+                path: path.into(),
+                parser: Box::new(parser),
+            },
+            maps: Vec::new(),
+        }
+    }
+
+    /// Records a map over element values; not evaluated until
+    /// materialization, and fused with adjacent maps.
+    #[must_use]
+    pub fn map(mut self, f: impl Fn(&[i64], T) -> T + Send + 'static) -> Self {
+        self.maps.push(Box::new(f));
+        self
+    }
+
+    /// Evaluates the source and the fused map chain into a sparse array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a text-file source cannot be read, or any produced index
+    /// is out of bounds.
+    pub fn materialize_sparse(self) -> DistArray<T> {
+        let LazyArray {
+            name,
+            dims,
+            source,
+            maps,
+        } = self;
+        let mut out = DistArray::sparse(name, dims);
+        let mut emit = |idx: Vec<i64>, mut v: T| {
+            for m in &maps {
+                v = m(&idx, v);
+            }
+            out.set(&idx, v);
+        };
+        match source {
+            LazySource::Items(items) => {
+                for (idx, v) in items {
+                    emit(idx, v);
+                }
+            }
+            LazySource::TextFile { path, parser } => {
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+                for line in text.lines() {
+                    if let Some((idx, v)) = parser(line) {
+                        emit(idx, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates into a dense array (absent indices default).
+    ///
+    /// # Panics
+    ///
+    /// As [`LazyArray::materialize_sparse`].
+    pub fn materialize_dense(self) -> DistArray<T> {
+        let name = self.name.clone();
+        let dims = self.dims.clone();
+        let sparse = self.materialize_sparse();
+        let mut out = DistArray::dense(name, dims);
+        for (idx, v) in sparse.iter() {
+            out.set(&idx, v.clone());
+        }
+        out
+    }
+}
+
+/// Groups an array's materialized elements by their coordinate along
+/// `dim`, returning `(coordinate, items)` groups in coordinate order.
+///
+/// Unlike maps, grouping may shuffle data, so Orion evaluates it eagerly
+/// "for simplicity" (§3.1) — as does this function.
+///
+/// # Panics
+///
+/// Panics if `dim` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::{group_by, DistArray};
+/// let z: DistArray<f32> = DistArray::sparse_from(
+///     "z", vec![3, 3],
+///     vec![(vec![0, 1], 1.0), (vec![2, 0], 2.0), (vec![0, 2], 3.0)],
+/// );
+/// let groups = group_by(&z, 0);
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].0, 0);
+/// assert_eq!(groups[0].1.len(), 2);
+/// ```
+pub fn group_by<T: Element>(array: &DistArray<T>, dim: usize) -> Vec<(i64, Vec<(Vec<i64>, T)>)> {
+    assert!(dim < array.shape().ndims(), "dim {dim} out of range");
+    let mut groups: BTreeMap<i64, Vec<(Vec<i64>, T)>> = BTreeMap::new();
+    for (idx, v) in array.iter() {
+        groups.entry(idx[dim]).or_default().push((idx, v.clone()));
+    }
+    groups.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_fuse_in_order() {
+        let lazy = LazyArray::from_items("a", vec![4], vec![(vec![0], 2.0f32)])
+            .map(|_, v| v + 1.0)
+            .map(|_, v| v * 2.0);
+        let a = lazy.materialize_sparse();
+        assert_eq!(a.get(&[0]), Some(&6.0)); // (2+1)*2, not 2*2+1
+    }
+
+    #[test]
+    fn map_sees_index() {
+        let lazy = LazyArray::from_items(
+            "a",
+            vec![3],
+            vec![(vec![0], 0.0f32), (vec![2], 0.0)],
+        )
+        .map(|idx, _| idx[0] as f32);
+        let a = lazy.materialize_sparse();
+        assert_eq!(a.get(&[2]), Some(&2.0));
+    }
+
+    #[test]
+    fn text_file_parsing() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("orion_lazy_test_{}.txt", std::process::id()));
+        std::fs::write(&path, "0 1 3.5\nmalformed\n2 2 -1.0\n").unwrap();
+        let lazy = LazyArray::from_text_file("ratings", vec![3, 3], &path, |line| {
+            let mut it = line.split_whitespace();
+            let i: i64 = it.next()?.parse().ok()?;
+            let j: i64 = it.next()?.parse().ok()?;
+            let v: f32 = it.next()?.parse().ok()?;
+            Some((vec![i, j], v))
+        });
+        let z = lazy.materialize_sparse();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(z.nnz(), 2);
+        assert_eq!(z.get(&[0, 1]), Some(&3.5));
+        assert_eq!(z.get(&[2, 2]), Some(&-1.0));
+    }
+
+    #[test]
+    fn materialize_dense_defaults_absent() {
+        let lazy = LazyArray::from_items("a", vec![2, 2], vec![(vec![1, 1], 5.0f32)]);
+        let a = lazy.materialize_dense();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(&[0, 0]), Some(&0.0));
+        assert_eq!(a.get(&[1, 1]), Some(&5.0));
+    }
+
+    #[test]
+    fn group_by_second_dim() {
+        let z: DistArray<u32> = DistArray::sparse_from(
+            "z",
+            vec![3, 2],
+            vec![(vec![0, 0], 1), (vec![1, 1], 2), (vec![2, 1], 3)],
+        );
+        let groups = group_by(&z, 1);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1].0, 1);
+        assert_eq!(groups[1].1.len(), 2);
+    }
+}

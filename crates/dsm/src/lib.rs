@@ -1,0 +1,45 @@
+//! Distributed shared memory for Orion: DistArrays and their supporting
+//! machinery (paper §3).
+//!
+//! - [`DistArray`] — dense/sparse N-dimensional tensors with point and
+//!   set queries, in-place updates, `map`, `group_by` and `randomize`;
+//!   splittable into per-worker partitions that keep answering global
+//!   indices.
+//! - [`LazyArray`] — deferred creation (`text_file`, `map`) with operator
+//!   fusion at materialization (§3.1).
+//! - [`RangePartition`] / [`GridPartition`] — uniform and
+//!   histogram-balanced range partitioning, and the 2-D space × time grid
+//!   used by dependence-aware schedules (§4.3).
+//! - [`DistArrayBuffer`] — write-back buffers with user-defined atomic
+//!   apply logic, the escape hatch that turns dependence violations into
+//!   explicit data parallelism (§3.3).
+//! - [`Accumulator`] — per-worker reduction variables (§3.4).
+//! - [`codec`] — the wire format used to account (and pay for)
+//!   serialization of rotated partitions and parameter-server traffic.
+//! - [`checkpoint`] — eager DistArray checkpointing to disk (§4.3
+//!   fault tolerance).
+//! - [`AccessValidator`] — runtime verification that a loop body's
+//!   actual accesses are covered by its declared [`orion_ir::LoopSpec`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulator;
+mod array;
+mod buffer;
+pub mod checkpoint;
+pub mod codec;
+mod element;
+mod index;
+mod lazy;
+mod partition;
+mod validator;
+
+pub use accumulator::Accumulator;
+pub use array::{DistArray, Storage};
+pub use buffer::DistArrayBuffer;
+pub use element::{Element, Rating};
+pub use index::Shape;
+pub use lazy::{group_by, LazyArray};
+pub use partition::{GridPartition, RangePartition};
+pub use validator::{AccessValidator, AccessViolation};

@@ -1,0 +1,251 @@
+//! Iteration-space and DistArray partitioning schemes (paper §4.3).
+
+use std::ops::Range;
+
+use orion_ir::Dim;
+
+/// A contiguous range partitioning of one dimension into ordered parts.
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::RangePartition;
+/// let p = RangePartition::uniform(0, 10, 3);
+/// assert_eq!(p.n_parts(), 3);
+/// assert_eq!(p.part_of(0), 0);
+/// assert_eq!(p.part_of(9), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangePartition {
+    /// The partitioned dimension.
+    pub dim: Dim,
+    /// Ordered, disjoint ranges tiling `[0, extent)`.
+    pub ranges: Vec<Range<u64>>,
+}
+
+impl RangePartition {
+    /// Splits `[0, extent)` into `n` near-equal ranges (the first
+    /// `extent % n` ranges get one extra index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > extent` (empty partitions are not
+    /// allowed: every part must own at least one index).
+    pub fn uniform(dim: Dim, extent: u64, n: usize) -> Self {
+        assert!(n > 0, "cannot partition into zero parts");
+        assert!(
+            n as u64 <= extent,
+            "cannot partition extent {extent} into {n} non-empty parts"
+        );
+        let base = extent / n as u64;
+        let rem = extent % n as u64;
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0u64;
+        for i in 0..n as u64 {
+            let len = base + u64::from(i < rem);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        RangePartition { dim, ranges }
+    }
+
+    /// Splits `[0, weights.len())` into `n` ranges of near-equal total
+    /// weight — the histogram-balanced partitioning Orion computes for
+    /// skewed data distributions (§4.3).
+    ///
+    /// Greedy prefix split: each part closes once its weight reaches the
+    /// remaining average, while leaving enough indices for the remaining
+    /// parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > weights.len()`.
+    pub fn balanced(dim: Dim, weights: &[u64], n: usize) -> Self {
+        let extent = weights.len() as u64;
+        assert!(n > 0, "cannot partition into zero parts");
+        assert!(
+            n as u64 <= extent,
+            "cannot partition extent {extent} into {n} non-empty parts"
+        );
+        let total: u64 = weights.iter().sum();
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0u64;
+        let mut consumed = 0u64;
+        for part in 0..n {
+            let parts_left = (n - part) as u64;
+            let must_leave = parts_left - 1; // indices for the remaining parts
+            let target = (total - consumed).div_ceil(parts_left);
+            let mut end = start + 1;
+            let mut w = weights[start as usize];
+            while end < extent - must_leave && w < target {
+                w += weights[end as usize];
+                end += 1;
+            }
+            if part == n - 1 {
+                end = extent;
+                w = total - consumed;
+            }
+            consumed += w;
+            ranges.push(start..end);
+            start = end;
+        }
+        let greedy = RangePartition { dim, ranges };
+        // The greedy prefix split can occasionally land a hair above the
+        // uniform split on near-flat weights; never return a partitioning
+        // worse than uniform.
+        let uniform = Self::uniform(dim, extent, n);
+        let max_load = |p: &RangePartition| -> u64 {
+            p.ranges
+                .iter()
+                .map(|r| weights[r.start as usize..r.end as usize].iter().sum())
+                .max()
+                .unwrap_or(0)
+        };
+        if max_load(&greedy) <= max_load(&uniform) {
+            greedy
+        } else {
+            uniform
+        }
+    }
+
+    /// Number of parts.
+    pub fn n_parts(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The part owning coordinate `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside `[0, extent)`.
+    pub fn part_of(&self, coord: u64) -> usize {
+        let p = self.ranges.partition_point(|r| r.end <= coord);
+        assert!(
+            p < self.ranges.len() && self.ranges[p].contains(&coord),
+            "coordinate {coord} outside the partitioned extent"
+        );
+        p
+    }
+
+    /// The covered extent.
+    pub fn extent(&self) -> u64 {
+        self.ranges.last().map(|r| r.end).unwrap_or(0)
+    }
+}
+
+/// The 2-D space × time partitioning of an iteration space (Fig. 7b/7c):
+/// `space` assigns iterations to workers; `time` sequences them across
+/// global time steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridPartition {
+    /// Partitioning of the space dimension (one part per worker group).
+    pub space: RangePartition,
+    /// Partitioning of the time dimension (one part per time index).
+    pub time: RangePartition,
+}
+
+impl GridPartition {
+    /// The `(space, time)` block of an iteration index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    pub fn block_of(&self, index: &[i64]) -> (usize, usize) {
+        let s = self.space.part_of(index[self.space.dim] as u64);
+        let t = self.time.part_of(index[self.time.dim] as u64);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_tiles_exactly() {
+        let p = RangePartition::uniform(1, 11, 4);
+        assert_eq!(p.ranges, vec![0..3, 3..6, 6..9, 9..11]);
+        assert_eq!(p.extent(), 11);
+        let sizes: Vec<u64> = p.ranges.iter().map(|r| r.end - r.start).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 11);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn part_of_boundaries() {
+        let p = RangePartition::uniform(0, 10, 2);
+        assert_eq!(p.part_of(4), 0);
+        assert_eq!(p.part_of(5), 1);
+        assert_eq!(p.part_of(9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the partitioned extent")]
+    fn part_of_out_of_range_panics() {
+        let p = RangePartition::uniform(0, 10, 2);
+        let _ = p.part_of(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty parts")]
+    fn uniform_too_many_parts_panics() {
+        let _ = RangePartition::uniform(0, 3, 4);
+    }
+
+    #[test]
+    fn balanced_evens_out_skew() {
+        // A heavily skewed histogram: one hot index and a long tail.
+        let mut w = vec![1u64; 100];
+        w[0] = 100;
+        let p = RangePartition::balanced(0, &w, 4);
+        assert_eq!(p.n_parts(), 4);
+        assert_eq!(p.extent(), 100);
+        let loads: Vec<u64> = p
+            .ranges
+            .iter()
+            .map(|r| w[r.start as usize..r.end as usize].iter().sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let uniform_max: u64 = {
+            let up = RangePartition::uniform(0, 100, 4);
+            up.ranges
+                .iter()
+                .map(|r| w[r.start as usize..r.end as usize].iter().sum())
+                .max()
+                .unwrap()
+        };
+        assert!(
+            max <= uniform_max,
+            "balanced max load {max} should not exceed uniform {uniform_max}"
+        );
+        // The hot index dominates: its part should be as small as possible.
+        assert_eq!(p.ranges[0], 0..1);
+    }
+
+    #[test]
+    fn balanced_handles_flat_weights() {
+        let w = vec![5u64; 12];
+        let p = RangePartition::balanced(0, &w, 3);
+        let sizes: Vec<u64> = p.ranges.iter().map(|r| r.end - r.start).collect();
+        assert_eq!(sizes, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn balanced_leaves_room_for_tail_parts() {
+        // All weight up front must still leave one index per later part.
+        let w = vec![100, 0, 0, 0];
+        let p = RangePartition::balanced(0, &w, 4);
+        assert_eq!(p.ranges, vec![0..1, 1..2, 2..3, 3..4]);
+    }
+
+    #[test]
+    fn grid_block_lookup() {
+        let g = GridPartition {
+            space: RangePartition::uniform(0, 8, 2),
+            time: RangePartition::uniform(1, 9, 3),
+        };
+        assert_eq!(g.block_of(&[0, 0]), (0, 0));
+        assert_eq!(g.block_of(&[7, 8]), (1, 2));
+        assert_eq!(g.block_of(&[4, 3]), (1, 1));
+    }
+}

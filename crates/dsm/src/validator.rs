@@ -1,0 +1,262 @@
+//! Runtime validation of declared access patterns.
+//!
+//! Orion's analysis trusts the access pattern extracted from the loop
+//! body. In the Julia system that extraction is automatic; here the
+//! `LoopSpec` is declared alongside the body, so a mismatch (the body
+//! touching addresses its spec does not admit) would silently void the
+//! serializability guarantee. [`AccessValidator`] closes that hole: run
+//! the loop body once in *recording* mode, feeding every DistArray
+//! access through [`AccessValidator::check_read`] /
+//! [`AccessValidator::check_write`], and it verifies each access is
+//! covered by some declared reference evaluated at that iteration.
+//!
+//! Tests and debug builds use it to certify that every application's
+//! spec is an over-approximation of its body — the property all
+//! soundness results rest on.
+
+use orion_ir::{AccessKind, ArrayRef, DistArrayId, LoopSpec, Subscript};
+
+/// A violation found by the validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessViolation {
+    /// The iteration performing the access.
+    pub iteration: Vec<i64>,
+    /// The array accessed.
+    pub array: DistArrayId,
+    /// The accessed index.
+    pub index: Vec<i64>,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl core::fmt::Display for AccessViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "undeclared {:?} of {}{:?} at iteration {:?}",
+            self.kind, self.array, self.index, self.iteration
+        )
+    }
+}
+
+/// Checks a loop body's actual DistArray accesses against its declared
+/// [`LoopSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use orion_dsm::AccessValidator;
+/// use orion_ir::{AccessKind, DistArrayId, LoopSpec, Subscript};
+/// let w = DistArrayId(1);
+/// let spec = LoopSpec::builder("l", DistArrayId(0), vec![4, 4])
+///     .read_write(w, vec![Subscript::loop_index(0), Subscript::Full])
+///     .build()
+///     .unwrap();
+/// let mut v = AccessValidator::new(&spec);
+/// v.check_write(&[2, 3], w, &[2, 0]);   // covered: W[i0, :]
+/// v.check_write(&[2, 3], w, &[3, 0]);   // NOT covered: wrong row
+/// assert_eq!(v.violations().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessValidator {
+    refs: Vec<ArrayRef>,
+    buffered: Vec<DistArrayId>,
+    violations: Vec<AccessViolation>,
+}
+
+impl AccessValidator {
+    /// Builds a validator for one loop.
+    pub fn new(spec: &LoopSpec) -> Self {
+        AccessValidator {
+            refs: spec.refs.clone(),
+            buffered: spec.buffered.clone(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Does `subscript`, evaluated at `iteration`, admit coordinate `x`?
+    fn admits(sub: &Subscript, iteration: &[i64], x: i64) -> bool {
+        match sub {
+            Subscript::LoopIndex { dim, offset } => {
+                iteration.get(*dim).map(|p| p + offset) == Some(x)
+            }
+            Subscript::Constant(c) => *c == x,
+            // Full-range and runtime-dependent subscripts admit any
+            // in-bounds coordinate (conservative, like the analysis).
+            Subscript::Full | Subscript::Unknown { .. } => true,
+        }
+    }
+
+    fn covered(&self, iteration: &[i64], array: DistArrayId, index: &[i64], kind: AccessKind) -> bool {
+        self.refs.iter().any(|r| {
+            r.array == array
+                && r.kind == kind
+                && r.subscripts.len() == index.len()
+                && r
+                    .subscripts
+                    .iter()
+                    .zip(index)
+                    .all(|(s, &x)| Self::admits(s, iteration, x))
+        })
+    }
+
+    /// Records a read access; appends a violation if undeclared.
+    pub fn check_read(&mut self, iteration: &[i64], array: DistArrayId, index: &[i64]) {
+        if !self.covered(iteration, array, index, AccessKind::Read) {
+            self.violations.push(AccessViolation {
+                iteration: iteration.to_vec(),
+                array,
+                index: index.to_vec(),
+                kind: AccessKind::Read,
+            });
+        }
+    }
+
+    /// Records a write access; appends a violation if undeclared.
+    ///
+    /// Writes to buffered arrays are checked against the declared write
+    /// refs too — buffering exempts them from *dependence analysis*, not
+    /// from the declared pattern.
+    pub fn check_write(&mut self, iteration: &[i64], array: DistArrayId, index: &[i64]) {
+        if !self.covered(iteration, array, index, AccessKind::Write) {
+            self.violations.push(AccessViolation {
+                iteration: iteration.to_vec(),
+                array,
+                index: index.to_vec(),
+                kind: AccessKind::Write,
+            });
+        }
+    }
+
+    /// Whether the array's writes go through a buffer.
+    pub fn is_buffered(&self, array: DistArrayId) -> bool {
+        self.buffered.contains(&array)
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[AccessViolation] {
+        &self.violations
+    }
+
+    /// Returns `Ok(())` when no violation was recorded, otherwise an
+    /// error message listing the first few.
+    pub fn verdict(&self) -> Result<(), String> {
+        if self.violations.is_empty() {
+            return Ok(());
+        }
+        let mut msg = format!("{} undeclared accesses; first 5:", self.violations.len());
+        for v in self.violations.iter().take(5) {
+            msg.push_str(&format!("\n  {v}"));
+        }
+        Err(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mf_spec() -> LoopSpec {
+        let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+        LoopSpec::builder("mf", z, vec![8, 6])
+            .read_write(w, vec![Subscript::loop_index(0), Subscript::Full])
+            .read_write(h, vec![Subscript::loop_index(1), Subscript::Full])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn conforming_accesses_pass() {
+        let spec = mf_spec();
+        let mut v = AccessValidator::new(&spec);
+        let (w, h) = (DistArrayId(1), DistArrayId(2));
+        for it in [[0i64, 0], [3, 5], [7, 2]] {
+            v.check_read(&it, w, &[it[0], 3]);
+            v.check_write(&it, w, &[it[0], 0]);
+            v.check_read(&it, h, &[it[1], 1]);
+            v.check_write(&it, h, &[it[1], 2]);
+        }
+        assert!(v.verdict().is_ok());
+    }
+
+    #[test]
+    fn wrong_row_is_flagged() {
+        let spec = mf_spec();
+        let mut v = AccessValidator::new(&spec);
+        v.check_write(&[2, 3], DistArrayId(1), &[3, 0]); // W row of another user
+        assert_eq!(v.violations().len(), 1);
+        assert!(v.verdict().is_err());
+        assert_eq!(v.violations()[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn undeclared_array_is_flagged() {
+        let spec = mf_spec();
+        let mut v = AccessValidator::new(&spec);
+        v.check_read(&[0, 0], DistArrayId(9), &[0]);
+        assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn read_does_not_license_write() {
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("l", z, vec![4])
+            .read(a, vec![Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        let mut v = AccessValidator::new(&spec);
+        v.check_read(&[1], a, &[1]);
+        v.check_write(&[1], a, &[1]);
+        assert_eq!(v.violations().len(), 1);
+        assert_eq!(v.violations()[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn offsets_respected() {
+        let (z, a) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("stencil", z, vec![10])
+            .read(a, vec![Subscript::loop_index(0).shifted(-1)])
+            .write(a, vec![Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        let mut v = AccessValidator::new(&spec);
+        v.check_read(&[5], a, &[4]); // i0 - 1 ✓
+        v.check_read(&[5], a, &[5]); // not declared as read
+        assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn unknown_subscripts_admit_anything() {
+        let (z, w) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("slr", z, vec![10])
+            .read(w, vec![Subscript::unknown()])
+            .write(w, vec![Subscript::unknown()])
+            .buffer_writes(w)
+            .build()
+            .unwrap();
+        let mut v = AccessValidator::new(&spec);
+        v.check_read(&[0], w, &[9_999]);
+        v.check_write(&[0], w, &[123]);
+        assert!(v.verdict().is_ok());
+        assert!(v.is_buffered(w));
+    }
+
+    #[test]
+    fn arity_mismatch_is_flagged() {
+        let spec = mf_spec();
+        let mut v = AccessValidator::new(&spec);
+        v.check_read(&[0, 0], DistArrayId(1), &[0]); // 1-D access to 2-D ref
+        assert_eq!(v.violations().len(), 1);
+    }
+
+    #[test]
+    fn verdict_lists_violations() {
+        let spec = mf_spec();
+        let mut v = AccessValidator::new(&spec);
+        for i in 0..8i64 {
+            v.check_write(&[0, 0], DistArrayId(1), &[i + 1, 0]);
+        }
+        let err = v.verdict().unwrap_err();
+        assert!(err.contains("8 undeclared"));
+    }
+}

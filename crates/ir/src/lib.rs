@@ -1,0 +1,69 @@
+//! Loop and access-pattern IR for Orion's static dependence analysis.
+//!
+//! Orion (EuroSys '19) parallelizes serial imperative ML programs by
+//! statically analyzing how a for-loop's body accesses *DistArrays*
+//! (distributed shared-memory tensors). In the original system this
+//! information is extracted from the Julia AST by the `@parallel_for`
+//! macro at JIT-compilation time. This crate defines that extracted form
+//! explicitly:
+//!
+//! - [`Subscript`] — one position of a DistArray subscript, e.g. the
+//!   `key[1]` in `W[:, key[1]]` (a loop index variable plus a constant),
+//!   a constant, a full-range set query, or a runtime-value-dependent
+//!   subscript that defeats exact analysis.
+//! - [`ArrayRef`] — one static read or write reference to a DistArray.
+//! - [`LoopSpec`] — everything the analyzer needs to know about one
+//!   parallel for-loop: its iteration space, ordering requirements, and
+//!   the set of static DistArray references in its body.
+//! - [`ArrayMeta`] — size/element metadata for the referenced arrays,
+//!   consumed by the communication-cost heuristic.
+//!
+//! The dependence analysis itself lives in `orion-analysis`; this crate is
+//! deliberately free of analysis logic so the IR can also be consumed by
+//! the runtime (for partitioning and prefetch planning) without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod loop_spec;
+mod meta;
+mod subscript;
+
+pub use access::{AccessKind, ArrayRef};
+pub use loop_spec::{LoopSpec, LoopSpecBuilder, SpecError};
+pub use meta::{ArrayMeta, Density};
+pub use subscript::Subscript;
+
+/// Identifier of a DistArray within one driver program.
+///
+/// Ids are assigned by the driver (`orion-core`) in creation order and are
+/// dense, so they can index side tables.
+///
+/// # Examples
+///
+/// ```
+/// use orion_ir::DistArrayId;
+/// let w = DistArrayId(0);
+/// let h = DistArrayId(1);
+/// assert_ne!(w, h);
+/// assert_eq!(w.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DistArrayId(pub u32);
+
+impl DistArrayId {
+    /// Returns the id as a usize, for indexing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for DistArrayId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A dimension index, either of an iteration space or of a DistArray.
+pub type Dim = usize;

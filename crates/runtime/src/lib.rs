@@ -1,0 +1,35 @@
+//! Orion's distributed execution runtime.
+//!
+//! Turns the analyzer's [`orion_analysis::ParallelPlan`] into running
+//! computation:
+//!
+//! - [`build_schedule`] compiles the chosen strategy over the
+//!   materialized iteration space into a [`Schedule`] — blocks, step
+//!   plan, rotation edges, synchronization mode (Fig. 7);
+//! - [`SimExecutor`] executes passes of the *real* algorithm in schedule
+//!   order while advancing virtual clocks and the simulated network
+//!   (rotated-partition pipelining of Fig. 8, served-array prefetch
+//!   round trips of §4.4, barriers and point-to-point waits);
+//! - [`run_grid_pass_threaded`] / [`run_one_d_pass_threaded`] execute the
+//!   same schedules on real OS threads with partition ownership and
+//!   channel-based rotation, proving the schedules' concurrency safety;
+//! - [`comm_model_from_plan`] derives the communication model from the
+//!   analyzer's array placements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod model;
+mod prefetch;
+mod schedule;
+mod threaded;
+
+pub use executor::{LoopCommModel, PassStats, SimExecutor};
+pub use model::{comm_model_from_plan, comm_model_with_spec};
+pub use prefetch::{IndexRecorder, PrefetchCost, PrefetchMode, ServedModel};
+pub use schedule::{
+    build_schedule, build_schedule_with, AwaitedTransfer, Exec, Schedule, ScheduleOptions,
+    SyncMode, PIPELINE_DEPTH,
+};
+pub use threaded::{run_grid_pass_threaded, run_one_d_pass_threaded};

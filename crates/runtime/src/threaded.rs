@@ -1,0 +1,359 @@
+//! Real multi-threaded execution of compiled schedules.
+//!
+//! The simulated executor proves *what* the distributed computation
+//! computes and models *when*; this engine proves the schedules are safe
+//! to run with true concurrency: workers become OS threads, the space
+//! partition of each parameter array is owned by its worker, and rotated
+//! time partitions travel between threads through channels, exactly like
+//! DistArray partitions travel between Orion executors (Fig. 8).
+//!
+//! Because every schedule produced by the analyzer is serializable, a
+//! threaded pass produces *bit-identical* results to the simulated
+//! single-threaded pass (asserted in the integration tests).
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use orion_dsm::{DistArray, Element};
+
+use crate::schedule::Schedule;
+
+/// A rotated time partition in flight between workers.
+type Parcel<B> = (usize, DistArray<B>);
+
+/// What one worker thread returns: its id, its space partition, the
+/// parcels it kept (tail of the rotation), and its residual queue.
+type WorkerResult<A, B> = (usize, DistArray<A>, Vec<Parcel<B>>, std::collections::VecDeque<Parcel<B>>);
+
+/// Executes one pass of a 2-D (grid) schedule on real threads.
+///
+/// - `items`: the iteration items the schedule was built over.
+/// - `space_parts`: one partition of the space-aligned array per worker
+///   (from [`DistArray::split_along`] with the schedule's
+///   `space_partition` ranges).
+/// - `time_parts`: one partition of the rotated array per time partition.
+/// - `body`: the loop body; it sees the iteration index/value and the
+///   worker's current space and time partitions.
+///
+/// Returns the space and time partitions after the pass (time partitions
+/// in index order).
+///
+/// # Panics
+///
+/// Panics if the partition counts do not match the schedule, or if a
+/// worker thread panics.
+pub fn run_grid_pass_threaded<TI, A, B, F>(
+    schedule: &Schedule,
+    items: &[(Vec<i64>, TI)],
+    space_parts: Vec<DistArray<A>>,
+    time_parts: Vec<DistArray<B>>,
+    body: F,
+) -> (Vec<DistArray<A>>, Vec<DistArray<B>>)
+where
+    TI: Sync,
+    A: Element,
+    B: Element,
+    F: Fn(&[i64], &TI, &mut DistArray<A>, &mut DistArray<B>) + Sync,
+{
+    let n_workers = schedule.n_workers;
+    let n_time = schedule.n_time_partitions;
+    assert_eq!(space_parts.len(), n_workers, "one space partition per worker");
+    assert_eq!(time_parts.len(), n_time, "one array partition per time partition");
+
+    // Initial owner of each time partition: the worker of its first
+    // non-awaited execution; forwarding destinations from the awaited
+    // edges of later executions.
+    let mut initial: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_workers];
+    // forward[(worker, step)] = destination worker for the partition used
+    // at that step.
+    let mut forward: std::collections::HashMap<(usize, u64), usize> =
+        std::collections::HashMap::new();
+    for step in &schedule.steps {
+        for e in step {
+            let tp = e.block % n_time;
+            match e.awaited {
+                None => initial[e.worker].push_back(tp),
+                Some(a) => {
+                    forward.insert((a.from_worker, a.sent_after_step), e.worker);
+                }
+            }
+        }
+    }
+
+    // Per-worker execution lists in step order.
+    let mut per_worker: Vec<Vec<crate::schedule::Exec>> = vec![Vec::new(); n_workers];
+    for step in &schedule.steps {
+        for e in step {
+            per_worker[e.worker].push(*e);
+        }
+    }
+
+    // One channel per worker for incoming parcels.
+    let (senders, receivers): (Vec<Sender<Parcel<B>>>, Vec<Receiver<Parcel<B>>>) =
+        (0..n_workers).map(|_| unbounded()).unzip();
+
+    // Hand each worker its initial time partitions.
+    let mut time_slot: Vec<Option<DistArray<B>>> = time_parts.into_iter().map(Some).collect();
+    let mut local_queues: Vec<VecDeque<Parcel<B>>> = vec![VecDeque::new(); n_workers];
+    for (w, init) in initial.iter().enumerate() {
+        for &tp in init {
+            let part = time_slot[tp].take().expect("each partition starts once");
+            local_queues[w].push_back((tp, part));
+        }
+    }
+    assert!(
+        time_slot.iter().all(Option::is_none),
+        "every time partition must have an initial owner"
+    );
+
+    let body = &body;
+    let forward = &forward;
+    let blocks = &schedule.blocks;
+
+    let mut out_space: Vec<Option<DistArray<A>>> = Vec::new();
+    let mut out_time: Vec<Option<DistArray<B>>> = (0..n_time).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let worker_inputs = space_parts
+            .into_iter()
+            .zip(local_queues)
+            .zip(per_worker)
+            .enumerate();
+        for (w, ((mut space, mut queue), execs)) in worker_inputs {
+            let rx = receivers[w].clone();
+            let senders = senders.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut kept: Vec<Parcel<B>> = Vec::new();
+                for e in execs {
+                    if e.awaited.is_some() {
+                        let parcel = rx.recv().expect("predecessor sends before finishing");
+                        queue.push_back(parcel);
+                    }
+                    let (tp, mut part) = queue.pop_front().expect("schedule keeps queues fed");
+                    debug_assert_eq!(tp, e.block % n_time, "queue order must match schedule");
+                    for &pos in &blocks[e.block] {
+                        let (idx, val) = &items[pos];
+                        body(idx, val, &mut space, &mut part);
+                    }
+                    match forward.get(&(w, e.step)) {
+                        Some(&dst) => senders[dst]
+                            .send((tp, part))
+                            .expect("receiver outlives the pass"),
+                        None => kept.push((tp, part)),
+                    }
+                }
+                // Parcels sent to us but never executed (tail of the
+                // rotation) stay with us.
+                drop(rx);
+                (w, space, kept, queue)
+            }));
+        }
+        drop(senders);
+        drop(receivers);
+
+        let mut results: Vec<WorkerResult<A, B>> =
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect();
+        results.sort_by_key(|r| r.0);
+        for (_, space, kept, queue) in results {
+            out_space.push(Some(space));
+            for (tp, part) in kept.into_iter().chain(queue) {
+                assert!(out_time[tp].is_none(), "time partition {tp} duplicated");
+                out_time[tp] = Some(part);
+            }
+        }
+    })
+    .expect("thread scope panicked");
+
+    // Any parcel still in a channel at scope end would be a logic error;
+    // the queues above must have drained everything.
+    let space_out: Vec<DistArray<A>> = out_space.into_iter().map(Option::unwrap).collect();
+    let time_out: Vec<DistArray<B>> = out_time
+        .into_iter()
+        .enumerate()
+        .map(|(tp, p)| p.unwrap_or_else(|| panic!("time partition {tp} lost")))
+        .collect();
+    (space_out, time_out)
+}
+
+/// Executes one pass of a 1-D schedule on real threads: each worker owns
+/// its space partition of array `A`; there is no rotated array.
+///
+/// # Panics
+///
+/// Panics if partition counts mismatch or a worker thread panics.
+pub fn run_one_d_pass_threaded<TI, A, F>(
+    schedule: &Schedule,
+    items: &[(Vec<i64>, TI)],
+    space_parts: Vec<DistArray<A>>,
+    body: F,
+) -> Vec<DistArray<A>>
+where
+    TI: Sync,
+    A: Element,
+    F: Fn(&[i64], &TI, &mut DistArray<A>) + Sync,
+{
+    assert_eq!(
+        space_parts.len(),
+        schedule.n_workers,
+        "one space partition per worker"
+    );
+    let blocks = &schedule.blocks;
+    let body = &body;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = space_parts
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut space)| {
+                scope.spawn(move |_| {
+                    for &pos in &blocks[w] {
+                        let (idx, val) = &items[pos];
+                        body(idx, val, &mut space);
+                    }
+                    space
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("thread scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::build_schedule;
+    use orion_analysis::Strategy;
+
+    fn grid_items(m: i64, n: i64) -> Vec<(Vec<i64>, f32)> {
+        (0..m)
+            .flat_map(|i| (0..n).map(move |j| (vec![i, j], (i * n + j) as f32)))
+            .collect()
+    }
+
+    #[test]
+    fn grid_pass_touches_every_item_against_owning_partitions() {
+        let items = grid_items(8, 8);
+        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: false,
+        };
+        let sched = build_schedule(&strat, &indices, &[8, 8], 4);
+
+        // Space array: one counter per row; time array: one per column.
+        let w: DistArray<u32> = DistArray::dense("w", vec![8, 1]);
+        let h: DistArray<u32> = DistArray::dense("h", vec![8, 1]);
+        let sp = sched.space_partition.as_ref().unwrap();
+        let tp = sched.time_partition.as_ref().unwrap();
+        let w_parts = w.split_along(0, &sp.ranges);
+        let h_parts = h.split_along(0, &tp.ranges);
+
+        let (w_parts, h_parts) =
+            run_grid_pass_threaded(&sched, &items, w_parts, h_parts, |idx, _v, wp, hp| {
+                wp.update(&[idx[0], 0], |c| *c += 1);
+                hp.update(&[idx[1], 0], |c| *c += 1);
+            });
+        let w = DistArray::merge_along(0, w_parts);
+        let h = DistArray::merge_along(0, h_parts);
+        for r in 0..8 {
+            assert_eq!(w.get(&[r, 0]), Some(&8));
+            assert_eq!(h.get(&[r, 0]), Some(&8));
+        }
+    }
+
+    #[test]
+    fn grid_pass_matches_sequential_execution() {
+        // Accumulate an order-independent function (sum of value*row) so
+        // results must match a serial pass exactly.
+        let items = grid_items(10, 10);
+        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: false,
+        };
+        let sched = build_schedule(&strat, &indices, &[10, 10], 5);
+        let w: DistArray<f32> = DistArray::dense("w", vec![10, 1]);
+        let h: DistArray<f32> = DistArray::dense("h", vec![10, 1]);
+        let sp = sched.space_partition.clone().unwrap();
+        let tp = sched.time_partition.clone().unwrap();
+        let (w_parts, h_parts) = run_grid_pass_threaded(
+            &sched,
+            &items,
+            w.clone().split_along(0, &sp.ranges),
+            h.clone().split_along(0, &tp.ranges),
+            |idx, v, wp, hp| {
+                wp.update(&[idx[0], 0], |c| *c += v);
+                hp.update(&[idx[1], 0], |c| *c += v * 2.0);
+            },
+        );
+        let tw = DistArray::merge_along(0, w_parts);
+        let th = DistArray::merge_along(0, h_parts);
+
+        let mut sw = w;
+        let mut sh = h;
+        for (idx, v) in &items {
+            sw.update(&[idx[0], 0], |c| *c += v);
+            sh.update(&[idx[1], 0], |c| *c += v * 2.0);
+        }
+        assert_eq!(tw, sw);
+        assert_eq!(th, sh);
+    }
+
+    #[test]
+    fn ordered_grid_pass_also_runs() {
+        let items = grid_items(6, 6);
+        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: true,
+        };
+        let sched = build_schedule(&strat, &indices, &[6, 6], 3);
+        let w: DistArray<u32> = DistArray::dense("w", vec![6, 1]);
+        let h: DistArray<u32> = DistArray::dense("h", vec![6, 1]);
+        let sp = sched.space_partition.clone().unwrap();
+        let tp = sched.time_partition.clone().unwrap();
+        let (wp, hp) = run_grid_pass_threaded(
+            &sched,
+            &items,
+            w.split_along(0, &sp.ranges),
+            h.split_along(0, &tp.ranges),
+            |idx, _v, wp, hp| {
+                wp.update(&[idx[0], 0], |c| *c += 1);
+                hp.update(&[idx[1], 0], |c| *c += 1);
+            },
+        );
+        let w = DistArray::merge_along(0, wp);
+        let h = DistArray::merge_along(0, hp);
+        assert!(w.iter().all(|(_, &c)| c == 6));
+        assert!(h.iter().all(|(_, &c)| c == 6));
+    }
+
+    #[test]
+    fn one_d_pass_threaded_counts() {
+        let items = grid_items(8, 4);
+        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+        let sched = build_schedule(&Strategy::OneD { dim: 0 }, &indices, &[8, 4], 4);
+        let w: DistArray<u32> = DistArray::dense("w", vec![8, 1]);
+        let sp = sched.space_partition.clone().unwrap();
+        let parts = run_one_d_pass_threaded(
+            &sched,
+            &items,
+            w.split_along(0, &sp.ranges),
+            |idx, _v, wp| {
+                wp.update(&[idx[0], 0], |c| *c += 1);
+            },
+        );
+        let w = DistArray::merge_along(0, parts);
+        assert!(w.iter().all(|(_, &c)| c == 4));
+    }
+}

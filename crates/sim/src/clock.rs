@@ -1,0 +1,120 @@
+//! Per-worker virtual clocks.
+
+use crate::time::VirtualTime;
+
+/// The virtual clocks of a set of workers.
+///
+/// Workers advance independently as they compute and communicate; a
+/// barrier pulls every clock to the maximum (the straggler), which is how
+/// synchronization cost emerges in the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use orion_sim::{VirtualTime, WorkerClocks};
+/// let mut clocks = WorkerClocks::new(3);
+/// clocks.advance(0, VirtualTime::from_secs(2));
+/// clocks.advance(1, VirtualTime::from_secs(5));
+/// clocks.barrier();
+/// assert_eq!(clocks.get(2), VirtualTime::from_secs(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerClocks {
+    t: Vec<VirtualTime>,
+}
+
+impl WorkerClocks {
+    /// All-zero clocks for `n` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        WorkerClocks {
+            t: vec![VirtualTime::ZERO; n],
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Current time of `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn get(&self, worker: usize) -> VirtualTime {
+        self.t[worker]
+    }
+
+    /// Advances `worker` by `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn advance(&mut self, worker: usize, dt: VirtualTime) {
+        self.t[worker] += dt;
+    }
+
+    /// Moves `worker` forward to at least `t` (waiting on a message or a
+    /// predecessor; never moves a clock backwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn wait_until(&mut self, worker: usize, t: VirtualTime) {
+        if self.t[worker] < t {
+            self.t[worker] = t;
+        }
+    }
+
+    /// The latest clock (the straggler).
+    pub fn max(&self) -> VirtualTime {
+        *self.t.iter().max().expect("at least one worker")
+    }
+
+    /// Global synchronization barrier: every clock jumps to the maximum.
+    /// Returns the barrier time.
+    pub fn barrier(&mut self) -> VirtualTime {
+        let m = self.max();
+        for t in &mut self.t {
+            *t = m;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_barrier() {
+        let mut c = WorkerClocks::new(2);
+        c.advance(0, VirtualTime::from_secs(1));
+        c.advance(1, VirtualTime::from_secs(3));
+        assert_eq!(c.max(), VirtualTime::from_secs(3));
+        let b = c.barrier();
+        assert_eq!(b, VirtualTime::from_secs(3));
+        assert_eq!(c.get(0), VirtualTime::from_secs(3));
+    }
+
+    #[test]
+    fn wait_until_never_goes_back() {
+        let mut c = WorkerClocks::new(1);
+        c.advance(0, VirtualTime::from_secs(5));
+        c.wait_until(0, VirtualTime::from_secs(2));
+        assert_eq!(c.get(0), VirtualTime::from_secs(5));
+        c.wait_until(0, VirtualTime::from_secs(7));
+        assert_eq!(c.get(0), VirtualTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = WorkerClocks::new(0);
+    }
+}

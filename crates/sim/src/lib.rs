@@ -1,0 +1,32 @@
+//! Deterministic virtual-time cluster simulation.
+//!
+//! The paper evaluates Orion on 12–42 machines with 40GbE; this crate
+//! lets the runtime execute the *real* training algorithms with the
+//! *real* schedule semantics while modeling the cluster's time behaviour:
+//!
+//! - [`ClusterSpec`] — machines × workers, CPU scale factors (Julia vs
+//!   C++ vs dense-framework overhead), marshalling cost, and network
+//!   parameters including STRADS-style zero-copy intra-machine transfer;
+//! - [`SimNet`] — per-machine NIC queuing, latency + bandwidth transfer
+//!   timing, byte accounting, and bandwidth-over-time traces (Fig. 12);
+//! - [`WorkerClocks`] — per-worker virtual clocks with barriers;
+//! - [`RunStats`] / [`ProgressPoint`] — convergence curves and
+//!   time-per-iteration summaries as reported in the paper's figures.
+//!
+//! Everything is integer-nanosecond arithmetic: simulations are exactly
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod cluster;
+mod net;
+mod stats;
+mod time;
+
+pub use clock::WorkerClocks;
+pub use cluster::{ClusterSpec, CpuSpec, NetworkSpec};
+pub use net::{MsgRecord, SimNet};
+pub use stats::{ProgressPoint, RunStats};
+pub use time::VirtualTime;

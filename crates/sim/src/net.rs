@@ -1,0 +1,248 @@
+//! The simulated network: per-machine NICs, transfer timing, and byte
+//! accounting.
+//!
+//! Every transfer the runtime performs goes through [`SimNet::send`],
+//! which (a) serializes sends on the source machine's NIC, (b) computes
+//! the arrival time from latency and bandwidth, and (c) records the
+//! message so experiments can report total traffic and bandwidth-over-
+//! time traces (the paper's Fig. 12).
+
+use crate::cluster::ClusterSpec;
+use crate::time::VirtualTime;
+
+/// One recorded message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Sending machine.
+    pub src_machine: usize,
+    /// Receiving machine.
+    pub dst_machine: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// When the payload started leaving the NIC.
+    pub depart: VirtualTime,
+    /// When the payload fully arrived.
+    pub arrive: VirtualTime,
+}
+
+/// The simulated network state for one experiment run.
+///
+/// # Examples
+///
+/// ```
+/// use orion_sim::{ClusterSpec, SimNet, VirtualTime};
+/// let cluster = ClusterSpec::new(2, 1);
+/// let mut net = SimNet::new(&cluster);
+/// let arrive = net.send(&cluster, 0, 1, 1_000_000, VirtualTime::ZERO);
+/// assert!(arrive > VirtualTime::ZERO);
+/// assert_eq!(net.total_bytes(), 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimNet {
+    /// Next instant each machine's NIC is free to transmit.
+    nic_free_tx: Vec<VirtualTime>,
+    log: Vec<MsgRecord>,
+    /// Bytes that crossed machine boundaries (excludes intra-machine).
+    inter_machine_bytes: u64,
+}
+
+impl SimNet {
+    /// Fresh network state for a cluster.
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        SimNet {
+            nic_free_tx: vec![VirtualTime::ZERO; cluster.n_machines],
+            log: Vec::new(),
+            inter_machine_bytes: 0,
+        }
+    }
+
+    /// Sends `bytes` from `src_worker` to `dst_worker`, with the payload
+    /// ready at `ready`. Returns the arrival time.
+    ///
+    /// Intra-machine transfers: free when the cluster models zero-copy
+    /// (STRADS pointer swapping), otherwise charged at local memory
+    /// bandwidth without occupying the NIC. Inter-machine transfers queue
+    /// on the source NIC, then take `latency + bytes/bandwidth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker id is out of range.
+    pub fn send(
+        &mut self,
+        cluster: &ClusterSpec,
+        src_worker: usize,
+        dst_worker: usize,
+        bytes: u64,
+        ready: VirtualTime,
+    ) -> VirtualTime {
+        let src_m = cluster.machine_of(src_worker);
+        let dst_m = cluster.machine_of(dst_worker);
+        if src_m == dst_m {
+            if cluster.network.zero_copy_local {
+                return ready;
+            }
+            let tx =
+                VirtualTime::from_secs_f64(bytes as f64 * 8.0 / cluster.network.local_bandwidth_bps);
+            return ready + tx;
+        }
+        let start = ready.max(self.nic_free_tx[src_m]);
+        let tx = VirtualTime::from_secs_f64(bytes as f64 * 8.0 / cluster.network.bandwidth_bps);
+        let done_tx = start + tx;
+        self.nic_free_tx[src_m] = done_tx;
+        let arrive = done_tx + cluster.network.latency;
+        self.log.push(MsgRecord {
+            src_machine: src_m,
+            dst_machine: dst_m,
+            bytes,
+            depart: start,
+            arrive,
+        });
+        self.inter_machine_bytes += bytes;
+        arrive
+    }
+
+    /// All bytes offered to `send` that crossed machines (intra-machine
+    /// transfers are free or memcpy-priced and not counted as traffic).
+    #[allow(clippy::misnamed_getters)]
+    pub fn total_bytes(&self) -> u64 {
+        self.inter_machine_bytes
+    }
+
+    /// Number of inter-machine messages.
+    pub fn n_messages(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The raw message log.
+    pub fn log(&self) -> &[MsgRecord] {
+        &self.log
+    }
+
+    /// Aggregate cluster bandwidth usage over time: bins departures into
+    /// windows of `bin` and reports `(window start seconds, Mbps)` —
+    /// the series plotted in the paper's Fig. 12.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn bandwidth_trace(&self, bin: VirtualTime) -> Vec<(f64, f64)> {
+        assert!(bin > VirtualTime::ZERO, "bin width must be positive");
+        let end = self
+            .log
+            .iter()
+            .map(|m| m.arrive)
+            .max()
+            .unwrap_or(VirtualTime::ZERO);
+        let n_bins = (end.as_nanos() / bin.as_nanos() + 1) as usize;
+        let mut bytes_per_bin = vec![0u64; n_bins];
+        for m in &self.log {
+            let b = (m.depart.as_nanos() / bin.as_nanos()) as usize;
+            bytes_per_bin[b] += m.bytes;
+        }
+        let bin_s = bin.as_secs_f64();
+        bytes_per_bin
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 * bin_s, b as f64 * 8.0 / bin_s / 1e6))
+            .collect()
+    }
+
+    /// Resets the NIC availability to `t` on all machines (used at pass
+    /// boundaries when clocks are re-synchronized).
+    pub fn release_nics(&mut self, t: VirtualTime) {
+        for nic in &mut self.nic_free_tx {
+            *nic = (*nic).max(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        let mut c = ClusterSpec::new(2, 2);
+        c.network.bandwidth_bps = 8e9; // 1 GB/s: 1 byte = 1 ns
+        c.network.latency = VirtualTime::from_micros(10);
+        c
+    }
+
+    #[test]
+    fn inter_machine_timing() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        // 1 MB at 1 GB/s = 1 ms transfer + 10 us latency.
+        let arrive = net.send(&c, 0, 2, 1_000_000, VirtualTime::ZERO);
+        assert_eq!(
+            arrive,
+            VirtualTime::from_millis(1) + VirtualTime::from_micros(10)
+        );
+        assert_eq!(net.total_bytes(), 1_000_000);
+        assert_eq!(net.n_messages(), 1);
+    }
+
+    #[test]
+    fn nic_serializes_concurrent_sends() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        let a1 = net.send(&c, 0, 2, 1_000_000, VirtualTime::ZERO);
+        // Second send from the same machine must queue behind the first.
+        let a2 = net.send(&c, 1, 2, 1_000_000, VirtualTime::ZERO);
+        assert_eq!(a2.saturating_sub(a1), VirtualTime::from_millis(1));
+    }
+
+    #[test]
+    fn different_machines_do_not_contend() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        let a1 = net.send(&c, 0, 2, 1_000_000, VirtualTime::ZERO);
+        let a2 = net.send(&c, 2, 0, 1_000_000, VirtualTime::ZERO);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn intra_machine_zero_copy_is_free() {
+        let mut c = cluster();
+        c.network.zero_copy_local = true;
+        let mut net = SimNet::new(&c);
+        let t = VirtualTime::from_secs(1);
+        assert_eq!(net.send(&c, 0, 1, 1_000_000, t), t);
+        assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn intra_machine_without_zero_copy_pays_memcpy() {
+        let mut c = cluster();
+        c.network.zero_copy_local = false;
+        c.network.local_bandwidth_bps = 8e9;
+        let mut net = SimNet::new(&c);
+        let arrive = net.send(&c, 0, 1, 1_000_000, VirtualTime::ZERO);
+        assert_eq!(arrive, VirtualTime::from_millis(1));
+        // Not counted as network traffic.
+        assert_eq!(net.total_bytes(), 0);
+    }
+
+    #[test]
+    fn bandwidth_trace_bins_departures() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        net.send(&c, 0, 2, 1_000_000, VirtualTime::ZERO);
+        net.send(&c, 0, 2, 1_000_000, VirtualTime::from_secs(1));
+        let trace = net.bandwidth_trace(VirtualTime::from_secs(1));
+        assert_eq!(trace.len(), 2);
+        // 1 MB in a 1 s bin = 8 Mbps.
+        assert!((trace[0].1 - 8.0).abs() < 1e-9);
+        assert!((trace[1].1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_nics_moves_forward_only() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        net.send(&c, 0, 2, 8_000_000_000, VirtualTime::ZERO); // 8 s of tx
+        net.release_nics(VirtualTime::from_secs(1));
+        // NIC still busy until 8 s; a new send queues there.
+        let arrive = net.send(&c, 0, 2, 0, VirtualTime::ZERO);
+        assert!(arrive >= VirtualTime::from_secs(8));
+    }
+}

@@ -1,0 +1,125 @@
+//! Virtual time.
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// The runtime executes the real training algorithm while a cluster model
+/// advances virtual clocks; all reported "seconds" in experiment output
+/// are virtual. Nanosecond integers keep the simulation exactly
+/// deterministic across runs and platforms.
+///
+/// # Examples
+///
+/// ```
+/// use orion_sim::VirtualTime;
+/// let t = VirtualTime::from_secs_f64(1.5) + VirtualTime::from_nanos(500);
+/// assert_eq!(t.as_nanos(), 1_500_000_500);
+/// assert!((t.as_secs_f64() - 1.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// Time zero.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtualTime(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        VirtualTime(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds (rounded to nanoseconds; negative values
+    /// clamp to zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        VirtualTime((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl core::ops::Add for VirtualTime {
+    type Output = VirtualTime;
+
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Mul<u64> for VirtualTime {
+    type Output = VirtualTime;
+
+    fn mul(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(VirtualTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(VirtualTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(VirtualTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(VirtualTime::from_secs_f64(0.25).as_nanos(), 250_000_000);
+        assert_eq!(VirtualTime::from_secs_f64(-1.0), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = VirtualTime::from_secs(1);
+        t += VirtualTime::from_millis(500);
+        assert_eq!(t, VirtualTime::from_millis(1500));
+        assert_eq!(t * 2, VirtualTime::from_secs(3));
+        assert_eq!(
+            VirtualTime::from_secs(1).saturating_sub(VirtualTime::from_secs(2)),
+            VirtualTime::ZERO
+        );
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(VirtualTime::from_secs(1) < VirtualTime::from_secs(2));
+        assert_eq!(VirtualTime::from_millis(1500).to_string(), "1.500s");
+    }
+}

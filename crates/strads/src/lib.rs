@@ -1,0 +1,177 @@
+//! A STRADS-like manually model-parallel baseline [26] (paper §2.2, §6.4).
+//!
+//! STRADS applications hand-code the same dependence-preserving schedule
+//! Orion derives automatically (the paper: "Orion's parallelization
+//! strategies are similar to STRADS but our focus is on automating").
+//! Consequently this baseline *reuses* the runtime's unordered 2-D
+//! rotation schedule — per-iteration convergence matches Orion by
+//! construction, exactly as Fig. 11 reports — and differs in the system
+//! constants the paper attributes the throughput gap to:
+//!
+//! - **zero-copy intra-machine communication**: "communicating data
+//!   between workers on the same machine requires only pointer swapping";
+//! - **C++ vs Julia compute**: STRADS's C++ update loops run faster than
+//!   Orion's Julia-generated code for marshalling-heavy apps like LDA,
+//!   while SGD MF (float-array communication, trivial serialization) is
+//!   a wash.
+//!
+//! It also records the paper's programmer-effort comparison: the STRADS
+//! SGD MF application is 1788 lines of hand-written C++ coordination
+//! code versus under 90 lines of Julia on Orion (§2.2, Table 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use orion_sim::{ClusterSpec, CpuSpec, NetworkSpec, VirtualTime};
+
+/// Lines of C++ in the original STRADS SGD MF application (coordinator +
+/// worker), as reported in §2.2 — the manual-effort datum of Table 2.
+pub const STRADS_SGD_MF_LOC: usize = 1788;
+
+/// System constants of the STRADS baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct StradsProfile {
+    /// Compute-time multiplier relative to the reference (Julia) apps.
+    /// < 1.0: C++ update loops are faster.
+    pub compute_scale: f64,
+    /// Marshalling cost per byte — near zero: STRADS moves pointers
+    /// within a machine and ships raw structs across.
+    pub marshal_ns_per_byte: f64,
+}
+
+impl StradsProfile {
+    /// Profile matching the paper's LDA observations: Orion takes
+    /// ~1.8–4× longer per iteration than STRADS on LDA, "largely due to
+    /// a communication optimization" (pointer swapping) plus Julia
+    /// overhead.
+    pub fn lda() -> Self {
+        StradsProfile {
+            compute_scale: 0.5,
+            marshal_ns_per_byte: 0.02,
+        }
+    }
+
+    /// Profile for SGD MF (w/ AdaRev): "achieving a similar computation
+    /// throughput on SGD MF AdaRev" — communication is float arrays with
+    /// trivial serialization, so only a mild C++ edge remains.
+    pub fn sgd_mf() -> Self {
+        StradsProfile {
+            compute_scale: 0.9,
+            marshal_ns_per_byte: 0.05,
+        }
+    }
+}
+
+/// Builds the simulated cluster for a STRADS run: same machine/worker
+/// geometry as `base`, with zero-copy intra-machine transport and the
+/// profile's CPU constants.
+///
+/// # Examples
+///
+/// ```
+/// use orion_sim::ClusterSpec;
+/// use orion_strads::{strads_cluster, StradsProfile};
+/// let orion = ClusterSpec::paper_12_machines();
+/// let strads = strads_cluster(&orion, StradsProfile::lda());
+/// assert!(strads.network.zero_copy_local);
+/// assert!(strads.cpu.compute_scale < orion.cpu.compute_scale);
+/// ```
+pub fn strads_cluster(base: &ClusterSpec, profile: StradsProfile) -> ClusterSpec {
+    ClusterSpec {
+        n_machines: base.n_machines,
+        workers_per_machine: base.workers_per_machine,
+        network: NetworkSpec {
+            zero_copy_local: true,
+            ..base.network.clone()
+        },
+        cpu: CpuSpec {
+            compute_scale: profile.compute_scale,
+            marshal_ns_per_byte: profile.marshal_ns_per_byte,
+        },
+    }
+}
+
+/// Hand-written schedule parameters of a STRADS application — what the
+/// programmer of §2.2 must derive manually, and what Orion's analyzer
+/// derives automatically. Kept as an explicit artifact to make the
+/// "manual parallelization" contrast concrete.
+#[derive(Debug, Clone, Copy)]
+pub struct ManualSchedule {
+    /// Iteration-space dimension statically assigned to workers.
+    pub space_dim: usize,
+    /// Iteration-space dimension swept across time steps.
+    pub time_dim: usize,
+}
+
+impl ManualSchedule {
+    /// The schedule the STRADS authors hand-derived for SGD MF
+    /// (stratified SGD, Fig. 2): partition by user rows, rotate item
+    /// columns.
+    pub fn sgd_mf() -> Self {
+        ManualSchedule {
+            space_dim: 0,
+            time_dim: 1,
+        }
+    }
+
+    /// The hand-derived LDA schedule: partition by documents, rotate the
+    /// vocabulary.
+    pub fn lda() -> Self {
+        ManualSchedule {
+            space_dim: 0,
+            time_dim: 1,
+        }
+    }
+
+    /// The strategy value equivalent to this manual schedule, to feed the
+    /// shared runtime.
+    pub fn as_strategy(&self) -> orion_analysis::Strategy {
+        orion_analysis::Strategy::TwoD {
+            space: self.space_dim,
+            time: self.time_dim,
+            ordered: false,
+        }
+    }
+}
+
+/// Virtual-time helper: STRADS's hand-rolled synchronization uses the
+/// same point-to-point signaling the runtime models; nothing extra to
+/// charge. Exposed for symmetry in the benchmarks.
+pub fn sync_overhead() -> VirtualTime {
+    VirtualTime::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_inherits_geometry() {
+        let base = ClusterSpec::new(3, 4);
+        let s = strads_cluster(&base, StradsProfile::sgd_mf());
+        assert_eq!(s.n_machines, 3);
+        assert_eq!(s.n_workers(), 12);
+        assert!(s.network.zero_copy_local);
+        assert_eq!(s.cpu.compute_scale, 0.9);
+    }
+
+    #[test]
+    fn manual_schedule_matches_orion_mf_strategy() {
+        let manual = ManualSchedule::sgd_mf().as_strategy();
+        assert_eq!(
+            manual,
+            orion_analysis::Strategy::TwoD {
+                space: 0,
+                time: 1,
+                ordered: false
+            }
+        );
+    }
+
+    #[test]
+    fn lda_profile_is_faster_than_reference() {
+        let p = StradsProfile::lda();
+        assert!(p.compute_scale < 1.0);
+        assert!(p.marshal_ns_per_byte < CpuSpec::reference().marshal_ns_per_byte);
+    }
+}

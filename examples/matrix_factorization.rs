@@ -1,0 +1,66 @@
+//! SGD matrix factorization: dependence-aware parallelism vs data
+//! parallelism on a Netflix-like workload (the paper's headline
+//! comparison, Fig. 9b).
+//!
+//! Run with: `cargo run --release --example matrix_factorization`
+
+use orion::apps::sgd_mf::{train_orion, train_serial, MfConfig, MfPsAdapter, MfRunConfig};
+use orion::core::ClusterSpec;
+use orion::data::{RatingsConfig, RatingsData};
+use orion::ps::{PsConfig, PsEngine};
+
+fn main() {
+    let data = RatingsData::generate(RatingsConfig {
+        n_users: 400,
+        n_items: 320,
+        nnz: 30_000,
+        true_rank: 8,
+        skew: 0.7,
+        noise: 0.1,
+        seed: 5,
+    });
+    let passes = 10u64;
+    let cfg = MfConfig::new(16);
+    let cluster = ClusterSpec::new(8, 4);
+
+    println!("training SGD MF, rank 16, {} ratings, {} passes\n", data.nnz(), passes);
+
+    let (_, serial) = train_serial(&data, cfg.clone(), passes);
+    let run = MfRunConfig {
+        cluster: cluster.clone(),
+        passes,
+        ordered: false,
+    };
+    let (_, orion_stats) = train_orion(&data, cfg.clone(), &run);
+
+    // The data-parallel baseline gets its own tuned (smaller) step size,
+    // the largest that stays stable under conflicting updates.
+    let mut ps = PsEngine::new(
+        MfPsAdapter::new(&data, cfg),
+        PsConfig::vanilla(cluster, 0.02),
+    );
+    for _ in 0..passes {
+        ps.run_pass();
+    }
+    let ps_stats = ps.finish();
+
+    println!("{:>4}  {:>14}  {:>22}  {:>16}", "pass", "serial", "Orion (dep-aware)", "data parallelism");
+    for p in 0..passes as usize {
+        println!(
+            "{:>4}  {:>14.1}  {:>22.1}  {:>16.1}",
+            p,
+            serial.progress[p].metric,
+            orion_stats.progress[p].metric,
+            ps_stats.progress[p].metric
+        );
+    }
+    println!(
+        "\nOrion matches serial convergence per pass while running on 32 workers;\n\
+         data parallelism needs many more passes for the same loss (paper Fig. 9b)."
+    );
+    println!(
+        "virtual time for {passes} passes: serial {}, Orion {}",
+        serial.progress.last().unwrap().time,
+        orion_stats.progress.last().unwrap().time,
+    );
+}

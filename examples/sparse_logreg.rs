@@ -1,0 +1,58 @@
+//! Sparse logistic regression: value-dependent subscripts, DistArray
+//! Buffers, and the three bulk-prefetching regimes of the paper's §6.3
+//! (no prefetch / synthesized recording pass / cached indices).
+//!
+//! Run with: `cargo run --release --example sparse_logreg`
+
+use orion::apps::slr::{train_orion, SlrConfig, SlrRunConfig};
+use orion::core::{ClusterSpec, PrefetchMode};
+use orion::data::{SparseConfig, SparseData};
+
+fn main() {
+    let data = SparseData::generate(SparseConfig {
+        n_samples: 1_500,
+        n_features: 20_000,
+        nnz_per_sample: 25,
+        skew: 0.9,
+        informative_frac: 0.1,
+        seed: 9,
+    });
+    println!(
+        "dataset: {} samples, {} features, {:.1} nonzeros/sample",
+        data.samples.len(),
+        data.config.n_features,
+        data.mean_nnz()
+    );
+
+    let passes = 5u64;
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("no prefetch", PrefetchMode::Disabled),
+        ("synthesized prefetch", PrefetchMode::Recorded),
+        ("cached prefetch indices", PrefetchMode::CachedRecorded),
+    ] {
+        let run = SlrRunConfig {
+            cluster: ClusterSpec::new(1, 8),
+            passes,
+            prefetch_override: Some(mode),
+        };
+        // Data parallelism needs a gentler step than serial SGD would
+        // tolerate: buffered updates of hot features apply in one lump.
+        let cfg = SlrConfig {
+            step_size: 0.002,
+            adaptive: false,
+        };
+        let (_, stats) = train_orion(&data, cfg, &run);
+        let secs = stats.progress.last().unwrap().time.as_secs_f64() / passes as f64;
+        rows.push((label, secs, stats.final_metric().unwrap()));
+    }
+
+    println!("\n{:<26}  {:>16}  {:>12}", "mode", "virtual s/pass", "final loss");
+    for (label, secs, loss) in &rows {
+        println!("{label:<26}  {secs:>16.6}  {loss:>12.4}");
+    }
+    println!(
+        "\nsame losses (prefetching never changes results), wildly different times —\n\
+         the paper measures 7682 s -> 9.2 s -> 6.3 s per pass on KDD2010 (§6.3)."
+    );
+}

@@ -1,0 +1,67 @@
+//! CP tensor decomposition: a 3-dimensional iteration space where the
+//! analyzer correctly refuses to parallelize the loop as written (every
+//! pair of modes is defeated by the third factor's dependences), and the
+//! programming model's buffering escape hatch recovers unordered 2-D
+//! parallelism by relaxing only the smallest factor.
+//!
+//! Run with: `cargo run --release --example tensor_decomposition`
+
+use orion::apps::tensor_cp::{analyze_unbuffered, train_orion, CpConfig, CpRunConfig};
+use orion::core::ClusterSpec;
+use orion::data::{TensorConfig, TensorData};
+
+fn main() {
+    let data = TensorData::generate(TensorConfig::bench());
+    println!(
+        "tensor: {:?}, {} observed entries",
+        data.entries.shape().dims(),
+        data.entries.nnz()
+    );
+
+    // As written: three all-conflicting dependence families => serial.
+    let verdict = analyze_unbuffered(&data, &CpConfig::new(8));
+    println!("\nanalyzer verdict without buffering: {}", verdict.label());
+    println!("(correct: no pair of modes annihilates every dependence vector)");
+
+    // With the context factor S buffered: 2-D unordered over (users, items).
+    let passes = 12u64;
+    let serial = train_orion(
+        &data,
+        CpConfig::new(8),
+        &CpRunConfig {
+            cluster: ClusterSpec::serial(),
+            passes,
+            buffer_s: false,
+        },
+    )
+    .1;
+    let mut buffered_cfg = CpConfig::new(8);
+    buffered_cfg.step_size = 0.02; // tuned for lumped S application
+    let parallel = train_orion(
+        &data,
+        buffered_cfg,
+        &CpRunConfig {
+            cluster: ClusterSpec::new(2, 2),
+            passes,
+            buffer_s: true,
+        },
+    )
+    .1;
+
+    println!("\n{:>4}  {:>20}  {:>24}", "pass", "serial (t, loss)", "buffered 2D (t, loss)");
+    for p in 0..passes as usize {
+        println!(
+            "{:>4}  {:>10} {:>9.1}  {:>12} {:>11.1}",
+            p,
+            format!("{}", serial.progress[p].time),
+            serial.progress[p].metric,
+            format!("{}", parallel.progress[p].time),
+            parallel.progress[p].metric
+        );
+    }
+    println!(
+        "\nBuffering S trades some per-pass convergence (its updates apply at\n\
+         pass boundaries) for 2-D parallel execution — the same relaxation\n\
+         trade the paper's §3.3 makes, confined to one small factor."
+    );
+}

@@ -1,0 +1,53 @@
+//! LDA topic modeling with collapsed Gibbs sampling, parallelized by
+//! Orion: documents stay local, the word–topic table rotates, and the
+//! topic-summary row is deliberately relaxed through a DistArray Buffer
+//! (the paper's "non-critical dependences").
+//!
+//! Run with: `cargo run --release --example topic_model`
+
+use orion::apps::lda::{train_orion, train_serial, LdaConfig, LdaRunConfig};
+use orion::core::ClusterSpec;
+use orion::data::{CorpusConfig, CorpusData};
+
+fn main() {
+    let corpus = CorpusData::generate(CorpusConfig::nytimes_like());
+    println!(
+        "corpus: {} docs, vocab {}, {} tokens",
+        corpus.config.n_docs, corpus.config.vocab, corpus.n_tokens
+    );
+
+    let cfg = LdaConfig::new(20);
+    let passes = 10u64;
+
+    let (_, serial) = train_serial(&corpus, cfg.clone(), passes);
+    let run = LdaRunConfig {
+        cluster: ClusterSpec::new(8, 4),
+        passes,
+        ordered: false,
+    };
+    let (model, parallel) = train_orion(&corpus, cfg, &run);
+
+    println!("\n{:>4}  {:>18}  {:>18}", "pass", "serial NLL/token", "Orion NLL/token");
+    for p in 0..passes as usize {
+        println!(
+            "{:>4}  {:>18.4}  {:>18.4}",
+            p, serial.progress[p].metric, parallel.progress[p].metric
+        );
+    }
+
+    // Show the top words of a few topics (by word–topic counts).
+    println!("\ntop words per topic (word ids):");
+    for t in 0..4usize {
+        let mut scored: Vec<(u32, i64)> = (0..corpus.config.vocab as i64)
+            .map(|w| (model.wt.row_slice(w)[t], w))
+            .filter(|(c, _)| *c > 0)
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0));
+        let top: Vec<i64> = scored.iter().take(8).map(|&(_, w)| w).collect();
+        println!("  topic {t}: {top:?}");
+    }
+    println!(
+        "\nparallel Gibbs tracks serial convergence (paper Fig. 9c) at {} virtual s/pass",
+        parallel.secs_per_iteration(2, passes).unwrap_or(f64::NAN)
+    );
+}

@@ -1,0 +1,46 @@
+//! # Orion-rs
+//!
+//! A from-scratch Rust reproduction of *"Automating Dependence-Aware
+//! Parallelization of Machine Learning Training on Distributed Shared
+//! Memory"* (Wei, Gibson, Gibbons, Xing — EuroSys 2019).
+//!
+//! Orion automatically parallelizes serial imperative ML training
+//! programs: a static dependence analysis over the program's DistArray
+//! access pattern decides whether a loop can run 1-D, 2-D (ordered or
+//! unordered), or after a unimodular transformation of its iteration
+//! space — preserving the loop-carried dependences that govern
+//! convergence — and compiles an optimized distributed computation
+//! schedule with locality-aware array placement, pipelined rotation and
+//! bulk prefetching.
+//!
+//! This facade crate re-exports the full workspace:
+//!
+//! - [`ir`] — the loop/access IR (what Orion's Julia macro extracts);
+//! - [`analysis`] — dependence vectors, strategy selection, unimodular
+//!   transformations, placement heuristics (the paper's core);
+//! - [`dsm`] — DistArrays, buffers, accumulators, partitioning;
+//! - [`sim`] — the deterministic virtual-time cluster simulator;
+//! - [`runtime`] — schedules, the simulated executor, the real-thread
+//!   engine, prefetch models;
+//! - [`core`] — the user-facing [`core::Driver`] API;
+//! - [`ps`] / [`strads`] / [`dataflow`] — the Bösen, STRADS and
+//!   TensorFlow-style baselines of the paper's evaluation;
+//! - [`data`] — seeded synthetic datasets (Netflix-, NYTimes-,
+//!   ClueWeb-, KDD-like);
+//! - [`apps`] — SGD MF, LDA, SLR, GBT and CP tensor decomposition, each
+//!   with serial and Orion-parallelized runners.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction methodology.
+
+pub use orion_analysis as analysis;
+pub use orion_apps as apps;
+pub use orion_core as core;
+pub use orion_data as data;
+pub use orion_dataflow as dataflow;
+pub use orion_dsm as dsm;
+pub use orion_ir as ir;
+pub use orion_ps as ps;
+pub use orion_runtime as runtime;
+pub use orion_sim as sim;
+pub use orion_strads as strads;

@@ -1,0 +1,155 @@
+//! Property tests of the DSM substrate: index arithmetic, split/merge,
+//! partition tiling and balance, buffer-vs-serial equivalence, codec and
+//! checkpoint round trips.
+
+use orion::dsm::{checkpoint, codec, DistArray, DistArrayBuffer, RangePartition, Shape};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..8, 1..4)
+}
+
+fn arb_sparse_array() -> impl Strategy<Value = DistArray<f32>> {
+    arb_dims().prop_flat_map(|dims| {
+        let volume: u64 = dims.iter().product();
+        let d = dims.clone();
+        proptest::collection::btree_set(0..volume, 0..volume.min(32) as usize).prop_map(
+            move |flats| {
+                let shape = Shape::new(d.clone());
+                DistArray::sparse_from(
+                    "a",
+                    d.clone(),
+                    flats
+                        .iter()
+                        .map(|&f| (shape.unflatten(f), f as f32 + 0.5)),
+                )
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flatten_unflatten_bijection(dims in arb_dims()) {
+        let shape = Shape::new(dims);
+        for f in 0..shape.volume() {
+            let idx = shape.unflatten(f);
+            prop_assert!(shape.contains(&idx));
+            prop_assert_eq!(shape.flatten(&idx), Some(f));
+        }
+    }
+
+    #[test]
+    fn uniform_partition_tiles_exactly(extent in 1u64..200, parts in 1usize..16) {
+        prop_assume!(parts as u64 <= extent);
+        let p = RangePartition::uniform(0, extent, parts);
+        prop_assert_eq!(p.extent(), extent);
+        // Every coordinate belongs to exactly one part and sizes differ
+        // by at most one.
+        let mut counts = vec![0u64; parts];
+        for c in 0..extent {
+            counts[p.part_of(c)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "uniform sizes {counts:?}");
+    }
+
+    #[test]
+    fn balanced_partition_never_worse_than_uniform(
+        weights in proptest::collection::vec(0u64..50, 4..64),
+        parts in 2usize..8,
+    ) {
+        prop_assume!(parts <= weights.len());
+        let load = |p: &RangePartition| -> u64 {
+            p.ranges
+                .iter()
+                .map(|r| weights[r.start as usize..r.end as usize].iter().sum())
+                .max()
+                .unwrap()
+        };
+        let balanced = RangePartition::balanced(0, &weights, parts);
+        let uniform = RangePartition::uniform(0, weights.len() as u64, parts);
+        prop_assert_eq!(balanced.extent(), weights.len() as u64);
+        prop_assert!(
+            load(&balanced) <= load(&uniform),
+            "balanced {} vs uniform {}",
+            load(&balanced),
+            load(&uniform)
+        );
+    }
+
+    #[test]
+    fn split_merge_is_identity(a in arb_sparse_array(), parts in 1usize..5) {
+        let dims = a.shape().dims().to_vec();
+        let dim = dims.iter().enumerate().max_by_key(|(_, &e)| e).map(|(i, _)| i).unwrap();
+        prop_assume!(parts as u64 <= dims[dim]);
+        let p = RangePartition::uniform(dim, dims[dim], parts);
+        let split = a.clone().split_along(dim, &p.ranges);
+        prop_assert_eq!(split.len(), parts);
+        let merged = DistArray::merge_along(dim, split);
+        prop_assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn buffered_writes_equal_serial_application(
+        writes in proptest::collection::vec((0i64..16, -10.0f32..10.0), 0..64)
+    ) {
+        // Applying buffered (combined) writes must equal applying each
+        // write serially, for an associative-commutative apply UDF.
+        let mut direct: DistArray<f32> = DistArray::dense("d", vec![16]);
+        let mut via_buffer: DistArray<f32> = DistArray::dense("b", vec![16]);
+        let mut buf = DistArrayBuffer::additive(via_buffer.shape().clone());
+        for &(i, v) in &writes {
+            direct.update(&[i], |x| *x += v);
+            buf.write(&[i], v);
+        }
+        buf.apply_to(&mut via_buffer, |x, d| *x += d);
+        for i in 0..16i64 {
+            let a = direct.get(&[i]).unwrap();
+            let b = via_buffer.get(&[i]).unwrap();
+            prop_assert!((a - b).abs() < 1e-4, "slot {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn codec_updates_roundtrip(updates in proptest::collection::vec((0u64..1_000_000, any::<f32>()), 0..64)) {
+        let wire = codec::encode_updates(&updates);
+        prop_assert_eq!(wire.len() as u64, codec::updates_wire_bytes::<f32>(updates.len() as u64));
+        let decoded = codec::decode_updates::<f32>(wire);
+        prop_assert_eq!(decoded.len(), updates.len());
+        for ((i1, v1), (i2, v2)) in decoded.iter().zip(&updates) {
+            prop_assert_eq!(i1, i2);
+            prop_assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_sparse(a in arb_sparse_array()) {
+        let b = checkpoint::from_bytes::<f32>(checkpoint::to_bytes(&a)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_sums_to_nnz(a in arb_sparse_array()) {
+        for dim in 0..a.shape().ndims() {
+            let h = a.histogram_along(dim);
+            prop_assert_eq!(h.iter().sum::<u64>(), a.nnz());
+        }
+    }
+
+    #[test]
+    fn randomize_preserves_value_multiset(a in arb_sparse_array(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut b = a.clone();
+        let dims: Vec<usize> = (0..a.shape().ndims()).collect();
+        b.randomize(&dims, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.nnz(), b.nnz());
+        let mut va: Vec<u32> = a.iter().map(|(_, v)| v.to_bits()).collect();
+        let mut vb: Vec<u32> = b.iter().map(|(_, v)| v.to_bits()).collect();
+        va.sort_unstable();
+        vb.sort_unstable();
+        prop_assert_eq!(va, vb);
+    }
+}

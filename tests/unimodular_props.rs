@@ -1,0 +1,165 @@
+//! Property tests of the unimodular-transformation machinery: random
+//! compositions of elementary transforms stay unimodular and invertible;
+//! the search, when it succeeds, genuinely carries all dependences by the
+//! outermost dimension; and transformed schedules preserve dependences
+//! end to end.
+
+use orion::analysis::{find_unimodular, DepElem, DepVec, Strategy as ParStrategy, UniMat};
+use orion::runtime::build_schedule;
+use proptest::prelude::*;
+
+/// Generators of the unimodular group used by the search, in a form
+/// proptest can compose.
+#[derive(Debug, Clone, Copy)]
+enum Gen {
+    Interchange(usize, usize),
+    Reversal(usize),
+    Skew(usize, usize, i64),
+}
+
+fn arb_gen(n: usize) -> impl proptest::strategy::Strategy<Value = Gen> {
+    prop_oneof![
+        (0..n, 0..n).prop_filter_map("distinct", |(a, b)| (a != b).then_some(Gen::Interchange(a, b))),
+        (0..n).prop_map(Gen::Reversal),
+        (0..n, 0..n, -3i64..=3).prop_filter_map("distinct+nonzero", |(a, b, f)| {
+            (a != b && f != 0).then_some(Gen::Skew(a, b, f))
+        }),
+    ]
+}
+
+fn compose(n: usize, gens: &[Gen]) -> UniMat {
+    let mut t = UniMat::identity(n);
+    for g in gens {
+        let e = match *g {
+            Gen::Interchange(a, b) => UniMat::interchange(n, a, b),
+            Gen::Reversal(a) => UniMat::reversal(n, a),
+            Gen::Skew(a, b, f) => UniMat::skew(n, a, b, f),
+        };
+        t = e.mul(&t);
+    }
+    t
+}
+
+fn arb_exact_dvecs(n: usize) -> impl proptest::strategy::Strategy<Value = Vec<DepVec>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-2i64..=2, n).prop_map(|v| {
+            DepVec::new(v.into_iter().map(DepElem::Int).collect())
+        }),
+        1..4,
+    )
+    .prop_map(|vs| {
+        // Keep only lexicographically positive vectors (the form the
+        // dependence test emits).
+        vs.into_iter().filter(|d| d.is_lex_positive()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Compositions of elementary transforms have |det| = 1 and exact
+    /// integer inverses.
+    #[test]
+    fn compositions_are_unimodular(
+        n in 2usize..4,
+        gens in proptest::collection::vec(arb_gen(3), 1..6),
+    ) {
+        let gens: Vec<Gen> = gens
+            .into_iter()
+            .map(|g| match g {
+                Gen::Interchange(a, b) => Gen::Interchange(a % n, b % n),
+                Gen::Reversal(a) => Gen::Reversal(a % n),
+                Gen::Skew(a, b, f) => Gen::Skew(a % n, b % n, f),
+            })
+            .filter(|g| match *g {
+                Gen::Interchange(a, b) | Gen::Skew(a, b, _) => a != b,
+                Gen::Reversal(_) => true,
+            })
+            .collect();
+        let t = compose(n, &gens);
+        let det = t.det();
+        prop_assert!(det == 1 || det == -1, "det {det}");
+        let inv = t.inverse();
+        prop_assert_eq!(inv.mul(&t), UniMat::identity(n));
+        prop_assert_eq!(t.mul(&inv), UniMat::identity(n));
+    }
+
+    /// The transform is a lattice bijection: applying then inverting any
+    /// integer vector is the identity.
+    #[test]
+    fn transform_roundtrips_points(
+        gens in proptest::collection::vec(arb_gen(2), 1..5),
+        p in proptest::collection::vec(-50i64..50, 2),
+    ) {
+        let t = compose(2, &gens);
+        let inv = t.inverse();
+        prop_assert_eq!(inv.apply(&t.apply(&p)), p);
+    }
+
+    /// When the search succeeds on exact dependence vectors, every vector
+    /// is carried by the transformed outermost dimension.
+    #[test]
+    fn search_result_carries_all_deps(dvecs in arb_exact_dvecs(2)) {
+        prop_assume!(!dvecs.is_empty());
+        if let Some(t) = find_unimodular(&dvecs, 2) {
+            for d in &dvecs {
+                prop_assert!(
+                    t.apply_dep(d)[0].definitely_positive(),
+                    "{d} not carried by {t}"
+                );
+            }
+        }
+    }
+
+    /// End to end: a schedule built from a TwoDUnimodular strategy never
+    /// co-schedules two iterations whose distance matches a dependence
+    /// vector.
+    #[test]
+    fn unimodular_schedule_separates_dependent_iterations(dvecs in arb_exact_dvecs(2)) {
+        prop_assume!(!dvecs.is_empty());
+        let Some(t) = find_unimodular(&dvecs, 2) else {
+            return Ok(());
+        };
+        let strat = ParStrategy::TwoDUnimodular {
+            transform: t,
+            space: 1,
+            time: 0,
+        };
+        let extents = [8u64, 8];
+        let indices: Vec<Vec<i64>> = (0..8)
+            .flat_map(|i| (0..8).map(move |j| vec![i, j]))
+            .collect();
+        let sched = build_schedule(&strat, &indices, &extents, 4);
+        let mut slot = vec![(0u64, 0usize); indices.len()];
+        for st in &sched.steps {
+            for e in st {
+                for &pos in &sched.blocks[e.block] {
+                    slot[pos] = (e.step, e.worker);
+                }
+            }
+        }
+        let covers = |d: &DepVec, dist: &[i64]| {
+            d.elems().iter().zip(dist).all(|(e, &x)| match e {
+                DepElem::Int(c) => *c == x,
+                DepElem::PosAny => x >= 1,
+                DepElem::Any => true,
+            })
+        };
+        for (i, a) in indices.iter().enumerate() {
+            for (j, b) in indices.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dist = [b[0] - a[0], b[1] - a[1]];
+                if dvecs.iter().any(|d| covers(d, &dist)) {
+                    let (sa, wa) = slot[i];
+                    let (sb, wb) = slot[j];
+                    prop_assert!(
+                        sa != sb || wa == wb,
+                        "dependent {a:?}->{b:?} co-scheduled"
+                    );
+                }
+            }
+        }
+    }
+}
