@@ -82,8 +82,14 @@ fn pair_dependence(spec: &LoopSpec, ref_a: &ArrayRef, ref_b: &ArrayRef) -> Optio
         let sub_b = ref_b.subscripts[pos];
         match (sub_a, sub_b) {
             (
-                Subscript::LoopIndex { dim: da, offset: ca },
-                Subscript::LoopIndex { dim: db, offset: cb },
+                Subscript::LoopIndex {
+                    dim: da,
+                    offset: ca,
+                },
+                Subscript::LoopIndex {
+                    dim: db,
+                    offset: cb,
+                },
             ) if da == db => {
                 // sub_a(p) == sub_b(p') requires p[da] - p'[da] == cb - ca.
                 let dist = cb - ca;
@@ -152,7 +158,13 @@ mod tests {
         // position 1 demands distance 1 on the same iteration dim.
         let (z, a) = (DistArrayId(0), DistArrayId(1));
         let spec = LoopSpec::builder("l", z, vec![10])
-            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(0).shifted(1)])
+            .read(
+                a,
+                vec![
+                    Subscript::loop_index(0),
+                    Subscript::loop_index(0).shifted(1),
+                ],
+            )
             .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(0)])
             .build()
             .unwrap();

@@ -44,8 +44,8 @@
 #![warn(missing_docs)]
 
 mod comm;
-mod depvec;
 mod deptest;
+mod depvec;
 mod report;
 mod strategy;
 mod unimodular;
@@ -53,8 +53,8 @@ mod unimodular;
 pub use comm::{
     place_array, plan_placements, prefetch_plan, ArrayPlacement, Placement, PrefetchPlan,
 };
-pub use depvec::{normalize, DepElem, DepVec};
 pub use deptest::dependence_vectors;
+pub use depvec::{normalize, DepElem, DepVec};
 pub use report::report;
 pub use strategy::{analyze, ParallelPlan, Strategy};
 pub use unimodular::{find_unimodular, Ext, UniMat};

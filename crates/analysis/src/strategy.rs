@@ -3,8 +3,8 @@
 use orion_ir::{ArrayMeta, Dim, LoopSpec};
 
 use crate::comm::{plan_placements, ArrayPlacement};
-use crate::depvec::DepVec;
 use crate::deptest::dependence_vectors;
+use crate::depvec::DepVec;
 use crate::unimodular::{find_unimodular, UniMat};
 
 /// How a parallel for-loop is executed across distributed workers.
@@ -318,7 +318,10 @@ mod tests {
             meta_dense(2, "H", vec![4, 10]),
         ];
         let plan = analyze(&spec, &metas, 4);
-        assert!(matches!(plan.strategy, Strategy::TwoD { ordered: true, .. }));
+        assert!(matches!(
+            plan.strategy,
+            Strategy::TwoD { ordered: true, .. }
+        ));
     }
 
     #[test]
@@ -361,8 +364,20 @@ mod tests {
         // wavefront schedule applies without transformation.
         let (z, a) = (DistArrayId(0), DistArrayId(1));
         let spec = LoopSpec::builder("gs", z, vec![64, 64])
-            .read(a, vec![Subscript::loop_index(0).shifted(-1), Subscript::loop_index(1)])
-            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(1).shifted(-1)])
+            .read(
+                a,
+                vec![
+                    Subscript::loop_index(0).shifted(-1),
+                    Subscript::loop_index(1),
+                ],
+            )
+            .read(
+                a,
+                vec![
+                    Subscript::loop_index(0),
+                    Subscript::loop_index(1).shifted(-1),
+                ],
+            )
             .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(1)])
             .ordered()
             .build()
@@ -372,7 +387,10 @@ mod tests {
             meta_dense(1, "field", vec![64, 64]),
         ];
         let plan = analyze(&spec, &metas, 4);
-        assert!(matches!(plan.strategy, Strategy::TwoD { ordered: true, .. }));
+        assert!(matches!(
+            plan.strategy,
+            Strategy::TwoD { ordered: true, .. }
+        ));
     }
 
     #[test]
@@ -389,7 +407,13 @@ mod tests {
                     Subscript::loop_index(1).shifted(1),
                 ],
             )
-            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(1).shifted(-1)])
+            .read(
+                a,
+                vec![
+                    Subscript::loop_index(0),
+                    Subscript::loop_index(1).shifted(-1),
+                ],
+            )
             .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(1)])
             .ordered()
             .build()
@@ -400,7 +424,11 @@ mod tests {
         ];
         let plan = analyze(&spec, &metas, 4);
         match &plan.strategy {
-            Strategy::TwoDUnimodular { transform, time, space } => {
+            Strategy::TwoDUnimodular {
+                transform,
+                time,
+                space,
+            } => {
                 assert_eq!(*time, 0);
                 assert_ne!(*space, 0);
                 assert_ne!(transform, &UniMat::identity(2));
@@ -449,7 +477,13 @@ mod tests {
         // though (0, x) pairs would also qualify for 2D.
         let (z, a) = (DistArrayId(0), DistArrayId(1));
         let spec = LoopSpec::builder("l", z, vec![10, 10])
-            .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(1).shifted(-1)])
+            .read(
+                a,
+                vec![
+                    Subscript::loop_index(0),
+                    Subscript::loop_index(1).shifted(-1),
+                ],
+            )
             .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(1)])
             .ordered()
             .build()

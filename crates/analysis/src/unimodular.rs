@@ -470,7 +470,10 @@ mod tests {
     #[test]
     fn wavefront_needs_skew() {
         // {(1,0), (0,1)}: identity does not carry (0,1) on dim 0.
-        let dvecs = vec![dv(&[DepElem::Int(1), DepElem::Int(0)]), dv(&[DepElem::Int(0), DepElem::Int(1)])];
+        let dvecs = vec![
+            dv(&[DepElem::Int(1), DepElem::Int(0)]),
+            dv(&[DepElem::Int(0), DepElem::Int(1)]),
+        ];
         let t = find_unimodular(&dvecs, 2).unwrap();
         assert_ne!(t, UniMat::identity(2));
         for d in &dvecs {
@@ -488,7 +491,10 @@ mod tests {
     fn pos_any_component_is_eligible() {
         // (0, +∞) and (1, 0): skew dim0 by dim1? (0,+∞) -> q0 = 0 + f*(+∞)
         // = Pos for f>0; (1,0) -> q0 = 1. Solvable.
-        let dvecs = vec![dv(&[DepElem::Int(0), DepElem::PosAny]), dv(&[DepElem::Int(1), DepElem::Int(0)])];
+        let dvecs = vec![
+            dv(&[DepElem::Int(0), DepElem::PosAny]),
+            dv(&[DepElem::Int(1), DepElem::Int(0)]),
+        ];
         let t = find_unimodular(&dvecs, 2).unwrap();
         for d in &dvecs {
             assert!(t.apply_dep(d)[0].definitely_positive());
@@ -504,7 +510,10 @@ mod tests {
     #[test]
     fn negative_diagonal_solved_by_reversal() {
         // (1, -1) and (-0 +... ) — {(1,-1),(2,1)}: skew or reversal mix.
-        let dvecs = vec![dv(&[DepElem::Int(1), DepElem::Int(-1)]), dv(&[DepElem::Int(2), DepElem::Int(1)])];
+        let dvecs = vec![
+            dv(&[DepElem::Int(1), DepElem::Int(-1)]),
+            dv(&[DepElem::Int(2), DepElem::Int(1)]),
+        ];
         let t = find_unimodular(&dvecs, 2).unwrap();
         for d in &dvecs {
             assert!(t.apply_dep(d)[0].definitely_positive());

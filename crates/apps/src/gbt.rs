@@ -80,7 +80,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] < *threshold { *left } else { *right };
+                    i = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -142,11 +146,8 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
 
     let mut driver = Driver::new(run.cluster.clone());
     // Iteration space: the features.
-    let feat_arr: DistArray<u32> = DistArray::dense_from_fn(
-        "features",
-        vec![n_features as u64],
-        |i| i[0] as u32,
-    );
+    let feat_arr: DistArray<u32> =
+        DistArray::dense_from_fn("features", vec![n_features as u64], |i| i[0] as u32);
     let items: Vec<(Vec<i64>, u32)> = feat_arr.iter().map(|(i, &v)| (i, v)).collect();
     let feats_id = driver.register(&feat_arr);
     // Gradient vector (read by every feature) and per-feature histogram
@@ -199,8 +200,14 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
             if leaves.is_empty() {
                 break;
             }
-            let leaf_slot: std::collections::HashMap<usize, usize> =
-                leaves.iter().enumerate().map(|(s, &l)| (l, s)).collect();
+            // Dense node → histogram-slot table: the innermost loop runs
+            // per (feature, sample), so the lookup must be a plain index,
+            // not a hash probe.
+            const NO_SLOT: usize = usize::MAX;
+            let mut slot_of_node = vec![NO_SLOT; tree.nodes.len()];
+            for (s, &l) in leaves.iter().enumerate() {
+                slot_of_node[l] = s;
+            }
 
             // The Orion-parallelized loop: per-feature histograms of
             // (gradient sum, count) per (leaf, bin).
@@ -210,9 +217,10 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
                 let f = items[pos].1 as usize;
                 let hist = &mut hists[f];
                 for i in 0..n_samples {
-                    let Some(&slot) = leaf_slot.get(&assign[i]) else {
+                    let slot = slot_of_node[assign[i]];
+                    if slot == NO_SLOT {
                         continue;
-                    };
+                    }
                     let bin = ((data.at(i, f) * n_bins as f32) as usize).min(n_bins - 1);
                     let s = &mut hist[slot * n_bins + bin];
                     s.sum_g += grads[i];
@@ -225,16 +233,14 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
 
             // Pick the best split per leaf (variance gain).
             let mut grew = false;
-            for (&leaf, &slot) in &leaf_slot {
+            for (slot, &leaf) in leaves.iter().enumerate() {
                 let total: BinStat = {
                     let mut acc = BinStat::default();
-                    for f in 0..1 {
-                        // totals are feature-independent; take feature 0
-                        for b in 0..n_bins {
-                            let s = hists[f][slot * n_bins + b];
-                            acc.sum_g += s.sum_g;
-                            acc.count += s.count;
-                        }
+                    // totals are feature-independent; take feature 0
+                    for b in 0..n_bins {
+                        let s = hists[0][slot * n_bins + b];
+                        acc.sum_g += s.sum_g;
+                        acc.count += s.count;
                     }
                     acc
                 };
@@ -273,9 +279,13 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
                         left,
                         right,
                     };
-                    for i in 0..n_samples {
-                        if assign[i] == leaf {
-                            assign[i] = if data.at(i, f) < threshold { left } else { right };
+                    for (i, a) in assign.iter_mut().enumerate() {
+                        if *a == leaf {
+                            *a = if data.at(i, f) < threshold {
+                                left
+                            } else {
+                                right
+                            };
                         }
                     }
                     grew = true;
@@ -287,7 +297,8 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
         }
 
         // Leaf values: shrunken mean residual of the samples they hold.
-        let mut sums: std::collections::HashMap<usize, (f64, u64)> = std::collections::HashMap::new();
+        let mut sums: std::collections::HashMap<usize, (f64, u64)> =
+            std::collections::HashMap::new();
         for i in 0..n_samples {
             let e = sums.entry(assign[i]).or_insert((0.0, 0));
             e.0 += grads[i];
@@ -300,9 +311,8 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
         }
 
         // Update predictions and record the round.
-        for i in 0..n_samples {
-            let x = &data.features[i * n_features..(i + 1) * n_features];
-            preds[i] += tree.predict(x);
+        for (p, x) in preds.iter_mut().zip(data.features.chunks_exact(n_features)) {
+            *p += tree.predict(x);
         }
         model.trees.push(tree);
         driver.record_progress(round as u64, model.mse(data));

@@ -77,12 +77,15 @@ impl LdaModel {
         let mut z = Vec::with_capacity(items.len());
         for (pos, (idx, count)) in items.iter().enumerate() {
             let mut cell = Vec::with_capacity(*count as usize);
+            // Translate each count row to a flat base offset once per
+            // cell; topic updates are then direct offsets into it.
+            let dt_base = dt.flat_of(&[idx[0], 0]).expect("doc id in range");
+            let wt_base = wt.flat_of(&[idx[1], 0]).expect("word id in range");
             for occ in 0..*count {
-                let topic =
-                    (mix64(cfg.seed ^ (pos as u64) << 20 ^ occ as u64) % k as u64) as u16;
+                let topic = (mix64(cfg.seed ^ (pos as u64) << 20 ^ occ as u64) % k as u64) as u16;
                 cell.push(topic);
-                dt.update(&[idx[0], topic as i64], |c| *c += 1);
-                wt.update(&[idx[1], topic as i64], |c| *c += 1);
+                dt.update_flat(dt_base + topic as u64, |c| *c += 1);
+                wt.update_flat(wt_base + topic as u64, |c| *c += 1);
                 ts[topic as usize] += 1;
             }
             z.push(cell);
@@ -106,15 +109,15 @@ impl LdaModel {
         let kalpha = k as f64 * alpha;
         let doc_lens = corpus.tokens.histogram_along(0);
         let mut ll = 0.0f64;
-        for (idx, &count) in corpus.tokens.iter() {
-            let (d, w) = (idx[0], idx[1]);
+        let shape = corpus.tokens.shape();
+        for (flat, &count) in corpus.tokens.iter_flat() {
+            let (d, w) = (shape.coord_of(flat, 0), shape.coord_of(flat, 1));
             let dt_row = self.dt.row_slice(d);
             let wt_row = self.wt.row_slice(w);
             let len_d = doc_lens[d as usize] as f64;
             let mut p = 0.0f64;
             for t in 0..k {
-                p += (dt_row[t] as f64 + alpha) / (len_d + kalpha)
-                    * (wt_row[t] as f64 + beta)
+                p += (dt_row[t] as f64 + alpha) / (len_d + kalpha) * (wt_row[t] as f64 + beta)
                     / (self.ts[t] as f64 + vbeta);
             }
             ll += count as f64 * p.max(1e-300).ln();
@@ -156,11 +159,8 @@ pub fn gibbs_cell(
             total += w;
             weights[t] = total;
         }
-        let u = (mix64(
-            pass.wrapping_mul(0x9E37_79B9)
-                ^ (cell_pos as u64) << 24
-                ^ occ as u64,
-        ) as f64
+        let u = (mix64(pass.wrapping_mul(0x9E37_79B9) ^ (cell_pos as u64) << 24 ^ occ as u64)
+            as f64
             / u64::MAX as f64)
             * total;
         let new = weights.partition_point(|&c| c < u).min(k - 1);
@@ -238,7 +238,12 @@ pub fn train_orion(
         let mut local_ts: Vec<Vec<i64>> = vec![snapshot.clone(); n_workers];
         {
             let LdaModel {
-                dt, wt, z, cfg, vocab, ..
+                dt,
+                wt,
+                z,
+                cfg,
+                vocab,
+                ..
             } = &mut model;
             driver.run_pass(&compiled, &mut |pos| iter_cost[pos], &mut |w, pos| {
                 let (idx, _) = &items[pos];
@@ -255,9 +260,9 @@ pub fn train_orion(
             });
         }
         // Apply buffered summary deltas.
-        for w in 0..n_workers {
+        for lt in &local_ts {
             for t in 0..k {
-                model.ts[t] += local_ts[w][t] - snapshot[t];
+                model.ts[t] += lt[t] - snapshot[t];
             }
         }
         driver.record_progress(pass, model.neg_log_likelihood(corpus));
@@ -278,7 +283,6 @@ pub fn train_serial(corpus: &CorpusData, cfg: LdaConfig, passes: u64) -> (LdaMod
     // interpretation).
     train_orion(corpus, cfg, &run)
 }
-
 
 /// Resamples one cell under *stale* word–topic counts: the worker reads
 /// a pass-start snapshot of `wt`/`ts` corrected by its own buffered
@@ -315,9 +319,8 @@ pub fn gibbs_cell_stale(
             total += w;
             weights[t] = total;
         }
-        let u = (mix64(
-            pass.wrapping_mul(0x9E37_79B9) ^ (cell_pos as u64) << 24 ^ occ as u64,
-        ) as f64
+        let u = (mix64(pass.wrapping_mul(0x9E37_79B9) ^ (cell_pos as u64) << 24 ^ occ as u64)
+            as f64
             / u64::MAX as f64)
             * total;
         let new = weights.partition_point(|&c| c < u).min(k - 1);
@@ -384,7 +387,13 @@ pub fn train_orion_1d(
         let mut wt_delta: Vec<Vec<i64>> = vec![vec![0i64; vocab * k]; n_workers];
         let mut ts_delta: Vec<Vec<i64>> = vec![vec![0i64; k]; n_workers];
         {
-            let LdaModel { dt, z, cfg, vocab: vc, .. } = &mut model;
+            let LdaModel {
+                dt,
+                z,
+                cfg,
+                vocab: vc,
+                ..
+            } = &mut model;
             driver.run_pass(&compiled, &mut |pos| iter_cost[pos], &mut |w, pos| {
                 let (idx, _) = &items[pos];
                 let word = idx[1] as usize;
@@ -407,21 +416,23 @@ pub fn train_orion_1d(
         let mut up_bytes = 0u64;
         for w in 0..n_workers {
             up_bytes += wt_delta[w].iter().filter(|&&d| d != 0).count() as u64 * 12;
-            for word in 0..vocab {
-                for t in 0..k {
-                    let d = wt_delta[w][word * k + t];
-                    if d != 0 {
-                        model.wt.update(&[word as i64, t as i64], |c| {
-                            *c = (*c as i64 + d).max(0) as u32;
-                        });
-                    }
+            // `wt` is the full (unpartitioned) table, so the delta index
+            // `word * k + t` is already its flat offset.
+            for (flat, &d) in wt_delta[w].iter().enumerate() {
+                if d != 0 {
+                    model.wt.update_flat(flat as u64, |c| {
+                        *c = (*c as i64 + d).max(0) as u32;
+                    });
                 }
             }
-            for t in 0..k {
-                model.ts[t] += ts_delta[w][t];
+            for (t, &d) in ts_delta[w].iter().enumerate() {
+                model.ts[t] += d;
             }
         }
-        driver.sync_exchange(up_bytes / n_workers.max(1) as u64, up_bytes / n_workers.max(1) as u64);
+        driver.sync_exchange(
+            up_bytes / n_workers.max(1) as u64,
+            up_bytes / n_workers.max(1) as u64,
+        );
         driver.record_progress(pass, model.neg_log_likelihood(corpus));
     }
     (model, driver.finish())
@@ -524,20 +535,18 @@ impl PsApp for LdaPsAdapter {
             out.add((w * k + old) as u32, -1.0);
             out.add((self.vocab * k + old) as u32, -1.0);
             let mut total = 0.0f64;
-            for t in 0..k {
-                let wt_c = (view.get((w * k + t) as u32) + out.get((w * k + t) as u32))
-                    .max(0.0) as f64;
+            for (t, slot) in weights.iter_mut().enumerate() {
+                let wt_c =
+                    (view.get((w * k + t) as u32) + out.get((w * k + t) as u32)).max(0.0) as f64;
                 let ts_c = (view.get((self.vocab * k + t) as u32)
                     + out.get((self.vocab * k + t) as u32))
                 .max(0.0) as f64;
-                let wgt =
-                    (st.dt[d * k + t] as f64 + alpha) * (wt_c + beta) / (ts_c + vbeta);
+                let wgt = (st.dt[d * k + t] as f64 + alpha) * (wt_c + beta) / (ts_c + vbeta);
                 total += wgt;
-                weights[t] = total;
+                *slot = total;
             }
-            let u = (mix64(
-                pass.wrapping_mul(0x9E37_79B9) ^ (item as u64) << 24 ^ occ as u64,
-            ) as f64
+            let u = (mix64(pass.wrapping_mul(0x9E37_79B9) ^ (item as u64) << 24 ^ occ as u64)
+                as f64
                 / u64::MAX as f64)
                 * total;
             let new = weights.partition_point(|&c| c < u).min(k - 1);
@@ -584,7 +593,12 @@ mod tests {
         let c = corpus();
         let m = LdaModel::init(&c, LdaConfig::new(4));
         let total_dt: u64 = (0..c.config.n_docs as i64)
-            .flat_map(|d| m.dt.row_slice(d).iter().map(|&x| x as u64).collect::<Vec<_>>())
+            .flat_map(|d| {
+                m.dt.row_slice(d)
+                    .iter()
+                    .map(|&x| x as u64)
+                    .collect::<Vec<_>>()
+            })
             .sum();
         let total_ts: i64 = m.ts.iter().sum();
         assert_eq!(total_dt, c.n_tokens);
@@ -615,7 +629,12 @@ mod tests {
         let total_ts: i64 = m.ts.iter().sum();
         assert_eq!(total_ts as u64, c.n_tokens, "topic totals conserved");
         let total_wt: u64 = (0..c.config.vocab as i64)
-            .flat_map(|w| m.wt.row_slice(w).iter().map(|&x| x as u64).collect::<Vec<_>>())
+            .flat_map(|w| {
+                m.wt.row_slice(w)
+                    .iter()
+                    .map(|&x| x as u64)
+                    .collect::<Vec<_>>()
+            })
             .sum();
         assert_eq!(total_wt, c.n_tokens, "word-topic counts conserved");
     }
@@ -666,7 +685,6 @@ mod tests {
             "dependence-aware should converge at least as fast per pass"
         );
     }
-
 
     #[test]
     fn one_d_data_parallel_lda_converges_but_lags() {

@@ -13,9 +13,7 @@
 //! parallelism ([`MfPsAdapter`]), and TensorFlow-style mini-batch
 //! dataflow ([`MfDataflowAdapter`]).
 
-use orion_core::{
-    ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript,
-};
+use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript};
 use orion_data::RatingsData;
 use orion_dsm::Element;
 use orion_ps::{PsApp, PsView, UpdateLog};
@@ -76,12 +74,8 @@ impl MfModel {
             // Uniform in [-scale, scale): adequate symmetric init.
             (rng.random::<f32>() * 2.0 - 1.0) * scale
         };
-        let w = DistArray::dense_from_fn("W", vec![n_users, cfg.rank as u64], |_| {
-            sample(&mut rng)
-        });
-        let h = DistArray::dense_from_fn("H", vec![n_items, cfg.rank as u64], |_| {
-            sample(&mut rng)
-        });
+        let w = DistArray::dense_from_fn("W", vec![n_users, cfg.rank as u64], |_| sample(&mut rng));
+        let h = DistArray::dense_from_fn("H", vec![n_items, cfg.rank as u64], |_| sample(&mut rng));
         MfModel {
             w,
             h,
@@ -109,12 +103,7 @@ impl MfModel {
     /// squared error.
     pub fn sgd_update(&mut self, u: i64, i: i64, v: f32) -> f64 {
         let step = self.effective_step(u, i, v);
-        mf_update(
-            self.w.row_slice_mut(u),
-            self.h.row_slice_mut(i),
-            v,
-            step,
-        )
+        mf_update(self.w.row_slice_mut(u), self.h.row_slice_mut(i), v, step)
     }
 
     /// The (possibly adaptive) step for one rating, updating the
@@ -200,10 +189,14 @@ pub fn train_orion(data: &RatingsData, cfg: MfConfig, run: &MfRunConfig) -> (MfM
     debug_assert!(matches!(compiled.strategy(), Strategy::TwoD { .. }));
 
     let iter_ns = cost::mf_iter_ns(model.cfg.rank) * cost::ORION_OVERHEAD;
+    // Flat (user, item, rating) records: the hot loop indexes one
+    // contiguous triple instead of chasing a heap-allocated index Vec
+    // per rating.
+    let triples: Vec<(i64, i64, f32)> = items.iter().map(|(i, v)| (i[0], i[1], *v)).collect();
     for pass in 0..run.passes {
         driver.run_pass(&compiled, &mut |_pos| iter_ns, &mut |_w, pos| {
-            let (idx, v) = &items[pos];
-            model.sgd_update(idx[0], idx[1], *v);
+            let (u, i, v) = triples[pos];
+            model.sgd_update(u, i, v);
         });
         driver.record_progress(pass, model.loss(&items));
     }
@@ -225,10 +218,11 @@ pub fn train_serial(data: &RatingsData, cfg: MfConfig, passes: u64) -> (MfModel,
     let spec = mf_spec(z_id, w_id, h_id, dims, false);
     let compiled = driver.parallel_for(spec, &items).expect("valid spec");
     let iter_ns = cost::mf_iter_ns(model.cfg.rank);
+    let triples: Vec<(i64, i64, f32)> = items.iter().map(|(i, v)| (i[0], i[1], *v)).collect();
     for pass in 0..passes {
         driver.run_pass(&compiled, &mut |_pos| iter_ns, &mut |_w, pos| {
-            let (idx, v) = &items[pos];
-            model.sgd_update(idx[0], idx[1], *v);
+            let (u, i, v) = triples[pos];
+            model.sgd_update(u, i, v);
         });
         driver.record_progress(pass, model.loss(&items));
     }
@@ -252,7 +246,10 @@ pub fn orion_pass_threaded(
     cluster: &ClusterSpec,
     ordered: bool,
 ) -> MfModel {
-    assert!(!model.cfg.adaptive, "threaded pass supports the plain update");
+    assert!(
+        !model.cfg.adaptive,
+        "threaded pass supports the plain update"
+    );
     let items = data.items();
     let dims = data.ratings.shape().dims().to_vec();
     let mut driver = Driver::new(cluster.clone());
@@ -278,12 +275,7 @@ pub fn orion_pass_threaded(
     let h_parts = model.h.split_along(0, &tp.ranges);
     let (w_parts, h_parts) =
         run_grid_pass_threaded(sched, &items, w_parts, h_parts, |idx, v, wp, hp| {
-            mf_update(
-                wp.row_slice_mut(idx[0]),
-                hp.row_slice_mut(idx[1]),
-                *v,
-                step,
-            );
+            mf_update(wp.row_slice_mut(idx[0]), hp.row_slice_mut(idx[1]), *v, step);
         });
     MfModel {
         w: DistArray::merge_along(0, w_parts),
@@ -332,11 +324,7 @@ impl PsApp for MfPsAdapter {
 
     fn init_params(&self) -> Vec<f32> {
         // Identical initialization to MfModel::new for comparability.
-        let model = MfModel::new(
-            self.n_users as u64,
-            self.n_items as u64,
-            self.cfg.clone(),
-        );
+        let model = MfModel::new(self.n_users as u64, self.n_items as u64, self.cfg.clone());
         let mut p = Vec::with_capacity(self.n_params());
         for u in 0..self.n_users as i64 {
             p.extend_from_slice(model.w.row_slice(u));
@@ -497,7 +485,10 @@ mod tests {
         let u = mk(false);
         let lo = o.final_metric().unwrap();
         let lu = u.final_metric().unwrap();
-        assert!((lo - lu).abs() / lo < 0.25, "ordered {lo} vs unordered {lu}");
+        assert!(
+            (lo - lu).abs() / lo < 0.25,
+            "ordered {lo} vs unordered {lu}"
+        );
         // But unordered is faster per iteration (Table 3).
         let to = o.secs_per_iteration(2, 6).unwrap();
         let tu = u.secs_per_iteration(2, 6).unwrap();

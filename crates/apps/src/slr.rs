@@ -72,12 +72,14 @@ impl SlrModel {
     }
 
     /// Mean logistic loss over the dataset.
+    ///
+    /// The weight vector is 1-D and unpartitioned, so a feature id *is*
+    /// its flat offset — every lookup here and in the training loops
+    /// skips subscript translation entirely.
     pub fn loss(&self, data: &SparseData) -> f64 {
         let mut total = 0.0f64;
         for s in &data.samples {
-            let m = Self::margin_with(&s.features, |f| {
-                self.weights.get_or_default(&[f as i64])
-            });
+            let m = Self::margin_with(&s.features, |f| self.weights.get_flat_or_default(f as u64));
             let ym = s.label as f32 * m;
             // log(1 + exp(-ym)), stable.
             total += if ym > 30.0 {
@@ -172,7 +174,7 @@ pub fn train_orion(data: &SparseData, cfg: SlrConfig, run: &SlrRunConfig) -> (Sl
                 let buf = &mut buffers[w];
                 // Worker view: shared snapshot + its own buffered writes.
                 let margin = SlrModel::margin_with(&sample.features, |f| {
-                    weights.get_or_default(&[f as i64]) + buf_read(buf, f)
+                    weights.get_flat_or_default(f as u64) + buf_read(buf, f)
                 });
                 let coef = logistic_grad_coef(sample.label, margin);
                 for &f in &sample.features {
@@ -214,7 +216,7 @@ fn apply_buffer(model: &mut SlrModel, buf: &mut DistArrayBuffer<f32>) {
             let g = delta / step;
             model.z2[f] += g * g;
             let scale = 2.0 / (1.0 + model.z2[f]).sqrt();
-            model.weights.update(&idx, |w| *w += delta * scale);
+            model.weights.update_flat(f as u64, |w| *w += delta * scale);
         }
     } else {
         buf.apply_to(&mut model.weights, |wv, delta| *wv += delta);
@@ -243,7 +245,9 @@ pub fn train_serial(data: &SparseData, cfg: SlrConfig, passes: u64) -> (SlrModel
         .write(weights_id, vec![Subscript::unknown()])
         .build()
         .expect("valid spec");
-    let compiled = driver.parallel_for(spec, &items).expect("compiles (serial)");
+    let compiled = driver
+        .parallel_for(spec, &items)
+        .expect("compiles (serial)");
     debug_assert!(matches!(compiled.strategy(), Strategy::Serial));
     let iter_cost: Vec<f64> = data
         .samples
@@ -257,11 +261,11 @@ pub fn train_serial(data: &SparseData, cfg: SlrConfig, passes: u64) -> (SlrModel
             driver.run_pass(&compiled, &mut |pos| iter_cost[pos], &mut |_w, pos| {
                 let sample = &data.samples[pos];
                 let margin = SlrModel::margin_with(&sample.features, |f| {
-                    weights.get_or_default(&[f as i64])
+                    weights.get_flat_or_default(f as u64)
                 });
                 let coef = logistic_grad_coef(sample.label, margin);
                 for &f in &sample.features {
-                    weights.update(&[f as i64], |w| *w -= step * coef);
+                    weights.update_flat(f as u64, |w| *w -= step * coef);
                 }
             });
         }

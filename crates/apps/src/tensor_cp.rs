@@ -98,44 +98,34 @@ impl CpModel {
 
 /// One SGD step for one entry; `S`'s gradient goes through `s_sink`
 /// instead of the array when buffering is active.
-fn cp_update(
-    model: &mut CpModel,
-    idx: &[i64],
-    x: f32,
-    s_sink: Option<&mut DistArrayBuffer<f32>>,
-) {
+fn cp_update(model: &mut CpModel, idx: &[i64], x: f32, s_sink: Option<&mut DistArrayBuffer<f32>>) {
     let (i, j, k) = (idx[0], idx[1], idx[2]);
     let step = model.cfg.step_size;
     let r = model.cfg.rank;
     let pred = model.predict(i, j, k);
-    let diff = x - pred;
-    // Snapshot rows before updating to keep the three gradients
-    // consistent (as a simultaneous update).
-    let u0: Vec<f32> = model.u.row_slice(i).to_vec();
-    let v0: Vec<f32> = model.v.row_slice(j).to_vec();
-    let s0: Vec<f32> = model.s.row_slice(k).to_vec();
-    {
-        let u = model.u.row_slice_mut(i);
-        for c in 0..r {
-            u[c] += step * 2.0 * diff * v0[c] * s0[c];
-        }
-    }
-    {
-        let v = model.v.row_slice_mut(j);
-        for c in 0..r {
-            v[c] += step * 2.0 * diff * u0[c] * s0[c];
-        }
-    }
+    let g = step * 2.0 * (x - pred);
+    // Each rank component only reads the pre-update values of its own
+    // component, so capturing them per-`c` keeps the three gradients a
+    // simultaneous update without snapshotting whole rows.
+    let u = model.u.row_slice_mut(i);
+    let v = model.v.row_slice_mut(j);
     match s_sink {
         Some(buf) => {
+            let s = model.s.row_slice(k);
             for c in 0..r {
-                buf.write(&[k, c as i64], step * 2.0 * diff * u0[c] * v0[c]);
+                let (u0, v0, s0) = (u[c], v[c], s[c]);
+                u[c] = u0 + g * v0 * s0;
+                v[c] = v0 + g * u0 * s0;
+                buf.write(&[k, c as i64], g * u0 * v0);
             }
         }
         None => {
             let s = model.s.row_slice_mut(k);
             for c in 0..r {
-                s[c] += step * 2.0 * diff * u0[c] * v0[c];
+                let (u0, v0, s0) = (u[c], v[c], s[c]);
+                u[c] = u0 + g * v0 * s0;
+                v[c] = v0 + g * u0 * s0;
+                s[c] = s0 + g * u0 * v0;
             }
         }
     }
@@ -150,10 +140,18 @@ fn cp_spec(
     dims: Vec<u64>,
     buffer_s: bool,
 ) -> LoopSpec {
-    let b = LoopSpec::builder(if buffer_s { "cp_sgd_buffered" } else { "cp_sgd" }, t, dims)
-        .read_write(u, vec![Subscript::loop_index(0), Subscript::Full])
-        .read_write(v, vec![Subscript::loop_index(1), Subscript::Full])
-        .read_write(s, vec![Subscript::loop_index(2), Subscript::Full]);
+    let b = LoopSpec::builder(
+        if buffer_s {
+            "cp_sgd_buffered"
+        } else {
+            "cp_sgd"
+        },
+        t,
+        dims,
+    )
+    .read_write(u, vec![Subscript::loop_index(0), Subscript::Full])
+    .read_write(v, vec![Subscript::loop_index(1), Subscript::Full])
+    .read_write(s, vec![Subscript::loop_index(2), Subscript::Full]);
     let b = if buffer_s { b.buffer_writes(s) } else { b };
     b.build().expect("static CP spec is valid")
 }
@@ -315,7 +313,10 @@ mod tests {
         // context factor is hot at this scale, so pass-boundary
         // application lags serial — but training still converges, and
         // never *beats* the dependence-preserving order.
-        assert!(lp < l0 * 0.5, "buffered-parallel must converge: {l0} -> {lp}");
+        assert!(
+            lp < l0 * 0.5,
+            "buffered-parallel must converge: {l0} -> {lp}"
+        );
         assert!(
             ls <= lp,
             "serial {ls} must converge at least as fast per pass as relaxed {lp}"
@@ -361,7 +362,7 @@ mod tests {
     #[test]
     fn prediction_uses_all_three_factors() {
         let d = data();
-        let model = CpModel::new(&d.entries.shape().dims().to_vec(), CpConfig::new(4));
+        let model = CpModel::new(d.entries.shape().dims(), CpConfig::new(4));
         let a = model.predict(0, 0, 0);
         let b = model.predict(0, 0, 1);
         assert_ne!(a, b, "changing the context index must change predictions");

@@ -45,19 +45,17 @@ fn run_mf_pass_time(
 }
 
 fn main() {
-    banner("Ablation", "design choices: pipelined rotation & histogram balancing");
+    banner(
+        "Ablation",
+        "design choices: pipelined rotation & histogram balancing",
+    );
     let passes = 6u64;
     let mut csv = Vec::new();
 
     // ---- 1. pipeline depth ----
     let data = RatingsData::generate(RatingsConfig::netflix_like());
     let rotated = 480 * 16 * 4; // H's bytes
-    let with_pipeline = run_mf_pass_time(
-        &data,
-        ScheduleOptions::default(),
-        rotated,
-        passes,
-    );
+    let with_pipeline = run_mf_pass_time(&data, ScheduleOptions::default(), rotated, passes);
     let without = run_mf_pass_time(
         &data,
         ScheduleOptions {

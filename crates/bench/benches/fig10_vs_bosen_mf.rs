@@ -85,7 +85,11 @@ fn main() {
     for (label, s) in &series {
         csv.extend(csv_rows(label, s));
     }
-    write_csv("fig10_vs_bosen_mf.csv", "series,iteration,seconds,loss", &csv);
+    write_csv(
+        "fig10_vs_bosen_mf.csv",
+        "series,iteration,seconds,loss",
+        &csv,
+    );
 
     println!(
         "\nPaper shape: vanilla DP converges far slower per pass; CM+AdaRev\n\

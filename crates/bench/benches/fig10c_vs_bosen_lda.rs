@@ -17,7 +17,10 @@ fn run_ps(corpus: &CorpusData, cfg: PsConfig, passes: u64, k: usize) -> RunStats
 }
 
 fn main() {
-    banner("Fig 10c", "LDA (ClueWeb-like) over time: Bösen DP vs Bösen CM vs Orion");
+    banner(
+        "Fig 10c",
+        "LDA (ClueWeb-like) over time: Bösen DP vs Bösen CM vs Orion",
+    );
     let corpus = CorpusData::generate(CorpusConfig::clueweb_like());
     let passes = 10u64;
     let k = 64;
@@ -51,7 +54,13 @@ fn main() {
                 s.progress[p].metric
             )
         };
-        println!("{:>4}  {:>18}  {:>18}  {:>18}", p, f(&dp), f(&cm), f(&orion_stats));
+        println!(
+            "{:>4}  {:>18}  {:>18}  {:>18}",
+            p,
+            f(&dp),
+            f(&cm),
+            f(&orion_stats)
+        );
     }
 
     let mut csv = csv_rows("bosen_dp", &dp);

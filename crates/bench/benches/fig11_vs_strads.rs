@@ -36,7 +36,10 @@ fn main() {
     let (_, mf_orion) = orion_apps::sgd_mf::train_orion(&ratings, mf_cfg.clone(), &orion_run);
     let (_, mf_strads) = orion_apps::sgd_mf::train_orion(&ratings, mf_cfg, &strads_run);
     println!("\n(a) SGD MF AdaRev over time:");
-    println!("{:>4}  {:>22}  {:>22}", "pass", "STRADS (t, loss)", "Orion (t, loss)");
+    println!(
+        "{:>4}  {:>22}  {:>22}",
+        "pass", "STRADS (t, loss)", "Orion (t, loss)"
+    );
     for p in 0..passes as usize {
         println!(
             "{:>4}  {:>12} {:>9.1}  {:>12} {:>9.1}",
@@ -49,7 +52,9 @@ fn main() {
     }
     let mf_ratio = mf_orion.secs_per_iteration(2, passes).unwrap()
         / mf_strads.secs_per_iteration(2, passes).unwrap();
-    println!("Orion/STRADS time-per-iteration ratio: {mf_ratio:.2}x (paper: ~1x, similar throughput)");
+    println!(
+        "Orion/STRADS time-per-iteration ratio: {mf_ratio:.2}x (paper: ~1x, similar throughput)"
+    );
     csv.extend(csv_rows("mf_adarev_orion", &mf_orion));
     csv.extend(csv_rows("mf_adarev_strads", &mf_strads));
 
@@ -75,7 +80,10 @@ fn main() {
         },
     );
     println!("\n(b,c) LDA over time and iterations (NLL/token):");
-    println!("{:>4}  {:>22}  {:>22}", "pass", "STRADS (t, NLL)", "Orion (t, NLL)");
+    println!(
+        "{:>4}  {:>22}  {:>22}",
+        "pass", "STRADS (t, NLL)", "Orion (t, NLL)"
+    );
     for p in 0..passes as usize {
         println!(
             "{:>4}  {:>12} {:>9.4}  {:>12} {:>9.4}",
@@ -99,9 +107,16 @@ fn main() {
         .zip(&lda_strads.progress)
         .map(|(a, b)| ((a.metric - b.metric) / b.metric).abs())
         .fold(0.0, f64::max);
-    println!("max per-pass NLL deviation Orion vs STRADS: {:.2e} (matching convergence)", max_rel);
+    println!(
+        "max per-pass NLL deviation Orion vs STRADS: {:.2e} (matching convergence)",
+        max_rel
+    );
 
     csv.extend(csv_rows("lda_orion", &lda_orion));
     csv.extend(csv_rows("lda_strads", &lda_strads));
-    write_csv("fig11_vs_strads.csv", "series,iteration,seconds,metric", &csv);
+    write_csv(
+        "fig11_vs_strads.csv",
+        "series,iteration,seconds,metric",
+        &csv,
+    );
 }

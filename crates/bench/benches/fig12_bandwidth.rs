@@ -9,7 +9,10 @@ use orion_data::{CorpusConfig, CorpusData};
 use orion_ps::{CmConfig, PsConfig, PsEngine};
 
 fn main() {
-    banner("Fig 12", "bandwidth usage over time: Bösen managed comm vs Orion (LDA, NYTimes-like)");
+    banner(
+        "Fig 12",
+        "bandwidth usage over time: Bösen managed comm vs Orion (LDA, NYTimes-like)",
+    );
     let corpus = CorpusData::generate(CorpusConfig::nytimes_like());
     let passes = 10u64;
     let k = 40;
@@ -50,7 +53,11 @@ fn main() {
         println!("{i:>4}  {tc:>10.4} {b:>14.1}  {to:>10.4} {o:>14.1}");
         csv.push(format!("{i},{tc:.6},{b:.3},{to:.6},{o:.3}"));
     }
-    write_csv("fig12_bandwidth.csv", "bin,t_cm,bosen_cm_mbps,t_orion,orion_mbps", &csv);
+    write_csv(
+        "fig12_bandwidth.csv",
+        "bin,t_cm,bosen_cm_mbps,t_orion,orion_mbps",
+        &csv,
+    );
 
     let total_ratio = cm_stats.total_bytes as f64 / orion_stats.total_bytes.max(1) as f64;
     println!(

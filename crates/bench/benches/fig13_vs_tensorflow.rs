@@ -25,7 +25,10 @@ fn run_tf(data: &RatingsData, minibatch: usize, passes: u64) -> RunStats {
 }
 
 fn main() {
-    banner("Fig 13", "SGD MF: Orion vs TensorFlow-style mini-batch dataflow (single machine)");
+    banner(
+        "Fig 13",
+        "SGD MF: Orion vs TensorFlow-style mini-batch dataflow (single machine)",
+    );
     let data = RatingsData::generate(RatingsConfig::netflix_like());
     let passes = 15u64;
     let nnz = data.nnz() as usize;
@@ -72,8 +75,16 @@ fn main() {
     let spi = |s: &RunStats| s.secs_per_iteration(2, passes).unwrap();
     let (o, l, sm) = (spi(&orion_stats), spi(&tf_large), spi(&tf_small));
     println!("  Orion                 {:>12}", fmt_secs(o));
-    println!("  TF_{large_mb:<8} (1/4)   {:>12}  ({:.1}x Orion; paper: 2.2x)", fmt_secs(l), l / o);
-    println!("  TF_{small_mb:<8} (1/124) {:>12}  ({:.1}x Orion; paper: larger still)", fmt_secs(sm), sm / o);
+    println!(
+        "  TF_{large_mb:<8} (1/4)   {:>12}  ({:.1}x Orion; paper: 2.2x)",
+        fmt_secs(l),
+        l / o
+    );
+    println!(
+        "  TF_{small_mb:<8} (1/124) {:>12}  ({:.1}x Orion; paper: larger still)",
+        fmt_secs(sm),
+        sm / o
+    );
 
     let mut csv = csv_rows("orion", &orion_stats);
     csv.extend(csv_rows("tf_large", &tf_large));
@@ -81,7 +92,11 @@ fn main() {
     csv.push(format!("spi_orion,0,{o:.6},0"));
     csv.push(format!("spi_tf_large,0,{l:.6},0"));
     csv.push(format!("spi_tf_small,0,{sm:.6},0"));
-    write_csv("fig13_vs_tensorflow.csv", "series,iteration,seconds,loss", &csv);
+    write_csv(
+        "fig13_vs_tensorflow.csv",
+        "series,iteration,seconds,loss",
+        &csv,
+    );
 
     println!(
         "\nPaper shape: TF converges considerably slower per iteration (parameters\n\

@@ -24,7 +24,10 @@ fn cluster_for(workers: usize) -> ClusterSpec {
 }
 
 fn main() {
-    banner("Fig 9a", "time per iteration: serial vs Orion over worker counts");
+    banner(
+        "Fig 9a",
+        "time per iteration: serial vs Orion over worker counts",
+    );
     let passes = 6u64;
     let mut csv = Vec::new();
 
@@ -32,7 +35,10 @@ fn main() {
     let ratings = RatingsData::generate(RatingsConfig::netflix_like());
     let (_, serial) = orion_apps::sgd_mf::train_serial(&ratings, MfConfig::new(16), passes);
     let serial_spi = serial.secs_per_iteration(2, passes).unwrap();
-    println!("\nSGD MF (Netflix-like, rank 16): serial = {}/iter", fmt_secs(serial_spi));
+    println!(
+        "\nSGD MF (Netflix-like, rank 16): serial = {}/iter",
+        fmt_secs(serial_spi)
+    );
     csv.push(format!("sgd_mf,serial,{serial_spi:.6}"));
     println!("{:>8}  {:>12}  {:>9}", "workers", "s/iter", "speedup");
     for &w in &WORKERS {
@@ -43,7 +49,12 @@ fn main() {
         };
         let (_, stats) = orion_apps::sgd_mf::train_orion(&ratings, MfConfig::new(16), &run);
         let spi = stats.secs_per_iteration(2, passes).unwrap();
-        println!("{:>8}  {:>12}  {:>8.1}x", w, fmt_secs(spi), serial_spi / spi);
+        println!(
+            "{:>8}  {:>12}  {:>8.1}x",
+            w,
+            fmt_secs(spi),
+            serial_spi / spi
+        );
         csv.push(format!("sgd_mf,{w},{spi:.6}"));
     }
 
@@ -62,7 +73,10 @@ fn main() {
     let k = 40;
     let (_, lda_serial) = orion_apps::lda::train_serial(&corpus, LdaConfig::new(k), passes);
     let lda_serial_spi = lda_serial.secs_per_iteration(2, passes).unwrap();
-    println!("\nLDA (scaling corpus, K={k}): serial = {}/iter", fmt_secs(lda_serial_spi));
+    println!(
+        "\nLDA (scaling corpus, K={k}): serial = {}/iter",
+        fmt_secs(lda_serial_spi)
+    );
     csv.push(format!("lda,serial,{lda_serial_spi:.6}"));
     println!("{:>8}  {:>12}  {:>9}", "workers", "s/iter", "speedup");
     for &w in &WORKERS {
@@ -73,7 +87,12 @@ fn main() {
         };
         let (_, stats) = orion_apps::lda::train_orion(&corpus, LdaConfig::new(k), &run);
         let spi = stats.secs_per_iteration(2, passes).unwrap();
-        println!("{:>8}  {:>12}  {:>8.1}x", w, fmt_secs(spi), lda_serial_spi / spi);
+        println!(
+            "{:>8}  {:>12}  {:>8.1}x",
+            w,
+            fmt_secs(spi),
+            lda_serial_spi / spi
+        );
         csv.push(format!("lda,{w},{spi:.6}"));
     }
 

@@ -8,7 +8,10 @@ use orion_data::{RatingsConfig, RatingsData};
 use orion_ps::{PsConfig, PsEngine};
 
 fn main() {
-    banner("Fig 9b", "SGD MF per-iteration convergence: serial vs DP vs dep-aware");
+    banner(
+        "Fig 9b",
+        "SGD MF per-iteration convergence: serial vs DP vs dep-aware",
+    );
     let data = RatingsData::generate(RatingsConfig::netflix_like());
     let passes = 15u64;
     let cfg = MfConfig::new(16);
@@ -61,13 +64,20 @@ fn main() {
     csv.extend(csv_rows("data_parallel", &dp_stats));
     csv.extend(csv_rows("dep_aware_unordered", &unordered));
     csv.extend(csv_rows("dep_aware_ordered", &ordered));
-    write_csv("fig9b_mf_convergence.csv", "series,iteration,seconds,loss", &csv);
+    write_csv(
+        "fig9b_mf_convergence.csv",
+        "series,iteration,seconds,loss",
+        &csv,
+    );
 
     // Paper headline: DP takes many more passes to the same loss.
     let target = serial.progress[4].metric;
     let s_it = serial.iters_to_loss(target).unwrap();
     let o_it = unordered.iters_to_loss(target).unwrap_or(u64::MAX);
-    let d_it = dp_stats.iters_to_loss(target).map(|x| x.to_string()).unwrap_or("> all".into());
+    let d_it = dp_stats
+        .iters_to_loss(target)
+        .map(|x| x.to_string())
+        .unwrap_or("> all".into());
     println!(
         "\npasses to reach serial pass-4 loss ({target:.0}): serial {s_it}, \
          dep-aware {o_it}, data parallelism {d_it}"

@@ -10,7 +10,10 @@ use orion_data::{CorpusConfig, CorpusData};
 use orion_ps::{PsConfig, PsEngine};
 
 fn main() {
-    banner("Fig 9c", "LDA per-iteration convergence: serial vs DP vs dep-aware");
+    banner(
+        "Fig 9c",
+        "LDA per-iteration convergence: serial vs DP vs dep-aware",
+    );
     let corpus = CorpusData::generate(CorpusConfig::nytimes_like());
     let passes = 12u64;
     let k = 40;

@@ -1,8 +1,15 @@
 //! Criterion micro-benchmarks of the DSM substrate: DistArray access
 //! paths, write-back buffers, the wire codec, and histogram-balanced
 //! partitioning — the per-element costs behind the runtime's throughput.
+//!
+//! Besides the criterion timings, the binary runs a head-to-head
+//! comparison of the hot access paths against the seed implementations
+//! they replaced (allocating per-access index translation; `BTreeMap`
+//! sparse storage) and writes the results to `BENCH_dsm.json` at the
+//! workspace root: one record per path with `seed_ns`, `new_ns` (per
+//! operation) and the resulting `speedup`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use orion_dsm::{codec, DistArray, DistArrayBuffer, RangePartition};
@@ -14,6 +21,16 @@ fn bench_dense_access(c: &mut Criterion) {
             let mut acc = 0.0f32;
             for i in 0..1000i64 {
                 acc += a.get(black_box(&[i, 3])).copied().unwrap_or(0.0);
+            }
+            acc
+        });
+    });
+    c.bench_function("dense_point_get_flat", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1000i64 {
+                let flat = a.flat_of(black_box(&[i, 3])).unwrap();
+                acc += a.get_flat(flat).copied().unwrap_or(0.0);
             }
             acc
         });
@@ -38,10 +55,21 @@ fn bench_sparse_access(c: &mut Criterion) {
     c.bench_function("sparse_iter_10k", |b| {
         b.iter(|| {
             let mut acc = 0.0f32;
-            for (_, &v) in a.iter() {
+            for (_, &v) in a.iter_flat() {
                 acc += v;
             }
             black_box(acc)
+        });
+    });
+    c.bench_function("sparse_point_query_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in 0..10_000u64 {
+                if a.get_flat(black_box(k * 13 % 100_000)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
         });
     });
 }
@@ -76,9 +104,236 @@ fn bench_partition(c: &mut Criterion) {
     });
 }
 
+/// The access-path implementations this PR replaced, reproduced here so
+/// the comparison holds still as the library moves on.
+mod seed {
+    use std::collections::BTreeMap;
+
+    /// Seed dense point read: translate the global index to a local one
+    /// by materializing a fresh `Vec<i64>`, then flatten it in a second
+    /// pass — one heap allocation and two coordinate walks per access.
+    pub fn dense_get<'a, T>(
+        values: &'a [T],
+        dims: &[u64],
+        strides: &[u64],
+        origin: &[i64],
+        index: &[i64],
+    ) -> Option<&'a T> {
+        if index.len() != dims.len() {
+            return None;
+        }
+        let local: Vec<i64> = index.iter().zip(origin).map(|(&i, &o)| i - o).collect();
+        let mut flat = 0u64;
+        for ((&l, &d), &s) in local.iter().zip(dims).zip(strides) {
+            if l < 0 || (l as u64) >= d {
+                return None;
+            }
+            flat += l as u64 * s;
+        }
+        values.get(flat as usize)
+    }
+
+    /// Seed sparse storage: an ordered node-based map, point queries by
+    /// tree descent, iteration by pointer-chasing leaves.
+    pub type SeedSparse<T> = BTreeMap<u64, T>;
+
+    /// Seed coordinate recovery during iteration: `iter()` yielded a
+    /// freshly allocated global-index `Vec<i64>` for every element.
+    pub fn unflatten(strides: &[u64], mut flat: u64) -> Vec<i64> {
+        let mut idx = Vec::with_capacity(strides.len());
+        for &s in strides {
+            idx.push((flat / s) as i64);
+            flat %= s;
+        }
+        idx
+    }
+}
+
+/// Medians one closure's wall time over `rounds` runs (after a warmup).
+fn median_ns<R>(rounds: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[rounds / 2]
+}
+
+struct Comparison {
+    name: &'static str,
+    ops: u64,
+    seed_ns: f64,
+    new_ns: f64,
+}
+
+fn compare_dense_point_get() -> Comparison {
+    const ROWS: i64 = 2000;
+    const COLS: i64 = 16;
+    let a: DistArray<f32> = DistArray::dense_from_fn("d", vec![ROWS as u64, COLS as u64], |i| {
+        (i[0] * 31 + i[1]) as f32
+    });
+    let dims = a.shape().dims().to_vec();
+    let strides = a.shape().strides().to_vec();
+    let origin = vec![0i64; 2];
+    let values: Vec<f32> = (0..ROWS * COLS).map(|i| i as f32).collect();
+    let ops = (ROWS * COLS) as u64;
+    let seed_ns = median_ns(9, || {
+        let mut acc = 0.0f32;
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                acc += seed::dense_get(&values, &dims, &strides, &origin, black_box(&[r, c]))
+                    .copied()
+                    .unwrap_or(0.0);
+            }
+        }
+        acc
+    });
+    let new_ns = median_ns(9, || {
+        let mut acc = 0.0f32;
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                let flat = a.flat_of(black_box(&[r, c])).unwrap();
+                acc += a.get_flat(flat).copied().unwrap_or(0.0);
+            }
+        }
+        acc
+    });
+    Comparison {
+        name: "dense_point_get",
+        ops,
+        seed_ns,
+        new_ns,
+    }
+}
+
+fn sparse_fixture() -> (seed::SeedSparse<f32>, DistArray<f32>) {
+    const SPACE: u64 = 1_000_000;
+    const NNZ: u64 = 100_000;
+    let pairs: Vec<(u64, f32)> = (0..NNZ).map(|i| (i * 97 % SPACE, i as f32)).collect();
+    let map: seed::SeedSparse<f32> = pairs.iter().copied().collect();
+    // A 1000×1000 2-D space, like the token/rating matrices whose bulk
+    // scans (histograms, likelihoods) this path serves.
+    let arr: DistArray<f32> = DistArray::sparse_from_flat("s", vec![1000, 1000], pairs);
+    (map, arr)
+}
+
+fn compare_sparse_iteration() -> Comparison {
+    // Coordinate-yielding iteration, as every bulk consumer uses it:
+    // the seed walked the tree and allocated a global-index Vec per
+    // element; the frozen path scans two flat arrays and projects
+    // coordinates arithmetically.
+    let (map, arr) = sparse_fixture();
+    let strides = arr.shape().strides().to_vec();
+    let shape = arr.shape().clone();
+    let origin = vec![0i64; 2];
+    let ops = map.len() as u64;
+    let seed_ns = median_ns(9, || {
+        // The seed's `iter()`: a boxed dyn iterator yielding an
+        // origin-adjusted coordinate Vec per element.
+        let it: Box<dyn Iterator<Item = (Vec<i64>, f32)> + '_> =
+            Box::new(black_box(&map).iter().map(|(&k, &v)| {
+                let mut idx = seed::unflatten(&strides, k);
+                for (x, &o) in idx.iter_mut().zip(&origin) {
+                    *x += o;
+                }
+                (idx, v)
+            }));
+        let mut acc = 0.0f32;
+        for (idx, v) in it {
+            acc += (idx[0] + idx[1]) as f32 + v;
+        }
+        acc
+    });
+    let new_ns = median_ns(9, || {
+        let mut acc = 0.0f32;
+        for (flat, &v) in black_box(&arr).iter_flat() {
+            let (r, c) = (shape.coord_of(flat, 0), shape.coord_of(flat, 1));
+            acc += (r + c) as f32 + v;
+        }
+        acc
+    });
+    Comparison {
+        name: "sparse_iteration",
+        ops,
+        seed_ns,
+        new_ns,
+    }
+}
+
+fn compare_sparse_point_query() -> Comparison {
+    let (map, arr) = sparse_fixture();
+    const QUERIES: u64 = 100_000;
+    // A hit/miss mix over the whole keyspace.
+    let keys: Vec<u64> = (0..QUERIES).map(|i| i * 31 % 1_000_000).collect();
+    let seed_ns = median_ns(9, || {
+        let mut hits = 0usize;
+        for &k in &keys {
+            if black_box(&map).get(&k).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    let new_ns = median_ns(9, || {
+        let mut hits = 0usize;
+        for &k in &keys {
+            if black_box(&arr).get_flat(k).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    Comparison {
+        name: "sparse_point_query",
+        ops: QUERIES,
+        seed_ns,
+        new_ns,
+    }
+}
+
+fn run_head_to_head() {
+    let comparisons = [
+        compare_dense_point_get(),
+        compare_sparse_iteration(),
+        compare_sparse_point_query(),
+    ];
+    let mut json = String::from("{\n  \"bench\": \"micro_dsm\",\n  \"comparisons\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        let per_op_seed = c.seed_ns / c.ops as f64;
+        let per_op_new = c.new_ns / c.ops as f64;
+        let speedup = c.seed_ns / c.new_ns;
+        println!(
+            "{:<22} seed {:>8.2} ns/op   new {:>8.2} ns/op   speedup {:.2}x",
+            c.name, per_op_seed, per_op_new, speedup
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"seed_ns\": {:.2}, \"new_ns\": {:.2}, \
+             \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.ops,
+            per_op_seed,
+            per_op_new,
+            speedup,
+            if i + 1 < comparisons.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsm.json");
+    std::fs::write(path, &json).expect("write BENCH_dsm.json");
+    println!("wrote {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_dense_access, bench_sparse_access, bench_buffer, bench_codec, bench_partition
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    run_head_to_head();
+}

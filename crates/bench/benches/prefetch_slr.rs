@@ -12,7 +12,10 @@ use orion_core::{ClusterSpec, PrefetchMode};
 use orion_data::{SparseConfig, SparseData};
 
 fn main() {
-    banner("§6.3", "bulk prefetching: SLR per-pass time under three regimes");
+    banner(
+        "§6.3",
+        "bulk prefetching: SLR per-pass time under three regimes",
+    );
     let data = SparseData::generate(SparseConfig::kdd_like());
     println!(
         "dataset: {} samples, {} features, {:.1} nnz/sample (KDD2010-like)",
@@ -43,7 +46,13 @@ fn main() {
         let t_total = stats.progress.last().unwrap().time.as_secs_f64();
         let t_first = stats.progress[0].time.as_secs_f64();
         let steady = (t_total - t_first) / (passes - 1) as f64;
-        rows.push((label, paper_s, t_first, steady, stats.final_metric().unwrap()));
+        rows.push((
+            label,
+            paper_s,
+            t_first,
+            steady,
+            stats.final_metric().unwrap(),
+        ));
     }
 
     println!(

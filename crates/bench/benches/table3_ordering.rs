@@ -8,12 +8,18 @@ use orion_bench::{banner, eval_cluster, write_csv};
 use orion_data::{CorpusConfig, CorpusData, RatingsConfig, RatingsData};
 
 fn main() {
-    banner("Table 3", "time per iteration: ordered vs unordered 2D parallelization");
+    banner(
+        "Table 3",
+        "time per iteration: ordered vs unordered 2D parallelization",
+    );
     let passes = 8u64;
     let mut rows = Vec::new();
 
     let ratings = RatingsData::generate(RatingsConfig::netflix_like());
-    for (label, adaptive) in [("SGD MF (Netflix-like)", false), ("SGD MF AdaRev (Netflix-like)", true)] {
+    for (label, adaptive) in [
+        ("SGD MF (Netflix-like)", false),
+        ("SGD MF AdaRev (Netflix-like)", true),
+    ] {
         let mut cfg = MfConfig::new(16);
         cfg.adaptive = adaptive;
         let time_of = |ordered: bool| {
@@ -58,8 +64,8 @@ fn main() {
     }
 
     println!(
-        "\n{:<30} {:>12} {:>12} {:>9}   {}",
-        "", "Ordered", "Unordered", "Speedup", "(paper: 2.2x / 2.6x / 6.0x)"
+        "\n{:<30} {:>12} {:>12} {:>9}   (paper: 2.2x / 2.6x / 6.0x)",
+        "", "Ordered", "Unordered", "Speedup"
     );
     let mut csv = Vec::new();
     for (label, ordered, unordered) in &rows {
@@ -70,7 +76,10 @@ fn main() {
             unordered,
             ordered / unordered
         );
-        csv.push(format!("{label},{ordered:.6},{unordered:.6},{:.2}", ordered / unordered));
+        csv.push(format!(
+            "{label},{ordered:.6},{unordered:.6},{:.2}",
+            ordered / unordered
+        ));
     }
     write_csv(
         "table3_ordering.csv",

@@ -33,7 +33,10 @@ impl core::fmt::Display for DriverError {
         match self {
             DriverError::Spec(e) => write!(f, "invalid loop spec: {e}"),
             DriverError::NotParallelizable(name) => {
-                write!(f, "loop `{name}` has no dependence-preserving parallelization")
+                write!(
+                    f,
+                    "loop `{name}` has no dependence-preserving parallelization"
+                )
             }
         }
     }
@@ -184,9 +187,12 @@ impl Driver {
         spec.validate()?;
         let n_workers = self.executor.cluster.n_workers();
         let plan = analyze(&spec, &self.metas, n_workers as u64);
-        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+        // Borrow the item indices instead of cloning one Vec per
+        // iteration; the schedule stores positions, not indices.
+        let indices: Vec<&[i64]> = items.iter().map(|(i, _)| i.as_slice()).collect();
         let schedule = build_schedule(&plan.strategy, &indices, &spec.iter_dims, n_workers);
-        let comm = comm_model_with_spec(&plan, &self.metas, self.served_reads_per_iter, Some(&spec));
+        let comm =
+            comm_model_with_spec(&plan, &self.metas, self.served_reads_per_iter, Some(&spec));
         self.compiled.insert(spec.name.clone(), 0);
         Ok(CompiledLoop {
             spec,

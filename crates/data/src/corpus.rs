@@ -116,8 +116,7 @@ impl CorpusData {
             // Sparse topic mixture: 1–3 active topics per document.
             let k1 = rng.random_range(0..config.true_topics);
             let k2 = rng.random_range(0..config.true_topics);
-            let len = (config.mean_doc_len / 2)
-                + rng.random_range(0..config.mean_doc_len.max(1));
+            let len = (config.mean_doc_len / 2) + rng.random_range(0..config.mean_doc_len.max(1));
             for _ in 0..len {
                 let topic = if rng.random::<f64>() < 0.7 { k1 } else { k2 };
                 let w = perms[topic][zipf.sample(&mut rng)];
@@ -147,10 +146,7 @@ mod tests {
     fn generates_tokens() {
         let c = CorpusData::generate(CorpusConfig::tiny());
         assert!(c.n_tokens > 40 * 20);
-        assert_eq!(
-            c.tokens.shape().dims(),
-            &[40, 120],
-        );
+        assert_eq!(c.tokens.shape().dims(), &[40, 120],);
         let sum: u64 = c.tokens.iter().map(|(_, &v)| v as u64).sum();
         assert_eq!(sum, c.n_tokens);
     }

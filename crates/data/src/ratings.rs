@@ -8,10 +8,10 @@
 //! skew to stress partition balancing, and the same disjoint row/column
 //! access pattern that drives the paper's dependence analysis.
 
+use crate::zipf::Zipf;
 use orion_dsm::DistArray;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use crate::zipf::Zipf;
 
 /// Minimal Box–Muller standard normal, to avoid a rand_distr dependency.
 pub(crate) mod normal {

@@ -154,6 +154,10 @@ mod tests {
         let vals: Vec<f32> = t.entries.iter().map(|(_, &v)| v).collect();
         let mean = vals.iter().sum::<f32>() / vals.len() as f32;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
-        assert!(var.sqrt() > 3.0 * 0.05, "sd {} barely above noise", var.sqrt());
+        assert!(
+            var.sqrt() > 3.0 * 0.05,
+            "sd {} barely above noise",
+            var.sqrt()
+        );
     }
 }

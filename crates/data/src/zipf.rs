@@ -81,7 +81,7 @@ mod tests {
     fn uniform_when_s_zero() {
         let z = Zipf::new(10, 0.0);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut counts = vec![0u32; 10];
+        let mut counts = [0u32; 10];
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
         }

@@ -138,10 +138,9 @@ impl<A: DataflowApp> DataflowEngine<A> {
             }
             // Timing: dense-overheaded compute spread over the cores the
             // batch can feed, plus fixed DAG overhead.
-            let usable = ((batch_end - batch_start).div_ceil(self.cfg.per_core_grain))
-                .clamp(1, cores);
-            let t = batch_ns * self.cfg.dense_overhead / usable as f64
-                + self.cfg.batch_overhead_ns;
+            let usable =
+                ((batch_end - batch_start).div_ceil(self.cfg.per_core_grain)).clamp(1, cores);
+            let t = batch_ns * self.cfg.dense_overhead / usable as f64 + self.cfg.batch_overhead_ns;
             self.clocks.advance(0, self.cfg.cluster.compute_time(t));
             batch_start = batch_end;
         }

@@ -1,6 +1,5 @@
 //! The DistArray: Orion's N-dimensional distributed shared-memory tensor.
 
-use std::collections::BTreeMap;
 use std::ops::Range;
 
 use rand::seq::SliceRandom;
@@ -10,6 +9,7 @@ use orion_ir::{ArrayMeta, Density, Dim, DistArrayId};
 
 use crate::element::Element;
 use crate::index::Shape;
+use crate::sparse::{SparseIter, SparseStore};
 
 /// Backing storage of a DistArray (paper §3.1: "A DistArray can contain
 /// elements of any serializable type and may be either dense or sparse").
@@ -17,11 +17,11 @@ use crate::index::Shape;
 pub enum Storage<T> {
     /// Row-major dense values, one per index position.
     Dense(Vec<T>),
-    /// Explicitly materialized elements keyed by local flat index.
-    ///
-    /// A `BTreeMap` keeps iteration deterministic, which the simulated
-    /// runtime relies on for reproducible schedules.
-    Sparse(BTreeMap<u64, T>),
+    /// Explicitly materialized elements keyed by local flat index, held
+    /// in frozen sorted-pair form (see [`SparseStore`]). Iteration is
+    /// ascending by flat key, which the simulated runtime relies on for
+    /// reproducible schedules.
+    Sparse(SparseStore<T>),
 }
 
 /// An N-dimensional dense or sparse array, addressable by global index.
@@ -31,6 +31,10 @@ pub enum Storage<T> {
 /// coordinate of the local element `[0, 0, ...]`, so partitions answer
 /// the same global indices as the whole (see [`DistArray::split_along`]).
 ///
+/// Hot loops should translate a global index once with
+/// [`DistArray::flat_of`] and then use the `*_flat` accessors, which do
+/// no allocation and no per-access coordinate arithmetic.
+///
 /// # Examples
 ///
 /// ```
@@ -39,6 +43,9 @@ pub enum Storage<T> {
 /// w.set(&[2, 1], 5.0);
 /// assert_eq!(w.get(&[2, 1]), Some(&5.0));
 /// assert_eq!(w.row_slice(2), &[0.0, 5.0, 0.0]);
+///
+/// let flat = w.flat_of(&[2, 1]).unwrap();
+/// assert_eq!(w.get_flat(flat), Some(&5.0));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistArray<T> {
@@ -58,6 +65,26 @@ impl<T: Element> DistArray<T> {
             origin: vec![0; shape.ndims()],
             shape,
             storage: Storage::Dense(data),
+        }
+    }
+
+    /// Creates a dense array from row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` is not the shape's volume.
+    pub fn dense_from_vec(name: impl Into<String>, dims: Vec<u64>, values: Vec<T>) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            values.len() as u64,
+            shape.volume(),
+            "value count must match shape volume"
+        );
+        DistArray {
+            name: name.into(),
+            origin: vec![0; shape.ndims()],
+            shape,
+            storage: Storage::Dense(values),
         }
     }
 
@@ -97,11 +124,12 @@ impl<T: Element> DistArray<T> {
             name: name.into(),
             origin: vec![0; dims.len()],
             shape: Shape::new(dims),
-            storage: Storage::Sparse(BTreeMap::new()),
+            storage: Storage::Sparse(SparseStore::new()),
         }
     }
 
-    /// Creates a sparse array from `(index, value)` items.
+    /// Creates a sparse array from `(index, value)` items. Duplicate
+    /// indices resolve last-write-wins. The result is frozen.
     ///
     /// # Panics
     ///
@@ -111,11 +139,48 @@ impl<T: Element> DistArray<T> {
         dims: Vec<u64>,
         items: impl IntoIterator<Item = (Vec<i64>, T)>,
     ) -> Self {
-        let mut a = Self::sparse(name, dims);
-        for (idx, v) in items {
-            a.set(&idx, v);
+        let name = name.into();
+        let shape = Shape::new(dims);
+        let pairs = items.into_iter().map(|(idx, v)| {
+            let flat = shape
+                .flatten(&idx)
+                .unwrap_or_else(|| panic!("index {idx:?} out of bounds of `{name}`"));
+            (flat, v)
+        });
+        DistArray {
+            origin: vec![0; shape.ndims()],
+            storage: Storage::Sparse(pairs.collect()),
+            name,
+            shape,
         }
-        a
+    }
+
+    /// Creates a frozen sparse array from `(local_flat, value)` pairs in
+    /// any order; duplicates resolve last-write-wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any flat offset is outside the shape's volume.
+    pub fn sparse_from_flat(
+        name: impl Into<String>,
+        dims: Vec<u64>,
+        pairs: impl IntoIterator<Item = (u64, T)>,
+    ) -> Self {
+        let name = name.into();
+        let shape = Shape::new(dims);
+        let volume = shape.volume();
+        let checked = pairs.into_iter().inspect(|&(flat, _)| {
+            assert!(
+                flat < volume,
+                "flat offset {flat} out of bounds of `{name}`"
+            );
+        });
+        DistArray {
+            origin: vec![0; shape.ndims()],
+            storage: Storage::Sparse(checked.collect()),
+            name,
+            shape,
+        }
     }
 
     /// The array's name.
@@ -147,33 +212,131 @@ impl<T: Element> DistArray<T> {
     pub fn nnz(&self) -> u64 {
         match &self.storage {
             Storage::Dense(v) => v.len() as u64,
-            Storage::Sparse(m) => m.len() as u64,
+            Storage::Sparse(s) => s.len() as u64,
         }
     }
 
-    /// Translates a global index to a local flat offset.
-    fn local_flat(&self, index: &[i64]) -> Option<u64> {
+    /// Translates a global index to this array's local flat offset —
+    /// `None` when out of bounds (or outside this partition) or of the
+    /// wrong arity. Allocation-free: origin translation, bounds check
+    /// and stride accumulation are fused into one pass.
+    ///
+    /// This is the entry point of the flat-offset hot path: translate
+    /// once per loop iteration, then use [`DistArray::get_flat`] /
+    /// [`DistArray::set_flat`] / [`DistArray::update_flat`].
+    #[inline]
+    pub fn flat_of(&self, index: &[i64]) -> Option<u64> {
         if index.len() != self.shape.ndims() {
             return None;
         }
-        let local: Vec<i64> = index
-            .iter()
-            .zip(&self.origin)
-            .map(|(&g, &o)| g - o)
-            .collect();
-        self.shape.flatten(&local)
+        let dims = self.shape.dims();
+        let strides = self.shape.strides();
+        let mut flat = 0u64;
+        for d in 0..index.len() {
+            let local = index[d] - self.origin[d];
+            if local < 0 || (local as u64) >= dims[d] {
+                return None;
+            }
+            flat += local as u64 * strides[d];
+        }
+        Some(flat)
+    }
+
+    /// The global index a local flat offset names (inverse of
+    /// [`DistArray::flat_of`]; allocates — not for hot loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is outside the local volume.
+    pub fn global_of(&self, flat: u64) -> Vec<i64> {
+        let mut idx = self.shape.unflatten(flat);
+        for (c, &o) in idx.iter_mut().zip(&self.origin) {
+            *c += o;
+        }
+        idx
+    }
+
+    /// Reads the element at a local flat offset (see
+    /// [`DistArray::flat_of`]). Returns `None` when the offset exceeds
+    /// the volume or a sparse element is absent.
+    #[inline]
+    pub fn get_flat(&self, flat: u64) -> Option<&T> {
+        match &self.storage {
+            Storage::Dense(v) => v.get(flat as usize),
+            Storage::Sparse(s) => s.get(flat),
+        }
+    }
+
+    /// Reads the element at a local flat offset, defaulting absent
+    /// sparse elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is outside the local volume.
+    #[inline]
+    pub fn get_flat_or_default(&self, flat: u64) -> T {
+        match &self.storage {
+            Storage::Dense(v) => v[flat as usize].clone(),
+            Storage::Sparse(s) => {
+                assert!(
+                    flat < self.shape.volume(),
+                    "flat offset {flat} out of bounds of `{}`",
+                    self.name
+                );
+                s.get(flat).cloned().unwrap_or_default()
+            }
+        }
+    }
+
+    /// Writes the element at a local flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is outside the local volume.
+    #[inline]
+    pub fn set_flat(&mut self, flat: u64, value: T) {
+        match &mut self.storage {
+            Storage::Dense(v) => v[flat as usize] = value,
+            Storage::Sparse(s) => {
+                assert!(
+                    flat < self.shape.volume(),
+                    "flat offset {flat} out of bounds of `{}`",
+                    self.name
+                );
+                s.insert(flat, value);
+            }
+        }
+    }
+
+    /// Read-modify-write at a local flat offset; absent sparse elements
+    /// start from `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is outside the local volume.
+    #[inline]
+    pub fn update_flat(&mut self, flat: u64, f: impl FnOnce(&mut T)) {
+        match &mut self.storage {
+            Storage::Dense(v) => f(&mut v[flat as usize]),
+            Storage::Sparse(s) => {
+                assert!(
+                    flat < self.shape.volume(),
+                    "flat offset {flat} out of bounds of `{}`",
+                    self.name
+                );
+                s.update(flat, f);
+            }
+        }
     }
 
     /// Reads the element at a global index (point query).
     ///
     /// Returns `None` when out of bounds (or outside this partition), or
     /// when a sparse element is absent.
+    #[inline]
     pub fn get(&self, index: &[i64]) -> Option<&T> {
-        let flat = self.local_flat(index)?;
-        match &self.storage {
-            Storage::Dense(v) => v.get(flat as usize),
-            Storage::Sparse(m) => m.get(&flat),
-        }
+        let flat = self.flat_of(index)?;
+        self.get_flat(flat)
     }
 
     /// Reads the element at a global index, or the default value for
@@ -185,12 +348,9 @@ impl<T: Element> DistArray<T> {
     /// array — addressing DSM out of bounds is a program error.
     pub fn get_or_default(&self, index: &[i64]) -> T {
         let flat = self
-            .local_flat(index)
+            .flat_of(index)
             .unwrap_or_else(|| panic!("index {index:?} out of bounds of `{}`", self.name));
-        match &self.storage {
-            Storage::Dense(v) => v[flat as usize].clone(),
-            Storage::Sparse(m) => m.get(&flat).cloned().unwrap_or_default(),
-        }
+        self.get_flat_or_default(flat)
     }
 
     /// Writes the element at a global index (in-place update, the
@@ -201,14 +361,9 @@ impl<T: Element> DistArray<T> {
     /// Panics if the index is out of bounds of this partition.
     pub fn set(&mut self, index: &[i64], value: T) {
         let flat = self
-            .local_flat(index)
+            .flat_of(index)
             .unwrap_or_else(|| panic!("index {index:?} out of bounds of `{}`", self.name));
-        match &mut self.storage {
-            Storage::Dense(v) => v[flat as usize] = value,
-            Storage::Sparse(m) => {
-                m.insert(flat, value);
-            }
-        }
+        self.set_flat(flat, value);
     }
 
     /// Read-modify-write of one element.
@@ -218,11 +373,19 @@ impl<T: Element> DistArray<T> {
     /// Panics if the index is out of bounds of this partition.
     pub fn update(&mut self, index: &[i64], f: impl FnOnce(&mut T)) {
         let flat = self
-            .local_flat(index)
+            .flat_of(index)
             .unwrap_or_else(|| panic!("index {index:?} out of bounds of `{}`", self.name));
-        match &mut self.storage {
-            Storage::Dense(v) => f(&mut v[flat as usize]),
-            Storage::Sparse(m) => f(m.entry(flat).or_default()),
+        self.update_flat(flat, f);
+    }
+
+    /// Merges any sparse elements staged by ad-hoc writes into the
+    /// frozen sorted-pair representation, restoring pure binary-search
+    /// reads and linear-scan iteration. No-op for dense arrays; cheap
+    /// when nothing is staged. Call after a write burst, before a read
+    /// or iteration phase.
+    pub fn freeze(&mut self) {
+        if let Storage::Sparse(s) = &mut self.storage {
+            s.freeze();
         }
     }
 
@@ -273,25 +436,23 @@ impl<T: Element> DistArray<T> {
         (local as usize * width, width)
     }
 
-    /// Iterates `(global_index, &value)` over materialized elements in
-    /// deterministic (row-major / key) order.
-    pub fn iter(&self) -> Box<dyn Iterator<Item = (Vec<i64>, &T)> + '_> {
-        let to_global = move |flat: u64| -> Vec<i64> {
-            self.shape
-                .unflatten(flat)
-                .iter()
-                .zip(&self.origin)
-                .map(|(&l, &o)| l + o)
-                .collect()
-        };
+    /// Iterates `(local_flat, &value)` over materialized elements in
+    /// ascending flat order — the allocation-free spine of every bulk
+    /// operation. Pair with [`DistArray::global_of`] or
+    /// [`Shape::coord_of`] when coordinates are needed.
+    pub fn iter_flat(&self) -> FlatIter<'_, T> {
         match &self.storage {
-            Storage::Dense(v) => Box::new(
-                v.iter()
-                    .enumerate()
-                    .map(move |(f, val)| (to_global(f as u64), val)),
-            ),
-            Storage::Sparse(m) => Box::new(m.iter().map(move |(&f, val)| (to_global(f), val))),
+            Storage::Dense(v) => FlatIter::Dense(v.iter().enumerate()),
+            Storage::Sparse(s) => FlatIter::Sparse(s.iter()),
         }
+    }
+
+    /// Iterates `(global_index, &value)` over materialized elements in
+    /// deterministic (row-major / ascending key) order. Allocates one
+    /// `Vec<i64>` per element; hot loops should use
+    /// [`DistArray::iter_flat`] instead.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (Vec<i64>, &T)> + '_> {
+        Box::new(self.iter_flat().map(move |(f, v)| (self.global_of(f), v)))
     }
 
     /// Applies `f` to every materialized element in place (the `map`
@@ -299,7 +460,7 @@ impl<T: Element> DistArray<T> {
     pub fn map_values(&mut self, mut f: impl FnMut(&mut T)) {
         match &mut self.storage {
             Storage::Dense(v) => v.iter_mut().for_each(&mut f),
-            Storage::Sparse(m) => m.values_mut().for_each(&mut f),
+            Storage::Sparse(s) => s.values_mut().for_each(&mut f),
         }
     }
 
@@ -313,8 +474,8 @@ impl<T: Element> DistArray<T> {
         assert!(dim < self.shape.ndims(), "dim {dim} out of range");
         let extent = self.shape.dims()[dim] as usize;
         let mut counts = vec![0u64; extent];
-        for (idx, _) in self.iter() {
-            counts[(idx[dim] - self.origin[dim]) as usize] += 1;
+        for (flat, _) in self.iter_flat() {
+            counts[self.shape.coord_of(flat, dim) as usize] += 1;
         }
         counts
     }
@@ -355,16 +516,22 @@ impl<T: Element> DistArray<T> {
                 .collect()
         };
         match &mut self.storage {
-            Storage::Sparse(m) => {
-                let old = std::mem::take(m);
-                for (flat, v) in old {
-                    let idx = self.shape.unflatten(flat);
-                    let new_flat = self
-                        .shape
-                        .flatten(&remap(&idx))
-                        .expect("permutation stays in bounds");
-                    m.insert(new_flat, v);
-                }
+            Storage::Sparse(s) => {
+                let old = std::mem::take(s);
+                // A permutation is a bijection on flat offsets, so the
+                // remapped pairs are duplicate-free; collect re-sorts.
+                *s = old
+                    .into_sorted()
+                    .into_iter()
+                    .map(|(flat, v)| {
+                        let idx = self.shape.unflatten(flat);
+                        let new_flat = self
+                            .shape
+                            .flatten(&remap(&idx))
+                            .expect("permutation stays in bounds");
+                        (new_flat, v)
+                    })
+                    .collect();
             }
             Storage::Dense(v) => {
                 let mut out = vec![T::default(); v.len()];
@@ -384,6 +551,11 @@ impl<T: Element> DistArray<T> {
     /// Splits the array into per-range partitions along `dim`. Ranges
     /// must be disjoint and cover `[0, extent)` in order. Each partition
     /// keeps answering *global* indices within its range.
+    ///
+    /// Dense storage splits by contiguous chunk copies; sparse storage
+    /// by a single ordered sweep — within one part, ascending global
+    /// flat order implies ascending part-local flat order, so each
+    /// part's frozen representation is built by direct append.
     ///
     /// # Panics
     ///
@@ -405,42 +577,74 @@ impl<T: Element> DistArray<T> {
         }
         assert_eq!(expect, extent, "ranges must cover the dimension");
 
-        let mut parts: Vec<DistArray<T>> = ranges
+        let DistArray {
+            name,
+            shape,
+            origin: _,
+            storage,
+        } = self;
+        // Decompose flat = outer·(extent·s_dim) + c·s_dim + inner, where
+        // c is the coordinate along `dim`.
+        let s_dim = shape.strides()[dim];
+        let block = extent * s_dim;
+        let n_outer = shape.volume() / block;
+
+        let part_storages: Vec<Storage<T>> = match storage {
+            Storage::Dense(values) => {
+                let mut out: Vec<Vec<T>> = ranges
+                    .iter()
+                    .map(|r| Vec::with_capacity((n_outer * (r.end - r.start) * s_dim) as usize))
+                    .collect();
+                for outer in 0..n_outer {
+                    let base = outer * block;
+                    for (part, r) in out.iter_mut().zip(ranges) {
+                        let lo = (base + r.start * s_dim) as usize;
+                        let hi = (base + r.end * s_dim) as usize;
+                        part.extend_from_slice(&values[lo..hi]);
+                    }
+                }
+                out.into_iter().map(Storage::Dense).collect()
+            }
+            Storage::Sparse(store) => {
+                let mut out: Vec<Vec<(u64, T)>> = ranges.iter().map(|_| Vec::new()).collect();
+                for (flat, v) in store.into_sorted() {
+                    let outer = flat / block;
+                    let c = (flat % block) / s_dim;
+                    let inner = flat % s_dim;
+                    let p = ranges.partition_point(|r| r.end <= c);
+                    let r = &ranges[p];
+                    let part_flat =
+                        outer * ((r.end - r.start) * s_dim) + (c - r.start) * s_dim + inner;
+                    out[p].push((part_flat, v));
+                }
+                out.into_iter()
+                    .map(|pairs| Storage::Sparse(SparseStore::from_sorted(pairs)))
+                    .collect()
+            }
+        };
+
+        ranges
             .iter()
-            .map(|r| {
-                let mut dims = self.shape.dims().to_vec();
+            .zip(part_storages)
+            .map(|(r, storage)| {
+                let mut dims = shape.dims().to_vec();
                 dims[dim] = r.end - r.start;
                 let mut origin = vec![0i64; dims.len()];
                 origin[dim] = r.start as i64;
-                let shape = Shape::new(dims);
-                let storage = if self.is_dense() {
-                    Storage::Dense(vec![T::default(); shape.volume() as usize])
-                } else {
-                    Storage::Sparse(BTreeMap::new())
-                };
                 DistArray {
-                    name: self.name.clone(),
-                    shape,
+                    name: name.clone(),
+                    shape: Shape::new(dims),
                     origin,
                     storage,
                 }
             })
-            .collect();
-
-        let find_part = |coord: i64| -> usize {
-            ranges
-                .partition_point(|r| (r.end as i64) <= coord)
-                .min(ranges.len() - 1)
-        };
-        for (idx, v) in self.iter() {
-            let p = find_part(idx[dim]);
-            parts[p].set(&idx, v.clone());
-        }
-        parts
+            .collect()
     }
 
     /// Reassembles partitions produced by [`DistArray::split_along`] into
-    /// a whole array.
+    /// a whole array. Dense partitions merge by contiguous chunk copies;
+    /// sparse partitions by translating each part-local flat offset back
+    /// to the whole array's flat space.
     ///
     /// # Panics
     ///
@@ -449,21 +653,82 @@ impl<T: Element> DistArray<T> {
     pub fn merge_along(dim: Dim, parts: Vec<DistArray<T>>) -> DistArray<T> {
         assert!(!parts.is_empty(), "cannot merge zero partitions");
         let mut dims = parts[0].shape.dims().to_vec();
-        dims[dim] = parts.iter().map(|p| p.shape.dims()[dim]).sum();
-        let name = parts[0].name.clone();
-        let dense = parts[0].is_dense();
-        let mut whole = if dense {
-            DistArray::dense(name, dims)
-        } else {
-            DistArray::sparse(name, dims)
-        };
-        let _ = dense;
-        for part in &parts {
-            for (idx, v) in part.iter() {
-                whole.set(&idx, v.clone());
+        for part in &parts[1..] {
+            assert_eq!(
+                part.shape.ndims(),
+                dims.len(),
+                "partition ranks differ in merge of `{}`",
+                parts[0].name
+            );
+            for (d, (&a, &b)) in dims.iter().zip(part.shape.dims()).enumerate() {
+                assert!(
+                    d == dim || a == b,
+                    "partition shapes of `{}` disagree off the merge dimension",
+                    parts[0].name
+                );
             }
         }
-        whole
+        let extent: u64 = parts.iter().map(|p| p.shape.dims()[dim]).sum();
+        dims[dim] = extent;
+        let shape = Shape::new(dims);
+        let name = parts[0].name.clone();
+        let s_dim = shape.strides()[dim];
+        let block = extent * s_dim;
+        let n_outer = shape.volume() / block;
+
+        let all_dense = parts.iter().all(|p| p.is_dense());
+        let storage = if all_dense {
+            let mut values: Vec<T> = Vec::with_capacity(shape.volume() as usize);
+            for outer in 0..n_outer {
+                for part in &parts {
+                    let part_block = (part.shape.dims()[dim] * s_dim) as usize;
+                    let lo = outer as usize * part_block;
+                    let Storage::Dense(pv) = &part.storage else {
+                        unreachable!()
+                    };
+                    values.extend_from_slice(&pv[lo..lo + part_block]);
+                }
+            }
+            Storage::Dense(values)
+        } else {
+            // Start along `dim` of each part, in order.
+            let mut pairs: Vec<(u64, T)> = Vec::new();
+            let mut start = 0u64;
+            for part in parts {
+                let len_p = part.shape.dims()[dim];
+                let part_block = len_p * s_dim;
+                match part.storage {
+                    Storage::Sparse(store) => {
+                        for (part_flat, v) in store.into_sorted() {
+                            let outer = part_flat / part_block;
+                            let c = (part_flat % part_block) / s_dim;
+                            let inner = part_flat % s_dim;
+                            pairs.push((outer * block + (start + c) * s_dim + inner, v));
+                        }
+                    }
+                    Storage::Dense(values) => {
+                        for (flat, v) in values.into_iter().enumerate() {
+                            let part_flat = flat as u64;
+                            let outer = part_flat / part_block;
+                            let c = (part_flat % part_block) / s_dim;
+                            let inner = part_flat % s_dim;
+                            pairs.push((outer * block + (start + c) * s_dim + inner, v));
+                        }
+                    }
+                }
+                start += len_p;
+            }
+            // Parts interleave in global flat order (part 0's outer-1
+            // elements follow part 1's outer-0 elements), so collect
+            // re-sorts; split output is duplicate-free by construction.
+            Storage::Sparse(pairs.into_iter().collect())
+        };
+        DistArray {
+            origin: vec![0; shape.ndims()],
+            name,
+            shape,
+            storage,
+        }
     }
 
     /// Metadata snapshot for the analyzer.
@@ -487,10 +752,40 @@ impl<T: Element> DistArray<T> {
         match &self.storage {
             Storage::Dense(v) => (v.len() * T::WIRE_BYTES) as u64,
             // Sparse elements carry their 8-byte flat index on the wire.
-            Storage::Sparse(m) => (m.len() * (T::WIRE_BYTES + 8)) as u64,
+            Storage::Sparse(s) => (s.len() * (T::WIRE_BYTES + 8)) as u64,
         }
     }
 }
+
+/// Ascending-flat-offset iterator over materialized elements; see
+/// [`DistArray::iter_flat`]. Allocation-free for both storage kinds.
+pub enum FlatIter<'a, T> {
+    /// Linear scan of dense row-major values.
+    Dense(std::iter::Enumerate<std::slice::Iter<'a, T>>),
+    /// Ordered merge scan of frozen and staged sparse elements.
+    Sparse(SparseIter<'a, T>),
+}
+
+impl<'a, T> Iterator for FlatIter<'a, T> {
+    type Item = (u64, &'a T);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u64, &'a T)> {
+        match self {
+            FlatIter::Dense(it) => it.next().map(|(f, v)| (f as u64, v)),
+            FlatIter::Sparse(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            FlatIter::Dense(it) => it.size_hint(),
+            FlatIter::Sparse(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<T> ExactSizeIterator for FlatIter<'_, T> {}
 
 #[cfg(test)]
 mod tests {
@@ -519,6 +814,34 @@ mod tests {
     }
 
     #[test]
+    fn flat_offsets_match_indexed_access() {
+        let mut a: DistArray<f32> = DistArray::dense("a", vec![3, 4]);
+        let flat = a.flat_of(&[2, 1]).unwrap();
+        assert_eq!(flat, 9);
+        a.set_flat(flat, 4.5);
+        assert_eq!(a.get(&[2, 1]), Some(&4.5));
+        assert_eq!(a.get_flat(flat), Some(&4.5));
+        a.update_flat(flat, |v| *v += 0.5);
+        assert_eq!(a.get_flat_or_default(flat), 5.0);
+        assert_eq!(a.global_of(flat), vec![2, 1]);
+        assert_eq!(a.flat_of(&[3, 0]), None);
+        assert_eq!(a.flat_of(&[0]), None);
+    }
+
+    #[test]
+    fn flat_offsets_respect_partition_origin() {
+        let a: DistArray<f32> =
+            DistArray::dense_from_fn("a", vec![4, 2], |i| (i[0] * 2 + i[1]) as f32);
+        let parts = a.split_along(0, &[0..2, 2..4]);
+        let p = &parts[1];
+        assert_eq!(p.flat_of(&[1, 0]), None, "below the partition's range");
+        let flat = p.flat_of(&[3, 1]).unwrap();
+        assert_eq!(flat, 3, "local offset inside the partition");
+        assert_eq!(p.get_flat(flat), Some(&7.0));
+        assert_eq!(p.global_of(flat), vec![3, 1]);
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn set_out_of_bounds_panics() {
         let mut a: DistArray<f32> = DistArray::dense("a", vec![2, 2]);
@@ -526,10 +849,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sparse_set_flat_out_of_bounds_panics() {
+        let mut a: DistArray<u32> = DistArray::sparse("a", vec![2, 2]);
+        a.set_flat(4, 1);
+    }
+
+    #[test]
     fn row_slices() {
-        let mut a: DistArray<f32> = DistArray::dense_from_fn("a", vec![3, 4], |i| {
-            (i[0] * 10 + i[1]) as f32
-        });
+        let mut a: DistArray<f32> =
+            DistArray::dense_from_fn("a", vec![3, 4], |i| (i[0] * 10 + i[1]) as f32);
         assert_eq!(a.row_slice(1), &[10.0, 11.0, 12.0, 13.0]);
         a.row_slice_mut(2)[0] = -1.0;
         assert_eq!(a.get(&[2, 0]), Some(&-1.0));
@@ -545,13 +874,22 @@ mod tests {
 
     #[test]
     fn iter_is_deterministic_and_global() {
-        let a: DistArray<f32> = DistArray::sparse_from(
-            "a",
-            vec![4, 4],
-            vec![(vec![3, 1], 1.0), (vec![0, 2], 2.0)],
-        );
+        let a: DistArray<f32> =
+            DistArray::sparse_from("a", vec![4, 4], vec![(vec![3, 1], 1.0), (vec![0, 2], 2.0)]);
         let items: Vec<_> = a.iter().map(|(i, &v)| (i, v)).collect();
         assert_eq!(items, vec![(vec![0, 2], 2.0), (vec![3, 1], 1.0)]);
+    }
+
+    #[test]
+    fn iter_flat_sees_staged_writes_in_order() {
+        let mut a: DistArray<u32> =
+            DistArray::sparse_from("a", vec![10], vec![(vec![2], 20), (vec![8], 80)]);
+        a.set(&[5], 50);
+        let items: Vec<(u64, u32)> = a.iter_flat().map(|(f, &v)| (f, v)).collect();
+        assert_eq!(items, vec![(2, 20), (5, 50), (8, 80)]);
+        a.freeze();
+        let again: Vec<(u64, u32)> = a.iter_flat().map(|(f, &v)| (f, v)).collect();
+        assert_eq!(items, again);
     }
 
     #[test]
@@ -559,11 +897,7 @@ mod tests {
         let a: DistArray<f32> = DistArray::sparse_from(
             "a",
             vec![3, 4],
-            vec![
-                (vec![0, 0], 1.0),
-                (vec![0, 3], 1.0),
-                (vec![2, 1], 1.0),
-            ],
+            vec![(vec![0, 0], 1.0), (vec![0, 3], 1.0), (vec![2, 1], 1.0)],
         );
         assert_eq!(a.histogram_along(0), vec![2, 0, 1]);
         assert_eq!(a.histogram_along(1), vec![1, 1, 0, 1]);
@@ -585,6 +919,18 @@ mod tests {
     }
 
     #[test]
+    fn split_merge_dense_roundtrip_inner_dim() {
+        let a: DistArray<f32> =
+            DistArray::dense_from_fn("a", vec![3, 6], |i| (i[0] * 6 + i[1]) as f32);
+        let orig = a.clone();
+        let parts = a.split_along(1, &[0..2, 2..5, 5..6]);
+        assert_eq!(parts[1].get(&[2, 3]), Some(&15.0));
+        assert_eq!(parts[1].get(&[2, 0]), None);
+        let merged = DistArray::merge_along(1, parts);
+        assert_eq!(merged, orig);
+    }
+
+    #[test]
     fn split_merge_sparse_roundtrip() {
         let a: DistArray<u32> = DistArray::sparse_from(
             "a",
@@ -601,7 +947,21 @@ mod tests {
     }
 
     #[test]
+    fn split_merge_sparse_roundtrip_inner_dim() {
+        let a: DistArray<u32> = DistArray::sparse_from(
+            "a",
+            vec![4, 8],
+            (0..8).map(|i| (vec![(i * 5) % 4, (i * 3) % 8], i as u32)),
+        );
+        let orig = a.clone();
+        let parts = a.split_along(1, &[0..3, 3..8]);
+        let merged = DistArray::merge_along(1, parts);
+        assert_eq!(merged, orig);
+    }
+
+    #[test]
     #[should_panic(expected = "cover the dimension")]
+    #[allow(clippy::single_range_in_vec_init)]
     fn split_requires_full_cover() {
         let a: DistArray<f32> = DistArray::dense("a", vec![4]);
         let _ = a.split_along(0, &[0..2]);
@@ -672,5 +1032,17 @@ mod tests {
         let distinct: std::collections::BTreeSet<u32> =
             a.iter().map(|(_, v)| v.to_bits()).collect();
         assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn dense_from_vec_and_sparse_from_flat() {
+        let d: DistArray<f32> =
+            DistArray::dense_from_vec("d", vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.get(&[1, 0]), Some(&3.0));
+        let s: DistArray<u32> =
+            DistArray::sparse_from_flat("s", vec![3, 3], vec![(7, 70), (1, 9), (1, 10)]);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.get(&[0, 1]), Some(&10), "last write wins");
+        assert_eq!(s.get_flat(7), Some(&70));
     }
 }

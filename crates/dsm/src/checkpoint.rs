@@ -67,9 +67,9 @@ pub fn to_bytes<T: Element>(array: &DistArray<T>) -> Bytes {
             buf.put_u8(0);
             buf.put_slice(&codec::encode_dense_run(0, values));
         }
-        Storage::Sparse(map) => {
+        Storage::Sparse(store) => {
             buf.put_u8(1);
-            let updates: Vec<(u64, T)> = map.iter().map(|(&k, v)| (k, v.clone())).collect();
+            let updates: Vec<(u64, T)> = store.iter().map(|(k, v)| (k, v.clone())).collect();
             buf.put_slice(&codec::encode_updates(&updates));
         }
     }
@@ -132,27 +132,17 @@ pub fn from_bytes<T: Element>(mut wire: Bytes) -> Result<DistArray<T>, Checkpoin
                     values.len()
                 )));
             }
-            let mut a = DistArray::dense(name, dims.clone());
-            let shape = a.shape().clone();
-            for (flat, v) in values.into_iter().enumerate() {
-                a.set(&shape.unflatten(flat as u64), v);
-            }
-            Ok(a)
+            Ok(DistArray::dense_from_vec(name, dims, values))
         }
         1 => {
             let updates = codec::decode_updates::<T>(wire);
-            let mut a = DistArray::sparse(name, dims.clone());
-            let shape = a.shape().clone();
-            let volume = shape.volume();
-            for (flat, v) in updates {
-                if flat >= volume {
-                    return Err(CheckpointError::Corrupt(format!(
-                        "index {flat} out of bounds {volume}"
-                    )));
-                }
-                a.set(&shape.unflatten(flat), v);
+            let volume: u64 = dims.iter().product();
+            if let Some(&(flat, _)) = updates.iter().find(|&&(flat, _)| flat >= volume) {
+                return Err(CheckpointError::Corrupt(format!(
+                    "index {flat} out of bounds {volume}"
+                )));
             }
-            Ok(a)
+            Ok(DistArray::sparse_from_flat(name, dims, updates))
         }
         other => Err(CheckpointError::Corrupt(format!("bad storage tag {other}"))),
     }
@@ -164,7 +154,10 @@ pub fn from_bytes<T: Element>(mut wire: Bytes) -> Result<DistArray<T>, Checkpoin
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn save<T: Element>(array: &DistArray<T>, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+pub fn save<T: Element>(
+    array: &DistArray<T>,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(&to_bytes(array))?;
     f.sync_all()?;

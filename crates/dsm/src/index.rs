@@ -43,6 +43,11 @@ impl Shape {
         &self.dims
     }
 
+    /// Row-major strides; `strides()[ndims() - 1] == 1`.
+    pub fn strides(&self) -> &[u64] {
+        &self.strides
+    }
+
     /// Number of dimensions.
     pub fn ndims(&self) -> usize {
         self.dims.len()
@@ -63,18 +68,32 @@ impl Shape {
     }
 
     /// Row-major flattening of an in-bounds index; `None` when out of
-    /// bounds or of the wrong arity.
+    /// bounds or of the wrong arity. Validates and accumulates in a
+    /// single pass over the coordinates.
+    #[inline]
     pub fn flatten(&self, index: &[i64]) -> Option<u64> {
-        if !self.contains(index) {
+        if index.len() != self.dims.len() {
             return None;
         }
-        Some(
-            index
-                .iter()
-                .zip(&self.strides)
-                .map(|(&i, &s)| i as u64 * s)
-                .sum(),
-        )
+        let mut flat = 0u64;
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&self.strides) {
+            if i < 0 || (i as u64) >= d {
+                return None;
+            }
+            flat += i as u64 * s;
+        }
+        Some(flat)
+    }
+
+    /// The coordinate along `dim` of the position `flat` names — the
+    /// allocation-free projection of [`Shape::unflatten`] onto one axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range; `flat` is not bounds-checked.
+    #[inline]
+    pub fn coord_of(&self, flat: u64, dim: usize) -> i64 {
+        ((flat / self.strides[dim]) % self.dims[dim]) as i64
     }
 
     /// Inverse of [`Shape::flatten`].
@@ -145,12 +164,20 @@ mod tests {
     }
 
     #[test]
+    fn coord_of_projects_unflatten() {
+        let s = Shape::new(vec![3, 5, 2]);
+        for f in 0..s.volume() {
+            let idx = s.unflatten(f);
+            for (d, &x) in idx.iter().enumerate() {
+                assert_eq!(s.coord_of(f, d), x);
+            }
+        }
+    }
+
+    #[test]
     fn iter_indices_in_order() {
         let s = Shape::new(vec![2, 2]);
         let all: Vec<_> = s.iter_indices().collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 }

@@ -51,11 +51,7 @@ pub struct LazyArray<T> {
 
 impl<T: Element> LazyArray<T> {
     /// Records an in-memory source.
-    pub fn from_items(
-        name: impl Into<String>,
-        dims: Vec<u64>,
-        items: Vec<(Vec<i64>, T)>,
-    ) -> Self {
+    pub fn from_items(name: impl Into<String>, dims: Vec<u64>, items: Vec<(Vec<i64>, T)>) -> Self {
         LazyArray {
             name: name.into(),
             dims,
@@ -127,6 +123,9 @@ impl<T: Element> LazyArray<T> {
                 }
             }
         }
+        // Materialization is a write burst; hand back a frozen array so
+        // reads start on the fast path.
+        out.freeze();
         out
     }
 
@@ -140,12 +139,16 @@ impl<T: Element> LazyArray<T> {
         let dims = self.dims.clone();
         let sparse = self.materialize_sparse();
         let mut out = DistArray::dense(name, dims);
-        for (idx, v) in sparse.iter() {
-            out.set(&idx, v.clone());
+        // Both arrays share a shape, so local flat offsets line up.
+        for (flat, v) in sparse.iter_flat() {
+            out.set_flat(flat, v.clone());
         }
         out
     }
 }
+
+/// One coordinate group's members: `(global index, value)` pairs.
+pub type GroupEntries<T> = Vec<(Vec<i64>, T)>;
 
 /// Groups an array's materialized elements by their coordinate along
 /// `dim`, returning `(coordinate, items)` groups in coordinate order.
@@ -170,9 +173,9 @@ impl<T: Element> LazyArray<T> {
 /// assert_eq!(groups[0].0, 0);
 /// assert_eq!(groups[0].1.len(), 2);
 /// ```
-pub fn group_by<T: Element>(array: &DistArray<T>, dim: usize) -> Vec<(i64, Vec<(Vec<i64>, T)>)> {
+pub fn group_by<T: Element>(array: &DistArray<T>, dim: usize) -> Vec<(i64, GroupEntries<T>)> {
     assert!(dim < array.shape().ndims(), "dim {dim} out of range");
-    let mut groups: BTreeMap<i64, Vec<(Vec<i64>, T)>> = BTreeMap::new();
+    let mut groups: BTreeMap<i64, GroupEntries<T>> = BTreeMap::new();
     for (idx, v) in array.iter() {
         groups.entry(idx[dim]).or_default().push((idx, v.clone()));
     }
@@ -194,12 +197,8 @@ mod tests {
 
     #[test]
     fn map_sees_index() {
-        let lazy = LazyArray::from_items(
-            "a",
-            vec![3],
-            vec![(vec![0], 0.0f32), (vec![2], 0.0)],
-        )
-        .map(|idx, _| idx[0] as f32);
+        let lazy = LazyArray::from_items("a", vec![3], vec![(vec![0], 0.0f32), (vec![2], 0.0)])
+            .map(|idx, _| idx[0] as f32);
         let a = lazy.materialize_sparse();
         assert_eq!(a.get(&[2]), Some(&2.0));
     }

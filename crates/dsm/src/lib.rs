@@ -33,13 +33,15 @@ mod element;
 mod index;
 mod lazy;
 mod partition;
+mod sparse;
 mod validator;
 
 pub use accumulator::Accumulator;
-pub use array::{DistArray, Storage};
+pub use array::{DistArray, FlatIter, Storage};
 pub use buffer::DistArrayBuffer;
 pub use element::{Element, Rating};
 pub use index::Shape;
 pub use lazy::{group_by, LazyArray};
 pub use partition::{GridPartition, RangePartition};
+pub use sparse::{SparseIter, SparseStore};
 pub use validator::{AccessValidator, AccessViolation};

@@ -49,13 +49,16 @@ impl RangePartition {
         RangePartition { dim, ranges }
     }
 
-    /// Splits `[0, weights.len())` into `n` ranges of near-equal total
-    /// weight — the histogram-balanced partitioning Orion computes for
-    /// skewed data distributions (§4.3).
+    /// Splits `[0, weights.len())` into `n` ranges minimizing the
+    /// heaviest part — the histogram-balanced partitioning Orion
+    /// computes for skewed data distributions (§4.3).
     ///
-    /// Greedy prefix split: each part closes once its weight reaches the
-    /// remaining average, while leaving enough indices for the remaining
-    /// parts.
+    /// Binary-searches the bottleneck load: the smallest cap `L` such
+    /// that a prefix-greedy scan covers the histogram in at most `n`
+    /// parts (the classic "split array largest sum" formulation, which
+    /// is exactly optimal — never merely no-worse-than-uniform). Since
+    /// splitting a part further can only shrink loads, "at most `n`"
+    /// extends to "exactly `n` non-empty parts" for free.
     ///
     /// # Panics
     ///
@@ -68,44 +71,52 @@ impl RangePartition {
             "cannot partition extent {extent} into {n} non-empty parts"
         );
         let total: u64 = weights.iter().sum();
+        let max_w = weights.iter().copied().max().unwrap_or(0);
+        let parts_needed = |cap: u64| -> usize {
+            let mut parts = 1usize;
+            let mut w = 0u64;
+            for &x in weights {
+                if w + x > cap {
+                    parts += 1;
+                    w = x;
+                } else {
+                    w += x;
+                }
+            }
+            parts
+        };
+        let (mut lo, mut hi) = (max_w, total);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if parts_needed(mid) <= n {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let cap = lo;
+        // Materialize exactly `n` parts under the optimal cap; a part
+        // closes early where needed to leave one index for each part
+        // still to come (forced single-index parts stay within `cap`
+        // because `cap >= max_w`).
         let mut ranges = Vec::with_capacity(n);
         let mut start = 0u64;
-        let mut consumed = 0u64;
         for part in 0..n {
-            let parts_left = (n - part) as u64;
-            let must_leave = parts_left - 1; // indices for the remaining parts
-            let target = (total - consumed).div_ceil(parts_left);
+            let must_leave = (n - part - 1) as u64;
+            let limit = extent - must_leave;
             let mut end = start + 1;
             let mut w = weights[start as usize];
-            while end < extent - must_leave && w < target {
+            while end < limit && w + weights[end as usize] <= cap {
                 w += weights[end as usize];
                 end += 1;
             }
             if part == n - 1 {
                 end = extent;
-                w = total - consumed;
             }
-            consumed += w;
             ranges.push(start..end);
             start = end;
         }
-        let greedy = RangePartition { dim, ranges };
-        // The greedy prefix split can occasionally land a hair above the
-        // uniform split on near-flat weights; never return a partitioning
-        // worse than uniform.
-        let uniform = Self::uniform(dim, extent, n);
-        let max_load = |p: &RangePartition| -> u64 {
-            p.ranges
-                .iter()
-                .map(|r| weights[r.start as usize..r.end as usize].iter().sum())
-                .max()
-                .unwrap_or(0)
-        };
-        if max_load(&greedy) <= max_load(&uniform) {
-            greedy
-        } else {
-            uniform
-        }
+        RangePartition { dim, ranges }
     }
 
     /// Number of parts.
@@ -236,6 +247,61 @@ mod tests {
         let w = vec![100, 0, 0, 0];
         let p = RangePartition::balanced(0, &w, 4);
         assert_eq!(p.ranges, vec![0..1, 1..2, 2..3, 3..4]);
+    }
+
+    #[test]
+    fn balanced_zero_prefix_regression_is_optimal() {
+        // The checked-in proptest seed (tests/dsm_props.proptest-
+        // regressions): a zero-weight prefix used to push the greedy
+        // prefix split above the uniform max load.
+        let w: Vec<u64> = vec![
+            0, 0, 0, 0, 12, 16, 32, 23, 22, 22, 23, 43, 47, 2, 40, 47, 9, 23, 9, 34, 27, 41, 46,
+            31, 0, 40, 13, 6, 34, 24, 46, 49, 21, 3, 11, 18, 29, 13, 42, 39,
+        ];
+        let parts = 4;
+        let load = |p: &RangePartition| -> u64 {
+            p.ranges
+                .iter()
+                .map(|r| w[r.start as usize..r.end as usize].iter().sum())
+                .max()
+                .unwrap()
+        };
+        let balanced = RangePartition::balanced(0, &w, parts);
+        assert_eq!(balanced.extent(), w.len() as u64);
+        assert_eq!(balanced.n_parts(), parts);
+        assert!(balanced.ranges.iter().all(|r| r.start < r.end));
+        let uniform = RangePartition::uniform(0, w.len() as u64, parts);
+        assert!(
+            load(&balanced) <= load(&uniform),
+            "balanced {} vs uniform {}",
+            load(&balanced),
+            load(&uniform)
+        );
+        // And stronger than the property: exactly the DP-optimal
+        // bottleneck over all contiguous partitionings.
+        let prefix: Vec<u64> = std::iter::once(0)
+            .chain(w.iter().scan(0u64, |acc, &x| {
+                *acc += x;
+                Some(*acc)
+            }))
+            .collect();
+        let n = w.len();
+        // best[p][i]: minimal max load splitting w[..i] into p parts.
+        let mut best = vec![vec![u64::MAX; n + 1]; parts + 1];
+        best[0][0] = 0;
+        for p in 1..=parts {
+            for i in p..=n {
+                for j in (p - 1)..i {
+                    let cand = best[p - 1][j].max(prefix[i] - prefix[j]);
+                    best[p][i] = best[p][i].min(cand);
+                }
+            }
+        }
+        assert_eq!(
+            load(&balanced),
+            best[parts][n],
+            "balanced must hit the optimal bottleneck load"
+        );
     }
 
     #[test]

@@ -87,13 +87,18 @@ impl AccessValidator {
         }
     }
 
-    fn covered(&self, iteration: &[i64], array: DistArrayId, index: &[i64], kind: AccessKind) -> bool {
+    fn covered(
+        &self,
+        iteration: &[i64],
+        array: DistArrayId,
+        index: &[i64],
+        kind: AccessKind,
+    ) -> bool {
         self.refs.iter().any(|r| {
             r.array == array
                 && r.kind == kind
                 && r.subscripts.len() == index.len()
-                && r
-                    .subscripts
+                && r.subscripts
                     .iter()
                     .zip(index)
                     .all(|(s, &x)| Self::admits(s, iteration, x))

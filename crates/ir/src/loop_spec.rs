@@ -154,10 +154,7 @@ impl LoopSpec {
             }
         }
         for b in &self.buffered {
-            let written = self
-                .refs
-                .iter()
-                .any(|r| r.array == *b && r.kind.is_write());
+            let written = self.refs.iter().any(|r| r.array == *b && r.kind.is_write());
             if !written {
                 return Err(SpecError::BufferedArrayNotWritten(*b));
             }
@@ -195,7 +192,8 @@ impl LoopSpecBuilder {
     /// Adds a read and a write with identical subscripts (a read-modify-write).
     #[must_use]
     pub fn read_write(self, array: DistArrayId, subscripts: Vec<Subscript>) -> Self {
-        self.read(array, subscripts.clone()).write(array, subscripts)
+        self.read(array, subscripts.clone())
+            .write(array, subscripts)
     }
 
     /// Requires lexicographic iteration ordering to be preserved.
@@ -264,7 +262,13 @@ mod tests {
             .read(w, vec![Subscript::loop_index(1)])
             .build()
             .unwrap_err();
-        assert_eq!(err, SpecError::IterDimOutOfRange { ref_index: 0, dim: 1 });
+        assert_eq!(
+            err,
+            SpecError::IterDimOutOfRange {
+                ref_index: 0,
+                dim: 1
+            }
+        );
     }
 
     #[test]

@@ -258,12 +258,12 @@ impl<A: PsApp> PsEngine<A> {
 
         for round in 0..rounds {
             // Compute this round's slice of every shard.
-            for w in 0..n_workers {
+            for (w, pend) in pending.iter_mut().enumerate() {
                 let shard = &self.shards[w];
                 let lo = shard.len() * round / rounds;
                 let hi = shard.len() * (round + 1) / rounds;
                 let mut cost = 0.0f64;
-                let mut local = std::mem::take(&mut pending[w]);
+                let mut local = std::mem::take(pend);
                 let mut scratch = UpdateLog::default();
                 for &item in &shard[lo..hi] {
                     let view = PsView {
@@ -277,7 +277,7 @@ impl<A: PsApp> PsEngine<A> {
                     }
                     cost += self.app.item_cost_ns(item);
                 }
-                pending[w] = local;
+                *pend = local;
                 let dt = self.cfg.cluster.compute_time(cost);
                 self.clocks.advance(w, dt);
             }
@@ -293,8 +293,8 @@ impl<A: PsApp> PsEngine<A> {
 
         // Pass-end synchronization: ship everything, apply, broadcast.
         let mut up_total = 0u64;
-        for w in 0..n_workers {
-            let ups = pending[w].drain();
+        for (w, pend) in pending.iter_mut().enumerate() {
+            let ups = pend.drain();
             let bytes = ups.len() as u64 * UPDATE_WIRE_BYTES;
             up_total += bytes;
             let t = self.clocks.get(w) + self.cfg.cluster.marshal_time(bytes);
@@ -343,8 +343,8 @@ impl<A: PsApp> PsEngine<A> {
         let per_worker = budget_bytes / self.cfg.cluster.workers_per_machine.max(1);
         let k = per_worker / UPDATE_WIRE_BYTES as usize;
         let mut refreshed: Vec<u32> = Vec::new();
-        for w in 0..n_workers {
-            let ups = pending[w].drain_largest(k);
+        for (w, pend) in pending.iter_mut().enumerate() {
+            let ups = pend.drain_largest(k);
             if ups.is_empty() {
                 continue;
             }
@@ -356,8 +356,7 @@ impl<A: PsApp> PsEngine<A> {
             // block on it, but pays the marshalling CPU time, and the
             // co-located server process steals cycles from its host
             // worker to unmarshal and apply the updates under locks.
-            self.clocks
-                .advance(w, self.cfg.cluster.marshal_time(bytes));
+            self.clocks.advance(w, self.cfg.cluster.marshal_time(bytes));
             self.clocks
                 .advance(server, self.cfg.cluster.marshal_time(bytes) * 2);
             let _ = arrive;

@@ -144,10 +144,10 @@ impl SimExecutor {
                 }
 
                 // Compute cost of the block, plus served-array access.
-                let block = &schedule.blocks[exec.block];
+                let block = schedule.blocks.items(exec.block);
                 let mut block_ns = 0.0f64;
                 for &pos in block {
-                    block_ns += cost(pos);
+                    block_ns += cost(pos as usize);
                 }
                 if let (Some(pc), Some(served)) = (&prefetch_cost, &comm.served) {
                     let skip = served.cache_per_pass && served_fetched[w];
@@ -170,25 +170,18 @@ impl SimExecutor {
                     if req_bytes > 0 {
                         let server = served.server_worker(&self.cluster, w);
                         let arrive = self.net.send(&self.cluster, w, server, req_bytes, t);
-                        let back = self.net.send(
-                            &self.cluster,
-                            server,
-                            w,
-                            resp_bytes,
-                            arrive,
-                        );
+                        let back = self.net.send(&self.cluster, server, w, resp_bytes, arrive);
                         self.clocks.wait_until(w, back);
                     }
                     self.clocks.advance(w, dt);
                 }
 
-                self.clocks
-                    .advance(w, self.cluster.compute_time(block_ns));
+                self.clocks.advance(w, self.cluster.compute_time(block_ns));
                 iterations += block.len() as u64;
 
                 // Execute the real computation, in schedule order.
                 for &pos in block {
-                    body(w, pos);
+                    body(w, pos as usize);
                 }
 
                 finish.insert((w, exec.step), self.clocks.get(w));
@@ -281,10 +274,20 @@ mod tests {
         let mut e1 = SimExecutor::new(cluster(1, 1));
         let mut e4 = SimExecutor::new(cluster(1, 4));
         let t1 = e1
-            .run_pass(&s1, &LoopCommModel::local_only(), &mut |_| 1000.0, &mut |_, _| {})
+            .run_pass(
+                &s1,
+                &LoopCommModel::local_only(),
+                &mut |_| 1000.0,
+                &mut |_, _| {},
+            )
             .elapsed();
         let t4 = e4
-            .run_pass(&s4, &LoopCommModel::local_only(), &mut |_| 1000.0, &mut |_, _| {})
+            .run_pass(
+                &s4,
+                &LoopCommModel::local_only(),
+                &mut |_| 1000.0,
+                &mut |_, _| {},
+            )
             .elapsed();
         assert_eq!(t1.as_nanos(), 64_000);
         assert_eq!(t4.as_nanos(), 16_000);
@@ -345,8 +348,12 @@ mod tests {
         let so = build_schedule(&mk(true), &idx, &[16, 16], 4);
         let mut eu = SimExecutor::new(cluster(4, 1));
         let mut eo = SimExecutor::new(cluster(4, 1));
-        let tu = eu.run_pass(&su, &comm, &mut |_| 10_000.0, &mut |_, _| {}).elapsed();
-        let to = eo.run_pass(&so, &comm, &mut |_| 10_000.0, &mut |_, _| {}).elapsed();
+        let tu = eu
+            .run_pass(&su, &comm, &mut |_| 10_000.0, &mut |_, _| {})
+            .elapsed();
+        let to = eo
+            .run_pass(&so, &comm, &mut |_| 10_000.0, &mut |_, _| {})
+            .elapsed();
         assert!(
             to.as_secs_f64() > tu.as_secs_f64() * 1.4,
             "ordered {to} should be well above unordered {tu}"
@@ -360,7 +367,6 @@ mod tests {
         assert_eq!(ex.net.total_bytes(), 2 * 3_000);
         assert!(ex.now() > VirtualTime::ZERO);
     }
-
 
     #[test]
     fn served_per_block_charges_every_block() {
@@ -417,7 +423,12 @@ mod tests {
         let s = build_schedule(&strat, &idx, &[6, 6], 3);
         assert_eq!(s.sync, crate::schedule::SyncMode::StepBarrier);
         let mut ex = SimExecutor::new(cluster(1, 3));
-        let stats = ex.run_pass(&s, &LoopCommModel::local_only(), &mut |_| 100.0, &mut |_, _| {});
+        let stats = ex.run_pass(
+            &s,
+            &LoopCommModel::local_only(),
+            &mut |_| 100.0,
+            &mut |_, _| {},
+        );
         assert_eq!(stats.iterations, 36);
     }
 
@@ -426,8 +437,18 @@ mod tests {
         let idx = grid_indices(4, 4);
         let s = build_schedule(&Strategy::OneD { dim: 0 }, &idx, &[4, 4], 2);
         let mut ex = SimExecutor::new(cluster(1, 2));
-        let p1 = ex.run_pass(&s, &LoopCommModel::local_only(), &mut |_| 100.0, &mut |_, _| {});
-        let p2 = ex.run_pass(&s, &LoopCommModel::local_only(), &mut |_| 100.0, &mut |_, _| {});
+        let p1 = ex.run_pass(
+            &s,
+            &LoopCommModel::local_only(),
+            &mut |_| 100.0,
+            &mut |_, _| {},
+        );
+        let p2 = ex.run_pass(
+            &s,
+            &LoopCommModel::local_only(),
+            &mut |_| 100.0,
+            &mut |_, _| {},
+        );
         assert_eq!(p2.start, p1.end);
         assert!(p2.end > p1.end);
     }

@@ -29,7 +29,7 @@ pub use executor::{LoopCommModel, PassStats, SimExecutor};
 pub use model::{comm_model_from_plan, comm_model_with_spec};
 pub use prefetch::{IndexRecorder, PrefetchCost, PrefetchMode, ServedModel};
 pub use schedule::{
-    build_schedule, build_schedule_with, AwaitedTransfer, Exec, Schedule, ScheduleOptions,
-    SyncMode, PIPELINE_DEPTH,
+    build_schedule, build_schedule_with, AwaitedTransfer, CompiledBlocks, Exec, Schedule,
+    ScheduleOptions, SyncMode, PIPELINE_DEPTH,
 };
 pub use threaded::{run_grid_pass_threaded, run_one_d_pass_threaded};

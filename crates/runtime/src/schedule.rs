@@ -58,14 +58,92 @@ pub enum SyncMode {
     PointToPoint,
 }
 
+/// Iteration blocks baked into contiguous flat arrays at schedule-build
+/// time (CSR layout): block `b`'s item positions are the slice
+/// `positions[offsets[b]..offsets[b + 1]]`.
+///
+/// Executors dispatch a block by borrowing its slice — no per-item or
+/// per-block allocation on the hot path, and positions of one block are
+/// adjacent in memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledBlocks {
+    /// All item positions, grouped by block.
+    positions: Vec<u32>,
+    /// Per-block extents into `positions`; `offsets.len() == n_blocks + 1`.
+    offsets: Vec<u32>,
+}
+
+impl CompiledBlocks {
+    /// Compiles nested per-block position lists into the flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total item count exceeds `u32::MAX`.
+    fn from_nested(nested: Vec<Vec<usize>>) -> Self {
+        let total: usize = nested.iter().map(Vec::len).sum();
+        assert!(total <= u32::MAX as usize, "schedule exceeds u32 positions");
+        let mut positions = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(nested.len() + 1);
+        offsets.push(0u32);
+        for block in nested {
+            positions.extend(block.into_iter().map(|p| p as u32));
+            offsets.push(positions.len() as u32);
+        }
+        CompiledBlocks { positions, offsets }
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The item positions of one block, as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[inline]
+    pub fn items(&self, block: usize) -> &[u32] {
+        &self.positions[self.offsets[block] as usize..self.offsets[block + 1] as usize]
+    }
+
+    /// Item count of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn len_of(&self, block: usize) -> usize {
+        (self.offsets[block + 1] - self.offsets[block]) as usize
+    }
+
+    /// Total item count across all blocks.
+    pub fn total_items(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Iterates the blocks as position slices, in block order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.n_blocks()).map(|b| self.items(b))
+    }
+}
+
+impl std::ops::Index<usize> for CompiledBlocks {
+    type Output = [u32];
+
+    fn index(&self, block: usize) -> &[u32] {
+        self.items(block)
+    }
+}
+
 /// A compiled computation schedule for one loop.
 #[derive(Debug, Clone)]
 pub struct Schedule {
     /// Number of workers the schedule was built for.
     pub n_workers: usize,
-    /// Iteration blocks: indices into the iteration-item slice the
-    /// schedule was built from.
-    pub blocks: Vec<Vec<usize>>,
+    /// Iteration blocks, compiled to contiguous position arrays; each
+    /// position indexes the iteration-item slice the schedule was built
+    /// from.
+    pub blocks: CompiledBlocks,
     /// Block executions grouped by global step, workers in id order.
     pub steps: Vec<Vec<Exec>>,
     /// Number of time partitions (1 for 1D schedules).
@@ -83,7 +161,7 @@ pub struct Schedule {
 impl Schedule {
     /// Total scheduled item count (for validation).
     pub fn scheduled_items(&self) -> usize {
-        self.blocks.iter().map(Vec::len).sum()
+        self.blocks.total_items()
     }
 
     /// Number of global steps in one pass.
@@ -121,21 +199,30 @@ impl Default for ScheduleOptions {
 /// Builds the schedule for `strategy` over the given iteration indices.
 ///
 /// `indices` are the materialized iteration-space element indices (one
-/// per loop iteration); `extents` the iteration-space dimensions;
-/// `n_workers` the executing workers. Blocks are balanced using
-/// per-coordinate histograms of the (typically skewed) index distribution.
+/// per loop iteration) — anything slice-like works (`&[Vec<i64>]`,
+/// `&[&[i64]]`), so callers holding `(index, value)` items can pass
+/// borrowed index slices instead of cloning every index. `extents` are
+/// the iteration-space dimensions; `n_workers` the executing workers.
+/// Blocks are balanced using per-coordinate histograms of the (typically
+/// skewed) index distribution.
 ///
 /// # Panics
 ///
 /// Panics if `indices` is empty, `n_workers == 0`, or the strategy names
 /// out-of-range dimensions.
-pub fn build_schedule(
+pub fn build_schedule<I: AsRef<[i64]>>(
     strategy: &Strategy,
-    indices: &[Vec<i64>],
+    indices: &[I],
     extents: &[u64],
     n_workers: usize,
 ) -> Schedule {
-    build_schedule_with(strategy, indices, extents, n_workers, ScheduleOptions::default())
+    build_schedule_with(
+        strategy,
+        indices,
+        extents,
+        n_workers,
+        ScheduleOptions::default(),
+    )
 }
 
 /// [`build_schedule`] with explicit [`ScheduleOptions`].
@@ -143,9 +230,9 @@ pub fn build_schedule(
 /// # Panics
 ///
 /// As [`build_schedule`]; additionally if `opts.pipeline_depth == 0`.
-pub fn build_schedule_with(
+pub fn build_schedule_with<I: AsRef<[i64]>>(
     strategy: &Strategy,
-    indices: &[Vec<i64>],
+    indices: &[I],
     extents: &[u64],
     n_workers: usize,
     opts: ScheduleOptions,
@@ -161,12 +248,28 @@ pub fn build_schedule_with(
             space,
             time,
             ordered: false,
-        } => build_two_d_unordered(indices, extents, *space, *time, n_workers, strategy.label(), opts),
+        } => build_two_d_unordered(
+            indices,
+            extents,
+            *space,
+            *time,
+            n_workers,
+            strategy.label(),
+            opts,
+        ),
         Strategy::TwoD {
             space,
             time,
             ordered: true,
-        } => build_two_d_ordered(indices, extents, *space, *time, n_workers, strategy.label(), opts),
+        } => build_two_d_ordered(
+            indices,
+            extents,
+            *space,
+            *time,
+            n_workers,
+            strategy.label(),
+            opts,
+        ),
         Strategy::TwoDUnimodular {
             transform, space, ..
         } => build_unimodular(indices, transform, *space, n_workers, strategy.label()),
@@ -175,19 +278,19 @@ pub fn build_schedule_with(
 }
 
 /// Histogram of iteration counts per coordinate along `dim`.
-fn histogram(indices: &[Vec<i64>], extent: u64, dim: usize) -> Vec<u64> {
+fn histogram<I: AsRef<[i64]>>(indices: &[I], extent: u64, dim: usize) -> Vec<u64> {
     let mut h = vec![0u64; extent as usize];
     for idx in indices {
-        h[idx[dim] as usize] += 1;
+        h[idx.as_ref()[dim] as usize] += 1;
     }
     h
 }
 
-fn build_serial(indices: &[Vec<i64>], label: String) -> Schedule {
+fn build_serial<I>(indices: &[I], label: String) -> Schedule {
     let block: Vec<usize> = (0..indices.len()).collect();
     Schedule {
         n_workers: 1,
-        blocks: vec![block],
+        blocks: CompiledBlocks::from_nested(vec![block]),
         steps: vec![vec![Exec {
             step: 0,
             worker: 0,
@@ -202,8 +305,8 @@ fn build_serial(indices: &[Vec<i64>], label: String) -> Schedule {
     }
 }
 
-fn build_one_d(
-    indices: &[Vec<i64>],
+fn build_one_d<I: AsRef<[i64]>>(
+    indices: &[I],
     extents: &[u64],
     dim: usize,
     n_workers: usize,
@@ -221,7 +324,7 @@ fn build_one_d(
     };
     let mut blocks = vec![Vec::new(); n];
     for (pos, idx) in indices.iter().enumerate() {
-        blocks[part.part_of(idx[dim] as u64)].push(pos);
+        blocks[part.part_of(idx.as_ref()[dim] as u64)].push(pos);
     }
     let step: Vec<Exec> = (0..n)
         .map(|w| Exec {
@@ -233,7 +336,7 @@ fn build_one_d(
         .collect();
     Schedule {
         n_workers: n,
-        blocks,
+        blocks: CompiledBlocks::from_nested(blocks),
         steps: vec![step],
         n_time_partitions: 1,
         sync: SyncMode::PassBarrier,
@@ -248,8 +351,8 @@ fn grid_block(s: usize, t: usize, n_time: usize) -> usize {
     s * n_time + t
 }
 
-fn grid_blocks(
-    indices: &[Vec<i64>],
+fn grid_blocks<I: AsRef<[i64]>>(
+    indices: &[I],
     extents: &[u64],
     space: usize,
     time: usize,
@@ -272,6 +375,7 @@ fn grid_blocks(
     };
     let mut blocks = vec![Vec::new(); n_space * n_time];
     for (pos, idx) in indices.iter().enumerate() {
+        let idx = idx.as_ref();
         let s = sp.part_of(idx[space] as u64);
         let t = tp.part_of(idx[time] as u64);
         blocks[grid_block(s, t, n_time)].push(pos);
@@ -279,8 +383,8 @@ fn grid_blocks(
     (blocks, sp, tp)
 }
 
-fn build_two_d_unordered(
-    indices: &[Vec<i64>],
+fn build_two_d_unordered<I: AsRef<[i64]>>(
+    indices: &[I],
     extents: &[u64],
     space: usize,
     time: usize,
@@ -288,37 +392,45 @@ fn build_two_d_unordered(
     label: String,
     opts: ScheduleOptions,
 ) -> Schedule {
-    assert!(space < extents.len() && time < extents.len(), "dims out of range");
-    let n_space = n_workers
-        .min(extents[space] as usize)
-        .max(1);
+    assert!(
+        space < extents.len() && time < extents.len(),
+        "dims out of range"
+    );
+    let n_space = n_workers.min(extents[space] as usize).max(1);
     // `pipeline_depth` time partitions per worker (Fig. 8), bounded by
     // the time extent.
     let n_time = (n_space * opts.pipeline_depth)
         .min(extents[time] as usize)
         .max(1);
-    let (blocks, sp, tp) =
-        grid_blocks(indices, extents, space, time, n_space, n_time, opts.balance_partitions);
+    let (blocks, sp, tp) = grid_blocks(
+        indices,
+        extents,
+        space,
+        time,
+        n_space,
+        n_time,
+        opts.balance_partitions,
+    );
 
     // Rotation by per-worker queues: worker j starts holding time
     // partitions [j*depth, (j+1)*depth); each step it executes the front
     // and forwards it to worker (j + 1) % n_space, which enqueues it.
     let depth = n_time.div_ceil(n_space);
-    let mut queues: Vec<std::collections::VecDeque<(usize, Option<AwaitedTransfer>)>> =
-        (0..n_space)
-            .map(|j| {
-                (0..n_time)
-                    .filter(|t| t / depth == j)
-                    .map(|t| (t, None))
-                    .collect()
-            })
-            .collect();
+    let mut queues: Vec<std::collections::VecDeque<(usize, Option<AwaitedTransfer>)>> = (0
+        ..n_space)
+        .map(|j| {
+            (0..n_time)
+                .filter(|t| t / depth == j)
+                .map(|t| (t, None))
+                .collect()
+        })
+        .collect();
     let mut steps: Vec<Vec<Exec>> = Vec::with_capacity(n_time);
     for step in 0..n_time as u64 {
         let mut execs = Vec::with_capacity(n_space);
         let mut forwards: Vec<(usize, (usize, Option<AwaitedTransfer>))> = Vec::new();
-        for j in 0..n_space {
-            let Some((t, awaited)) = queues[j].pop_front() else {
+        for (j, queue) in queues.iter_mut().enumerate() {
+            let Some((t, awaited)) = queue.pop_front() else {
                 continue;
             };
             execs.push(Exec {
@@ -347,7 +459,7 @@ fn build_two_d_unordered(
     }
     Schedule {
         n_workers: n_space,
-        blocks,
+        blocks: CompiledBlocks::from_nested(blocks),
         steps,
         n_time_partitions: n_time,
         sync: SyncMode::PointToPoint,
@@ -357,8 +469,8 @@ fn build_two_d_unordered(
     }
 }
 
-fn build_two_d_ordered(
-    indices: &[Vec<i64>],
+fn build_two_d_ordered<I: AsRef<[i64]>>(
+    indices: &[I],
     extents: &[u64],
     space: usize,
     time: usize,
@@ -366,11 +478,21 @@ fn build_two_d_ordered(
     label: String,
     opts: ScheduleOptions,
 ) -> Schedule {
-    assert!(space < extents.len() && time < extents.len(), "dims out of range");
+    assert!(
+        space < extents.len() && time < extents.len(),
+        "dims out of range"
+    );
     let n_space = n_workers.min(extents[space] as usize).max(1);
     let n_time = n_space.min(extents[time] as usize).max(1);
-    let (blocks, sp, tp) =
-        grid_blocks(indices, extents, space, time, n_space, n_time, opts.balance_partitions);
+    let (blocks, sp, tp) = grid_blocks(
+        indices,
+        extents,
+        space,
+        time,
+        n_space,
+        n_time,
+        opts.balance_partitions,
+    );
 
     // Wavefront (Fig. 7e): at global step s, worker j executes time
     // partition i = s - j when 0 <= i < n_time. Partition i is released
@@ -402,7 +524,7 @@ fn build_two_d_ordered(
     }
     Schedule {
         n_workers: n_space,
-        blocks,
+        blocks: CompiledBlocks::from_nested(blocks),
         steps,
         n_time_partitions: n_time,
         sync: SyncMode::PointToPoint,
@@ -412,8 +534,8 @@ fn build_two_d_ordered(
     }
 }
 
-fn build_unimodular(
-    indices: &[Vec<i64>],
+fn build_unimodular<I: AsRef<[i64]>>(
+    indices: &[I],
     transform: &UniMat,
     space_dim: usize,
     n_workers: usize,
@@ -421,7 +543,10 @@ fn build_unimodular(
 ) -> Schedule {
     // Transform every index; group by the outer coordinate (time), and
     // partition each group by the chosen inner coordinate (space).
-    let transformed: Vec<Vec<i64>> = indices.iter().map(|i| transform.apply(i)).collect();
+    let transformed: Vec<Vec<i64>> = indices
+        .iter()
+        .map(|i| transform.apply(i.as_ref()))
+        .collect();
     let mut q0s: Vec<i64> = transformed.iter().map(|q| q[0]).collect();
     q0s.sort_unstable();
     q0s.dedup();
@@ -456,7 +581,7 @@ fn build_unimodular(
         .collect();
     Schedule {
         n_workers: n_space,
-        blocks,
+        blocks: CompiledBlocks::from_nested(blocks),
         steps,
         n_time_partitions: n_steps,
         sync: SyncMode::StepBarrier,
@@ -481,16 +606,16 @@ mod tests {
     fn assert_complete(s: &Schedule, n_items: usize) {
         assert_eq!(s.scheduled_items(), n_items, "every item scheduled once");
         let mut seen = vec![false; n_items];
-        for b in &s.blocks {
+        for b in s.blocks.iter() {
             for &pos in b {
-                assert!(!seen[pos], "item {pos} scheduled twice");
-                seen[pos] = true;
+                assert!(!seen[pos as usize], "item {pos} scheduled twice");
+                seen[pos as usize] = true;
             }
         }
         assert!(seen.iter().all(|&x| x));
         // Every block appears exactly once across steps (empty blocks may
         // be skipped by wavefront schedules).
-        let mut used = vec![0u32; s.blocks.len()];
+        let mut used = vec![0u32; s.blocks.n_blocks()];
         for st in &s.steps {
             for e in st {
                 used[e.block] += 1;
@@ -498,7 +623,7 @@ mod tests {
         }
         for (b, &u) in used.iter().enumerate() {
             assert!(
-                u == 1 || (u == 0 && s.blocks[b].is_empty()),
+                u == 1 || (u == 0 && s.blocks.len_of(b) == 0),
                 "block {b} executed {u} times"
             );
         }
@@ -512,7 +637,7 @@ mod tests {
         assert_eq!(s.n_steps(), 1);
         assert_eq!(s.sync, SyncMode::PassBarrier);
         assert_complete(&s, 40);
-        for b in &s.blocks {
+        for b in s.blocks.iter() {
             assert_eq!(b.len(), 8);
         }
     }
@@ -651,7 +776,7 @@ mod tests {
             let mut q0s: Vec<i64> = Vec::new();
             for e in st {
                 for &pos in &s.blocks[e.block] {
-                    q0s.push(t.apply(&idx[pos])[0]);
+                    q0s.push(t.apply(&idx[pos as usize])[0]);
                 }
             }
             q0s.dedup();
@@ -676,10 +801,9 @@ mod tests {
         idx.extend((0..10).map(|k| vec![1 + k, 0]));
         let s = build_schedule(&Strategy::OneD { dim: 0 }, &idx, &[11, 10], 2);
         assert_complete(&s, 100);
-        let sizes: Vec<usize> = s.blocks.iter().map(Vec::len).collect();
+        let sizes: Vec<usize> = s.blocks.iter().map(<[u32]>::len).collect();
         assert_eq!(sizes, vec![90, 10]); // hot row isolated in its own block
     }
-
 
     #[test]
     fn pipeline_depth_one_awaits_every_rotation_step() {
@@ -723,7 +847,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let max_block = |s: &Schedule| s.blocks.iter().map(Vec::len).max().unwrap();
+        let max_block = |s: &Schedule| s.blocks.iter().map(<[u32]>::len).max().unwrap();
         assert!(max_block(&balanced) <= max_block(&uniform));
         // Uniform puts rows 0..5 (95 items) in one block.
         assert_eq!(max_block(&uniform), 95);
@@ -732,7 +856,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty loop")]
     fn empty_loop_panics() {
-        let _ = build_schedule(&Strategy::Serial, &[], &[1], 1);
+        let _ = build_schedule::<Vec<i64>>(&Strategy::Serial, &[], &[1], 1);
     }
 
     /// Serializability check: under a 2-D schedule, two blocks that share
@@ -782,7 +906,7 @@ mod tests {
         for st in &s.steps {
             for e in st {
                 for &pos in &s.blocks[e.block] {
-                    slot[pos] = (e.step, e.worker);
+                    slot[pos as usize] = (e.step, e.worker);
                 }
             }
         }

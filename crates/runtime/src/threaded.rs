@@ -12,18 +12,26 @@
 //! single-threaded pass (asserted in the integration tests).
 
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use orion_dsm::{DistArray, Element};
 
 use crate::schedule::Schedule;
+
+/// Paired per-worker parcel channel endpoints.
+type ParcelChannels<B> = (Vec<Sender<Parcel<B>>>, Vec<Receiver<Parcel<B>>>);
 
 /// A rotated time partition in flight between workers.
 type Parcel<B> = (usize, DistArray<B>);
 
 /// What one worker thread returns: its id, its space partition, the
 /// parcels it kept (tail of the rotation), and its residual queue.
-type WorkerResult<A, B> = (usize, DistArray<A>, Vec<Parcel<B>>, std::collections::VecDeque<Parcel<B>>);
+type WorkerResult<A, B> = (
+    usize,
+    DistArray<A>,
+    Vec<Parcel<B>>,
+    std::collections::VecDeque<Parcel<B>>,
+);
 
 /// Executes one pass of a 2-D (grid) schedule on real threads.
 ///
@@ -57,8 +65,16 @@ where
 {
     let n_workers = schedule.n_workers;
     let n_time = schedule.n_time_partitions;
-    assert_eq!(space_parts.len(), n_workers, "one space partition per worker");
-    assert_eq!(time_parts.len(), n_time, "one array partition per time partition");
+    assert_eq!(
+        space_parts.len(),
+        n_workers,
+        "one space partition per worker"
+    );
+    assert_eq!(
+        time_parts.len(),
+        n_time,
+        "one array partition per time partition"
+    );
 
     // Initial owner of each time partition: the worker of its first
     // non-awaited execution; forwarding destinations from the awaited
@@ -89,8 +105,7 @@ where
     }
 
     // One channel per worker for incoming parcels.
-    let (senders, receivers): (Vec<Sender<Parcel<B>>>, Vec<Receiver<Parcel<B>>>) =
-        (0..n_workers).map(|_| unbounded()).unzip();
+    let (senders, receivers): ParcelChannels<B> = (0..n_workers).map(|_| channel()).unzip();
 
     // Hand each worker its initial time partitions.
     let mut time_slot: Vec<Option<DistArray<B>>> = time_parts.into_iter().map(Some).collect();
@@ -113,17 +128,17 @@ where
     let mut out_space: Vec<Option<DistArray<A>>> = Vec::new();
     let mut out_time: Vec<Option<DistArray<B>>> = (0..n_time).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         let worker_inputs = space_parts
             .into_iter()
             .zip(local_queues)
             .zip(per_worker)
+            .zip(receivers)
             .enumerate();
-        for (w, ((mut space, mut queue), execs)) in worker_inputs {
-            let rx = receivers[w].clone();
+        for (w, (((mut space, mut queue), execs), rx)) in worker_inputs {
             let senders = senders.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut kept: Vec<Parcel<B>> = Vec::new();
                 for e in execs {
                     if e.awaited.is_some() {
@@ -132,8 +147,8 @@ where
                     }
                     let (tp, mut part) = queue.pop_front().expect("schedule keeps queues fed");
                     debug_assert_eq!(tp, e.block % n_time, "queue order must match schedule");
-                    for &pos in &blocks[e.block] {
-                        let (idx, val) = &items[pos];
+                    for &pos in blocks.items(e.block) {
+                        let (idx, val) = &items[pos as usize];
                         body(idx, val, &mut space, &mut part);
                     }
                     match forward.get(&(w, e.step)) {
@@ -150,13 +165,11 @@ where
             }));
         }
         drop(senders);
-        drop(receivers);
 
-        let mut results: Vec<WorkerResult<A, B>> =
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect();
+        let mut results: Vec<WorkerResult<A, B>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
         results.sort_by_key(|r| r.0);
         for (_, space, kept, queue) in results {
             out_space.push(Some(space));
@@ -165,8 +178,7 @@ where
                 out_time[tp] = Some(part);
             }
         }
-    })
-    .expect("thread scope panicked");
+    });
 
     // Any parcel still in a channel at scope end would be a logic error;
     // the queues above must have drained everything.
@@ -203,14 +215,14 @@ where
     );
     let blocks = &schedule.blocks;
     let body = &body;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = space_parts
             .into_iter()
             .enumerate()
             .map(|(w, mut space)| {
-                scope.spawn(move |_| {
-                    for &pos in &blocks[w] {
-                        let (idx, val) = &items[pos];
+                scope.spawn(move || {
+                    for &pos in blocks.items(w) {
+                        let (idx, val) = &items[pos as usize];
                         body(idx, val, &mut space);
                     }
                     space
@@ -222,7 +234,6 @@ where
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     })
-    .expect("thread scope panicked")
 }
 
 #[cfg(test)]

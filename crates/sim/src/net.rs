@@ -81,8 +81,9 @@ impl SimNet {
             if cluster.network.zero_copy_local {
                 return ready;
             }
-            let tx =
-                VirtualTime::from_secs_f64(bytes as f64 * 8.0 / cluster.network.local_bandwidth_bps);
+            let tx = VirtualTime::from_secs_f64(
+                bytes as f64 * 8.0 / cluster.network.local_bandwidth_bps,
+            );
             return ready + tx;
         }
         let start = ready.max(self.nic_free_tx[src_m]);

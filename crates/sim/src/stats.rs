@@ -43,10 +43,7 @@ impl RunStats {
         let t0 = if from == 0 {
             VirtualTime::ZERO
         } else {
-            self.progress
-                .iter()
-                .find(|p| p.iteration == from - 1)?
-                .time
+            self.progress.iter().find(|p| p.iteration == from - 1)?.time
         };
         Some(end.time.saturating_sub(t0).as_secs_f64() / (to - from) as f64)
     }

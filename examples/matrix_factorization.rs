@@ -23,7 +23,11 @@ fn main() {
     let cfg = MfConfig::new(16);
     let cluster = ClusterSpec::new(8, 4);
 
-    println!("training SGD MF, rank 16, {} ratings, {} passes\n", data.nnz(), passes);
+    println!(
+        "training SGD MF, rank 16, {} ratings, {} passes\n",
+        data.nnz(),
+        passes
+    );
 
     let (_, serial) = train_serial(&data, cfg.clone(), passes);
     let run = MfRunConfig {
@@ -44,7 +48,10 @@ fn main() {
     }
     let ps_stats = ps.finish();
 
-    println!("{:>4}  {:>14}  {:>22}  {:>16}", "pass", "serial", "Orion (dep-aware)", "data parallelism");
+    println!(
+        "{:>4}  {:>14}  {:>22}  {:>16}",
+        "pass", "serial", "Orion (dep-aware)", "data parallelism"
+    );
     for p in 0..passes as usize {
         println!(
             "{:>4}  {:>14.1}  {:>22.1}  {:>16.1}",

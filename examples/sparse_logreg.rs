@@ -47,7 +47,10 @@ fn main() {
         rows.push((label, secs, stats.final_metric().unwrap()));
     }
 
-    println!("\n{:<26}  {:>16}  {:>12}", "mode", "virtual s/pass", "final loss");
+    println!(
+        "\n{:<26}  {:>16}  {:>12}",
+        "mode", "virtual s/pass", "final loss"
+    );
     for (label, secs, loss) in &rows {
         println!("{label:<26}  {secs:>16.6}  {loss:>12.4}");
     }

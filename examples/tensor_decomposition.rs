@@ -48,7 +48,10 @@ fn main() {
     )
     .1;
 
-    println!("\n{:>4}  {:>20}  {:>24}", "pass", "serial (t, loss)", "buffered 2D (t, loss)");
+    println!(
+        "\n{:>4}  {:>20}  {:>24}",
+        "pass", "serial (t, loss)", "buffered 2D (t, loss)"
+    );
     for p in 0..passes as usize {
         println!(
             "{:>4}  {:>10} {:>9.1}  {:>12} {:>11.1}",

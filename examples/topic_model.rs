@@ -27,7 +27,10 @@ fn main() {
     };
     let (model, parallel) = train_orion(&corpus, cfg, &run);
 
-    println!("\n{:>4}  {:>18}  {:>18}", "pass", "serial NLL/token", "Orion NLL/token");
+    println!(
+        "\n{:>4}  {:>18}  {:>18}",
+        "pass", "serial NLL/token", "Orion NLL/token"
+    );
     for p in 0..passes as usize {
         println!(
             "{:>4}  {:>18.4}  {:>18.4}",
@@ -42,7 +45,7 @@ fn main() {
             .map(|w| (model.wt.row_slice(w)[t], w))
             .filter(|(c, _)| *c > 0)
             .collect();
-        scored.sort_by(|a, b| b.0.cmp(&a.0));
+        scored.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
         let top: Vec<i64> = scored.iter().take(8).map(|&(_, w)| w).collect();
         println!("  topic {t}: {top:?}");
     }

@@ -19,9 +19,7 @@ fn arb_sparse_array() -> impl Strategy<Value = DistArray<f32>> {
                 DistArray::sparse_from(
                     "a",
                     d.clone(),
-                    flats
-                        .iter()
-                        .map(|&f| (shape.unflatten(f), f as f32 + 0.5)),
+                    flats.iter().map(|&f| (shape.unflatten(f), f as f32 + 0.5)),
                 )
             },
         )

@@ -21,17 +21,13 @@ fn arb_subscript() -> impl Strategy<Value = Subscript> {
 }
 
 fn arb_ref() -> impl Strategy<Value = ArrayRef> {
-    (
-        any::<bool>(),
-        proptest::collection::vec(arb_subscript(), 2),
-    )
-        .prop_map(|(write, subs)| {
-            if write {
-                ArrayRef::write(DistArrayId(1), subs)
-            } else {
-                ArrayRef::read(DistArrayId(1), subs)
-            }
-        })
+    (any::<bool>(), proptest::collection::vec(arb_subscript(), 2)).prop_map(|(write, subs)| {
+        if write {
+            ArrayRef::write(DistArrayId(1), subs)
+        } else {
+            ArrayRef::read(DistArrayId(1), subs)
+        }
+    })
 }
 
 fn arb_spec() -> impl Strategy<Value = LoopSpec> {
@@ -161,7 +157,7 @@ proptest! {
         for st in &schedule.steps {
             for e in st {
                 for &pos in &schedule.blocks[e.block] {
-                    slot[pos] = (e.step, e.worker);
+                    slot[pos as usize] = (e.step, e.worker);
                 }
             }
         }
@@ -203,7 +199,7 @@ proptest! {
         for st in &schedule.steps {
             for e in st {
                 for (k, &pos) in schedule.blocks[e.block].iter().enumerate() {
-                    slot[pos] = (e.step, e.worker, k);
+                    slot[pos as usize] = (e.step, e.worker, k);
                 }
             }
         }

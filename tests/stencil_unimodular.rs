@@ -30,7 +30,13 @@ fn spec(z: orion::ir::DistArrayId, a: orion::ir::DistArrayId) -> LoopSpec {
                 Subscript::loop_index(1).shifted(1),
             ],
         )
-        .read(a, vec![Subscript::loop_index(0), Subscript::loop_index(1).shifted(-1)])
+        .read(
+            a,
+            vec![
+                Subscript::loop_index(0),
+                Subscript::loop_index(1).shifted(-1),
+            ],
+        )
         .write(a, vec![Subscript::loop_index(0), Subscript::loop_index(1)])
         .ordered()
         .build()

@@ -19,7 +19,8 @@ enum Gen {
 
 fn arb_gen(n: usize) -> impl proptest::strategy::Strategy<Value = Gen> {
     prop_oneof![
-        (0..n, 0..n).prop_filter_map("distinct", |(a, b)| (a != b).then_some(Gen::Interchange(a, b))),
+        (0..n, 0..n).prop_filter_map("distinct", |(a, b)| (a != b)
+            .then_some(Gen::Interchange(a, b))),
         (0..n).prop_map(Gen::Reversal),
         (0..n, 0..n, -3i64..=3).prop_filter_map("distinct+nonzero", |(a, b, f)| {
             (a != b && f != 0).then_some(Gen::Skew(a, b, f))
@@ -42,9 +43,8 @@ fn compose(n: usize, gens: &[Gen]) -> UniMat {
 
 fn arb_exact_dvecs(n: usize) -> impl proptest::strategy::Strategy<Value = Vec<DepVec>> {
     proptest::collection::vec(
-        proptest::collection::vec(-2i64..=2, n).prop_map(|v| {
-            DepVec::new(v.into_iter().map(DepElem::Int).collect())
-        }),
+        proptest::collection::vec(-2i64..=2, n)
+            .prop_map(|v| DepVec::new(v.into_iter().map(DepElem::Int).collect())),
         1..4,
     )
     .prop_map(|vs| {
@@ -134,7 +134,7 @@ proptest! {
         for st in &sched.steps {
             for e in st {
                 for &pos in &sched.blocks[e.block] {
-                    slot[pos] = (e.step, e.worker);
+                    slot[pos as usize] = (e.step, e.worker);
                 }
             }
         }

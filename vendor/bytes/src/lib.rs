@@ -1,0 +1,361 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate (1.x API subset).
+//!
+//! Provides [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] traits with
+//! exactly the little-endian accessors the workspace codec uses. [`Bytes`] is
+//! a cheaply cloneable shared window (`Arc<Vec<u8>>` + range); reading through
+//! [`Buf`] advances the window, matching upstream semantics.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Read access to a contiguous byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copies `cnt` bytes from the front into `dst` and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Splits off the first `len` bytes as an owned [`Bytes`] and advances.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16` and advances.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i16` and advances.
+    fn get_i16_le(&mut self) -> i16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        i16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i32` and advances.
+    fn get_i32_le(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64` and advances.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32` and advances.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64` and advances.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u16` in little-endian byte order.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` in little-endian byte order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian byte order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i16` in little-endian byte order.
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i32` in little-endian byte order.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` in little-endian byte order.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` in little-endian byte order.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` in little-endian byte order.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A cheaply cloneable, shared, immutable byte window.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    range: Range<usize>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static slice (copied; upstream borrows, but no call site here
+    /// depends on zero-copy statics).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length of the remaining window.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// A sub-window relative to the current window (shares the allocation).
+    pub fn slice(&self, r: Range<usize>) -> Bytes {
+        assert!(
+            r.start <= r.end && r.end <= self.len(),
+            "slice out of range"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            range: self.range.start + r.start..self.range.start + r.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.range.clone()]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let range = 0..v.len();
+        Bytes {
+            data: Arc::new(v),
+            range,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        dst.copy_from_slice(&self.as_slice()[..dst.len()]);
+        self.range.start += dst.len();
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "buffer underflow");
+        let out = self.slice(0..len);
+        self.range.start += len;
+        out
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        (**self).copy_to_slice(dst)
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        (**self).copy_to_bytes(len)
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_i64_le(-42);
+        w.put_i32_le(-7);
+        w.put_f32_le(1.5);
+        w.put_f64_le(-2.25);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_i32_le(), -7);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert_eq!(&r.copy_to_bytes(3)[..], b"abc");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_relative_to_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let inner = mid.slice(1..2);
+        assert_eq!(&inner[..], &[3]);
+    }
+
+    #[test]
+    fn buf_through_mut_ref() {
+        fn read_two(b: &mut impl Buf) -> (u8, u8) {
+            (b.get_u8(), b.get_u8())
+        }
+        let mut b = Bytes::from(vec![9, 8, 7]);
+        assert_eq!(read_two(&mut b), (9, 8));
+        assert_eq!(b.remaining(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal, offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset this workspace's benches use — [`Criterion`] with
+//! `bench_function` / `benchmark_group`, [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] entry points. Timing is
+//! deliberately simple: per benchmark, an adaptive warm-up sizes the batch,
+//! then `sample_size` batches are timed and the median per-iteration time is
+//! reported on stdout. No HTML reports, no statistics beyond the median, no
+//! CLI filtering.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` if they prefer.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target wall-clock time per measured sample batch.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are `group/param`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named parameter for benchmarks inside a group.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled only by a parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId {
+            param: p.to_string(),
+        }
+    }
+
+    /// An id with a function label and a parameter value.
+    pub fn new<P: Display>(function: &str, p: P) -> Self {
+        BenchmarkId {
+            param: format!("{function}/{p}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.param);
+        run_one(&full, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark under `group/id` without an explicit input.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; call [`Bencher::iter`] with the code under
+/// test.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value opaque to the optimizer.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: find a batch size that runs for ~TARGET_SAMPLE_TIME.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || batch >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed < TARGET_SAMPLE_TIME / 16 {
+                16
+            } else {
+                2
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        // Measurement: `sample_size` timed batches, median of per-iter times.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.median_ns.is_nan() {
+        println!("{id:<48} (no measurement: Bencher::iter never called)");
+    } else {
+        println!("{id:<48} time: [{}/iter median]", fmt_ns(b.median_ns));
+    }
+}
+
+/// Declares a benchmark group as a function that runs its targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

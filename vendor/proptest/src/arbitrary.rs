@@ -1,0 +1,61 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::strategy::{Reject, Strategy};
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one value uniformly from the type's domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (uniform over the whole domain; floats
+/// are uniform over bit patterns, so NaNs and infinities occur).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> Result<T, Reject> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+macro_rules! arbitrary_via_u64 {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_via_u64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}

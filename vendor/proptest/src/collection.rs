@@ -1,0 +1,112 @@
+//! Collection strategies: `vec` and `btree_set` with flexible size specs.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::{Reject, Strategy};
+
+/// Inclusive size bounds for collection strategies; converts from `usize`
+/// (exact), `Range<usize>`, and `RangeInclusive<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        // An empty range degenerates to "always empty" rather than a panic,
+        // matching how call sites use `0..volume.min(k)` with tiny domains.
+        let hi = r.end.saturating_sub(1).max(r.start);
+        SizeRange { lo: r.start, hi }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: (*r.end()).max(*r.start()),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Result<Vec<S::Value>, Reject> {
+        let n = self.size.pick(rng);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.element.new_value(rng)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Strategy producing `BTreeSet`s of values drawn from `element`. If the
+/// element domain is too small to reach the drawn size, a smaller set is
+/// returned (upstream rejects; the difference doesn't matter to callers
+/// asserting set-shaped properties).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Result<BTreeSet<S::Value>, Reject> {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let max_attempts = n.saturating_mul(16) + 16;
+        let mut attempts = 0;
+        while out.len() < n && attempts < max_attempts {
+            out.insert(self.element.new_value(rng)?);
+            attempts += 1;
+        }
+        Ok(out)
+    }
+}

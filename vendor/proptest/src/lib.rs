@@ -1,0 +1,198 @@
+//! Minimal, offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! Implements exactly what this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` / `prop_oneof!`, the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map`, [`Just`], `any::<T>()`, numeric range strategies, and
+//! `collection::{vec, btree_set}`.
+//!
+//! Differences from upstream, deliberate for size: no shrinking (failures
+//! report the generated inputs verbatim), no persistence (checked-in
+//! `*.proptest-regressions` files are ignored), and case seeds derive
+//! deterministically from the test name so runs are reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+/// Commonly imported items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that generates inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $cfg;
+                $crate::test_runner::run_cases(
+                    &__pt_config,
+                    stringify!($name),
+                    |__pt_rng| {
+                        $(
+                            let $arg = match $crate::strategy::Strategy::new_value(
+                                &($strat),
+                                __pt_rng,
+                            ) {
+                                Ok(v) => v,
+                                Err(_) => return $crate::test_runner::CaseOutcome::Discard,
+                            };
+                        )+
+                        let __pt_inputs = {
+                            let mut s = String::new();
+                            $(
+                                s.push_str(stringify!($arg));
+                                s.push_str(" = ");
+                                s.push_str(&format!("{:?}", &$arg));
+                                s.push_str("\n");
+                            )+
+                            s
+                        };
+                        let __pt_result = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(
+                                move || -> ::core::result::Result<
+                                    (),
+                                    $crate::test_runner::TestCaseError,
+                                > {
+                                    $body
+                                    #[allow(unreachable_code)]
+                                    Ok(())
+                                },
+                            ),
+                        );
+                        match __pt_result {
+                            Ok(Ok(())) => $crate::test_runner::CaseOutcome::Pass,
+                            Ok(Err(e)) if e.is_reject() => {
+                                $crate::test_runner::CaseOutcome::Discard
+                            }
+                            Ok(Err(e)) => $crate::test_runner::CaseOutcome::Fail(format!(
+                                "{e}\ninputs:\n{__pt_inputs}"
+                            )),
+                            Err(p) => $crate::test_runner::CaseOutcome::Fail(format!(
+                                "panic: {}\ninputs:\n{__pt_inputs}",
+                                $crate::test_runner::panic_message(&p)
+                            )),
+                        }
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __pt_l,
+                    __pt_r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    __pt_l,
+                    __pt_r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if *__pt_l == *__pt_r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (not a failure) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

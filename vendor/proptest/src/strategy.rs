@@ -1,0 +1,258 @@
+//! The [`Strategy`] trait and its combinators: how property tests describe
+//! the values they draw.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Marker returned when a strategy cannot produce a value (filter exhausted,
+/// empty range); the runner discards the case and tries a fresh one.
+#[derive(Debug, Clone, Copy)]
+pub struct Reject;
+
+/// How many times value-level filters retry before giving up on a case.
+const FILTER_RETRIES: usize = 64;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value, or [`Reject`] if this strategy cannot satisfy its
+    /// constraints with the given randomness.
+    fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, Reject>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates an intermediate value, then draws from the strategy `f`
+    /// builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; `reason` labels the rejection.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Combined filter + map: keeps values where `f` returns `Some`.
+    fn prop_filter_map<O: Debug, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            base: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies can share a
+    /// collection (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> Result<O, Reject> {
+        self.base.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Result<S2::Value, Reject> {
+        let mid = self.base.new_value(rng)?;
+        (self.f)(mid).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Result<S::Value, Reject> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.base.new_value(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Reject)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    base: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> Result<O, Reject> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.base.new_value(rng)?) {
+                return Ok(v);
+            }
+        }
+        Err(Reject)
+    }
+}
+
+/// A type-erased strategy; see [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> Result<T, Reject> {
+        self.0.new_value(rng)
+    }
+}
+
+/// Uniform choice among strategies with a common value type; backs
+/// `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> Result<T, Reject> {
+        let arm = rng.random_range(0..self.arms.len());
+        self.arms[arm].new_value(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, Reject> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, Reject> {
+                if self.start >= self.end {
+                    return Err(Reject);
+                }
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, Reject> {
+                if self.start() > self.end() {
+                    return Err(Reject);
+                }
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn new_value(&self, rng: &mut StdRng) -> Result<f32, Reject> {
+        if !(self.start < self.end) {
+            return Err(Reject);
+        }
+        Ok(rng.random_range(self.clone()))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn new_value(&self, rng: &mut StdRng) -> Result<f64, Reject> {
+        if !(self.start < self.end) {
+            return Err(Reject);
+        }
+        Ok(rng.random_range(self.clone()))
+    }
+}

@@ -1,0 +1,136 @@
+//! Case execution: configuration, per-case outcomes, and the loop that
+//! drives a property test to its target case count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A genuine failure: the property does not hold.
+    Fail(String),
+    /// A discarded case (failed `prop_assume!`); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Whether this is a discard rather than a failure.
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result of running one generated case.
+pub enum CaseOutcome {
+    /// The property held.
+    Pass,
+    /// The case was discarded (assumption or filter); draw another.
+    Discard,
+    /// The property failed; the message includes the generated inputs.
+    Fail(String),
+}
+
+/// Extracts a printable message from a `catch_unwind` payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Stable 64-bit FNV-1a, used to derive a per-test base seed from its name
+/// so runs are reproducible without persisted regression files.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure. Discards do not count toward the target but are capped to avoid
+/// spinning on unsatisfiable assumptions.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> CaseOutcome,
+) {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_discards = (config.cases as u64).saturating_mul(64).max(1024);
+    let mut passed = 0u32;
+    let mut discarded = 0u64;
+    while passed < config.cases {
+        match case(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Discard => {
+                discarded += 1;
+                if discarded > max_discards {
+                    // Matches upstream's "too many global rejects" spirit,
+                    // but degrades to a loud pass so a tight assumption
+                    // doesn't mask the cases that did run.
+                    eprintln!(
+                        "proptest `{name}`: gave up after {discarded} discards \
+                         ({passed}/{} cases ran)",
+                        config.cases
+                    );
+                    return;
+                }
+            }
+            CaseOutcome::Fail(msg) => {
+                panic!(
+                    "proptest `{name}` failed (seed {seed}, after {passed} passing cases)\n{msg}"
+                );
+            }
+        }
+    }
+}
