@@ -1,5 +1,6 @@
 //! Static dependence analysis and parallelization-strategy selection —
-//! the core contribution of Orion (EuroSys '19).
+//! the core contribution of Orion (EuroSys '19, §4 "Static
+//! Parallelization").
 //!
 //! Given a [`orion_ir::LoopSpec`] describing how a serial for-loop's body
 //! accesses DistArrays, this crate:

@@ -1,4 +1,4 @@
-//! Unimodular loop transformations (Wolf & Lam [46], paper §4.3).
+//! Unimodular loop transformations (Wolf & Lam \[46\], paper §4.3).
 //!
 //! When neither 1D nor 2D parallelization applies directly, Orion searches
 //! for a unimodular transformation `T` of the iteration space such that
@@ -46,7 +46,7 @@ impl UniMat {
         UniMat { n, m }
     }
 
-    /// Interchange of dimensions `a` and `b` (loop interchange [47]).
+    /// Interchange of dimensions `a` and `b` (loop interchange \[47\]).
     ///
     /// # Panics
     ///
@@ -74,7 +74,7 @@ impl UniMat {
     }
 
     /// Skew of dimension `dst` by `factor` times dimension `src`
-    /// (loop skewing [48]): `q[dst] = p[dst] + factor * p[src]`.
+    /// (loop skewing \[48\]): `q[dst] = p[dst] + factor * p[src]`.
     ///
     /// # Panics
     ///

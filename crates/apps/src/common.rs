@@ -1,5 +1,36 @@
 //! Shared helpers for the ML applications.
 
+use orion_core::{Driver, OwnedSession, RunReport, Schedule};
+
+/// Trace artifacts of one traced run: the session for Perfetto export
+/// and the compact run report (see `docs/OBSERVABILITY.md`).
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    /// Spans + wire transfers, exportable with
+    /// [`orion_core::write_perfetto`].
+    pub session: OwnedSession,
+    /// Phase totals, per-link traffic, load balance.
+    pub report: RunReport,
+}
+
+impl TraceArtifacts {
+    /// Collects both artifacts from a driver whose run just finished.
+    pub fn collect(driver: &Driver, name: &str, compiled: &orion_core::CompiledLoop) -> Self {
+        TraceArtifacts {
+            session: driver.trace_session(name),
+            report: driver.run_report(compiled),
+        }
+    }
+}
+
+/// Span-buffer capacity for a run of `passes` over `schedule`: at most
+/// four spans per block execution plus barrier spans per step and pass,
+/// so traced runs never reallocate the span buffer mid-pass.
+pub fn span_capacity(schedule: &Schedule, passes: u64) -> usize {
+    let execs: usize = schedule.steps.iter().map(Vec::len).sum();
+    passes as usize * (execs * 4 + (schedule.n_steps() + 1) * schedule.n_workers) + 64
+}
+
 /// Compute-cost constants (nanoseconds of reference CPU) declared by the
 /// applications and consumed by the cluster simulator. Calibrated to the
 /// rough per-element costs of the paper's Julia implementations.

@@ -12,7 +12,7 @@
 use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript};
 use orion_data::TabularData;
 
-use crate::common::cost;
+use crate::common::{cost, span_capacity, TraceArtifacts};
 
 /// GBT hyperparameters.
 #[derive(Debug, Clone)]
@@ -140,6 +140,31 @@ pub struct GbtRunConfig {
 /// runs under Orion's 1-D parallelization. Records MSE per boosting
 /// round.
 pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (GbtModel, RunStats) {
+    let (model, stats, _) = train_orion_impl(data, cfg, run, false);
+    (model, stats)
+}
+
+/// [`train_orion`] with span tracing on: additionally returns the
+/// Perfetto-exportable session and the run report.
+pub fn train_orion_traced(
+    data: &TabularData,
+    cfg: GbtConfig,
+    run: &GbtRunConfig,
+) -> (GbtModel, RunStats, TraceArtifacts) {
+    let (model, stats, artifacts) = train_orion_impl(data, cfg, run, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_orion_impl(
+    data: &TabularData,
+    cfg: GbtConfig,
+    run: &GbtRunConfig,
+    traced: bool,
+) -> (GbtModel, RunStats, Option<TraceArtifacts>) {
     let n_features = data.config.n_features;
     let n_samples = data.config.n_samples;
     let n_bins = cfg.n_bins;
@@ -170,6 +195,11 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
         compiled.strategy(),
         Strategy::FullyParallel { .. } | Strategy::OneD { .. }
     ));
+    if traced {
+        // One split-finding pass per (round, level).
+        let passes = (cfg.n_trees * cfg.max_depth) as u64;
+        driver.enable_tracing(span_capacity(&compiled.schedule, passes));
+    }
 
     let mut model = GbtModel {
         base: data.targets.iter().sum::<f32>() / n_samples as f32,
@@ -317,7 +347,8 @@ pub fn train_orion(data: &TabularData, cfg: GbtConfig, run: &GbtRunConfig) -> (G
         model.trees.push(tree);
         driver.record_progress(round as u64, model.mse(data));
     }
-    (model, driver.finish())
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/gbt", &compiled));
+    (model, driver.finish(), artifacts)
 }
 
 /// Serial training: same algorithm on one worker.

@@ -18,7 +18,7 @@ use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Subscript};
 use orion_data::CorpusData;
 use orion_ps::{PsApp, PsView, UpdateLog};
 
-use crate::common::{cost, mix64};
+use crate::common::{cost, mix64, span_capacity, TraceArtifacts};
 
 /// LDA hyperparameters.
 #[derive(Debug, Clone)]
@@ -208,6 +208,31 @@ pub fn train_orion(
     cfg: LdaConfig,
     run: &LdaRunConfig,
 ) -> (LdaModel, RunStats) {
+    let (model, stats, _) = train_orion_impl(corpus, cfg, run, false);
+    (model, stats)
+}
+
+/// [`train_orion`] with span tracing on: additionally returns the
+/// Perfetto-exportable session and the run report.
+pub fn train_orion_traced(
+    corpus: &CorpusData,
+    cfg: LdaConfig,
+    run: &LdaRunConfig,
+) -> (LdaModel, RunStats, TraceArtifacts) {
+    let (model, stats, artifacts) = train_orion_impl(corpus, cfg, run, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_orion_impl(
+    corpus: &CorpusData,
+    cfg: LdaConfig,
+    run: &LdaRunConfig,
+    traced: bool,
+) -> (LdaModel, RunStats, Option<TraceArtifacts>) {
     let items = corpus.items();
     let dims = corpus.tokens.shape().dims().to_vec();
     let mut model = LdaModel::init(corpus, cfg);
@@ -224,6 +249,9 @@ pub fn train_orion(
     let compiled = driver
         .parallel_for(spec, &items)
         .expect("LDA loop parallelizes");
+    if traced {
+        driver.enable_tracing(span_capacity(&compiled.schedule, run.passes));
+    }
 
     let n_workers = compiled.schedule.n_workers;
     let iter_cost: Vec<f64> = items
@@ -267,7 +295,8 @@ pub fn train_orion(
         }
         driver.record_progress(pass, model.neg_log_likelihood(corpus));
     }
-    (model, driver.finish())
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/lda", &compiled));
+    (model, driver.finish(), artifacts)
 }
 
 /// Trains serially: one worker, globally fresh topic summary.

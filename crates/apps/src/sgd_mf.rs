@@ -21,7 +21,7 @@ use orion_runtime::run_grid_pass_threaded;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::common::cost;
+use crate::common::{cost, span_capacity, TraceArtifacts};
 
 /// SGD MF hyperparameters.
 #[derive(Debug, Clone)]
@@ -31,7 +31,7 @@ pub struct MfConfig {
     /// SGD step size.
     pub step_size: f32,
     /// AdaGrad-style per-row adaptive step (the serializable incarnation
-    /// of adaptive revision [34]; under dependence-preserving execution
+    /// of adaptive revision \[34\]; under dependence-preserving execution
     /// there are no delayed updates to revise).
     pub adaptive: bool,
     /// Initialization seed.
@@ -174,6 +174,32 @@ fn mf_spec(
 /// Trains with Orion's automatic parallelization on the simulated
 /// cluster, recording loss per pass.
 pub fn train_orion(data: &RatingsData, cfg: MfConfig, run: &MfRunConfig) -> (MfModel, RunStats) {
+    let (model, stats, _) = train_orion_impl(data, cfg, run, false);
+    (model, stats)
+}
+
+/// [`train_orion`] with span tracing on: additionally returns the
+/// Perfetto-exportable session and the run report. The training result
+/// is bit-identical to the untraced run.
+pub fn train_orion_traced(
+    data: &RatingsData,
+    cfg: MfConfig,
+    run: &MfRunConfig,
+) -> (MfModel, RunStats, TraceArtifacts) {
+    let (model, stats, artifacts) = train_orion_impl(data, cfg, run, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_orion_impl(
+    data: &RatingsData,
+    cfg: MfConfig,
+    run: &MfRunConfig,
+    traced: bool,
+) -> (MfModel, RunStats, Option<TraceArtifacts>) {
     let items = data.items();
     let dims = data.ratings.shape().dims().to_vec();
     let mut model = MfModel::new(dims[0], dims[1], cfg);
@@ -187,6 +213,9 @@ pub fn train_orion(data: &RatingsData, cfg: MfConfig, run: &MfRunConfig) -> (MfM
         .parallel_for(spec, &items)
         .expect("MF loop parallelizes");
     debug_assert!(matches!(compiled.strategy(), Strategy::TwoD { .. }));
+    if traced {
+        driver.enable_tracing(span_capacity(&compiled.schedule, run.passes));
+    }
 
     let iter_ns = cost::mf_iter_ns(model.cfg.rank) * cost::ORION_OVERHEAD;
     // Flat (user, item, rating) records: the hot loop indexes one
@@ -200,7 +229,8 @@ pub fn train_orion(data: &RatingsData, cfg: MfConfig, run: &MfRunConfig) -> (MfM
         });
         driver.record_progress(pass, model.loss(&items));
     }
-    (model, driver.finish())
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/sgd_mf", &compiled));
+    (model, driver.finish(), artifacts)
 }
 
 /// Trains serially (the plain Julia program of Fig. 5 without

@@ -17,7 +17,7 @@ use orion_core::{
 };
 use orion_data::SparseData;
 
-use crate::common::{cost, sigmoid};
+use crate::common::{cost, sigmoid, span_capacity, TraceArtifacts};
 
 /// SLR hyperparameters.
 #[derive(Debug, Clone)]
@@ -115,6 +115,31 @@ pub struct SlrRunConfig {
 /// Trains with Orion: 1-D data parallelism via buffered weight writes,
 /// served weights with bulk prefetching.
 pub fn train_orion(data: &SparseData, cfg: SlrConfig, run: &SlrRunConfig) -> (SlrModel, RunStats) {
+    let (model, stats, _) = train_orion_impl(data, cfg, run, false);
+    (model, stats)
+}
+
+/// [`train_orion`] with span tracing on: additionally returns the
+/// Perfetto-exportable session and the run report.
+pub fn train_orion_traced(
+    data: &SparseData,
+    cfg: SlrConfig,
+    run: &SlrRunConfig,
+) -> (SlrModel, RunStats, TraceArtifacts) {
+    let (model, stats, artifacts) = train_orion_impl(data, cfg, run, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_orion_impl(
+    data: &SparseData,
+    cfg: SlrConfig,
+    run: &SlrRunConfig,
+    traced: bool,
+) -> (SlrModel, RunStats, Option<TraceArtifacts>) {
     let n_features = data.config.n_features;
     let mut model = SlrModel::new(n_features, cfg);
     // The iteration space: one element per sample, valued by its label.
@@ -147,6 +172,9 @@ pub fn train_orion(data: &SparseData, cfg: SlrConfig, run: &SlrRunConfig) -> (Sl
     ));
     if let (Some(mode), Some(served)) = (run.prefetch_override, compiled.comm.served.as_mut()) {
         served.mode = mode;
+    }
+    if traced {
+        driver.enable_tracing(span_capacity(&compiled.schedule, run.passes));
     }
 
     // The synthesized prefetch function (the recording pass of §4.4):
@@ -190,7 +218,8 @@ pub fn train_orion(data: &SparseData, cfg: SlrConfig, run: &SlrRunConfig) -> (Sl
         }
         driver.record_progress(pass, model.loss(data));
     }
-    (model, driver.finish())
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/slr", &compiled));
+    (model, driver.finish(), artifacts)
 }
 
 /// Peeks a buffered (pending) delta without draining.

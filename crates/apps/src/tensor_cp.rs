@@ -23,7 +23,7 @@ use orion_core::{
 };
 use orion_data::TensorData;
 
-use crate::common::cost;
+use crate::common::{cost, span_capacity, TraceArtifacts};
 
 /// CP hyperparameters.
 #[derive(Debug, Clone)]
@@ -189,6 +189,31 @@ pub struct CpRunConfig {
 /// loop serially; with it, unordered 2-D over (users, items) with the
 /// small factor applied through buffers at pass boundaries.
 pub fn train_orion(data: &TensorData, cfg: CpConfig, run: &CpRunConfig) -> (CpModel, RunStats) {
+    let (model, stats, _) = train_orion_impl(data, cfg, run, false);
+    (model, stats)
+}
+
+/// [`train_orion`] with span tracing on: additionally returns the
+/// Perfetto-exportable session and the run report.
+pub fn train_orion_traced(
+    data: &TensorData,
+    cfg: CpConfig,
+    run: &CpRunConfig,
+) -> (CpModel, RunStats, TraceArtifacts) {
+    let (model, stats, artifacts) = train_orion_impl(data, cfg, run, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_orion_impl(
+    data: &TensorData,
+    cfg: CpConfig,
+    run: &CpRunConfig,
+    traced: bool,
+) -> (CpModel, RunStats, Option<TraceArtifacts>) {
     let items = data.items();
     let dims = data.entries.shape().dims().to_vec();
     let mut model = CpModel::new(&dims, cfg);
@@ -205,6 +230,9 @@ pub fn train_orion(data: &TensorData, cfg: CpConfig, run: &CpRunConfig) -> (CpMo
         debug_assert!(matches!(compiled.strategy(), Strategy::TwoD { .. }));
     } else {
         debug_assert!(matches!(compiled.strategy(), Strategy::Serial));
+    }
+    if traced {
+        driver.enable_tracing(span_capacity(&compiled.schedule, run.passes));
     }
 
     let iter_ns = cost::mf_iter_ns(model.cfg.rank) * 1.5 * cost::ORION_OVERHEAD;
@@ -231,7 +259,8 @@ pub fn train_orion(data: &TensorData, cfg: CpConfig, run: &CpRunConfig) -> (CpMo
         }
         driver.record_progress(pass, model.loss(&items));
     }
-    (model, driver.finish())
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/tensor_cp", &compiled));
+    (model, driver.finish(), artifacts)
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 //! Orion. CM's aggressive proactive communication uses substantially
 //! more bandwidth than Orion's schedule-driven rotation.
 
-use orion_apps::lda::{train_orion, LdaConfig, LdaPsAdapter, LdaRunConfig};
-use orion_bench::{banner, eval_cluster, write_csv};
+use orion_apps::lda::{train_orion_traced, LdaConfig, LdaPsAdapter, LdaRunConfig};
+use orion_bench::{banner, eval_cluster, write_csv, write_report};
 use orion_data::{CorpusConfig, CorpusData};
 use orion_ps::{CmConfig, PsConfig, PsEngine};
 
@@ -28,7 +28,9 @@ fn main() {
     }
     let cm_stats = cm.finish();
 
-    let (_, orion_stats) = train_orion(
+    // Traced run: the per-link histograms behind this figure also feed a
+    // phase/traffic RunReport written next to the CSV.
+    let (_, orion_stats, artifacts) = train_orion_traced(
         &corpus,
         LdaConfig::new(k),
         &LdaRunConfig {
@@ -58,6 +60,7 @@ fn main() {
         "bin,t_cm,bosen_cm_mbps,t_orion,orion_mbps",
         &csv,
     );
+    write_report("BENCH_trace.json", &artifacts.report);
 
     let total_ratio = cm_stats.total_bytes as f64 / orion_stats.total_bytes.max(1) as f64;
     println!(

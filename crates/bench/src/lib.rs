@@ -15,6 +15,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use orion_sim::{ClusterSpec, RunStats};
+use orion_trace::RunReport;
 
 /// The standard evaluation cluster for figure runs: 8 machines × 4
 /// workers = 32 workers. The paper uses 12 × 32 = 384 on ~1000× larger
@@ -44,6 +45,17 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
         writeln!(f, "{r}").expect("write row");
     }
     println!("  [csv written to {}]", path.display());
+}
+
+/// Writes a [`RunReport`] as JSON under `results/` next to the CSVs
+/// (e.g. `BENCH_trace.json`) and prints its rendered summary — the
+/// phase/traffic companion to a figure's raw series (see
+/// `docs/OBSERVABILITY.md` for the schema).
+pub fn write_report(name: &str, report: &RunReport) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, report.to_json()).expect("write run report");
+    println!("\n{}", report.render());
+    println!("  [run report written to {}]", path.display());
 }
 
 /// Prints a convergence-over-iterations series.

@@ -47,3 +47,4 @@ pub use orion_runtime::{
     PrefetchMode, Schedule,
 };
 pub use orion_sim::{ClusterSpec, ProgressPoint, RunStats, VirtualTime};
+pub use orion_trace::{write_perfetto, OwnedSession, RunReport, SessionView};

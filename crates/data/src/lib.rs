@@ -1,4 +1,5 @@
-//! Seeded synthetic dataset generators.
+//! Seeded synthetic dataset generators standing in for the paper's
+//! evaluation datasets (§6.1).
 //!
 //! The paper's evaluation uses Netflix (SGD MF), NYTimes and ClueWeb
 //! (LDA), and KDD2010 Algebra (SLR). None are redistributable here, so

@@ -1,4 +1,6 @@
-//! Loop and access-pattern IR for Orion's static dependence analysis.
+//! Loop and access-pattern IR for Orion's static dependence analysis —
+//! the paper's programming model and `@parallel_for` scripting interface
+//! (§3.2).
 //!
 //! Orion (EuroSys '19) parallelizes serial imperative ML programs by
 //! statically analyzing how a for-loop's body accesses *DistArrays*

@@ -1,4 +1,4 @@
-//! A Bösen-like parameter server [45]: the manually data-parallel
+//! A Bösen-like parameter server \[45\]: the manually data-parallel
 //! baseline the paper compares against (§6.4, Figs. 9b/9c/10, 12).
 //!
 //! Under data parallelism, every worker processes a shard of the data
@@ -13,7 +13,7 @@
 //!   budget, workers proactively ship their *largest* pending updates
 //!   before the barrier and receive fresh values mid-pass, trading
 //!   bandwidth for staleness (Fig. 12's higher bandwidth usage);
-//! - **Adaptive revision (AdaRev [34])**: the server applies updates
+//! - **Adaptive revision (AdaRev \[34\])**: the server applies updates
 //!   with an AdaGrad-style per-parameter step size plus a delay-based
 //!   damping of late updates, improving convergence under staleness.
 
@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 
 use orion_sim::{ClusterSpec, ProgressPoint, RunStats, SimNet, VirtualTime, WorkerClocks};
+use orion_trace::{OwnedSession, SpanCat, Tracer, Transfer};
 
 /// Accumulated updates keyed by parameter index.
 #[derive(Debug, Clone, Default)]
@@ -162,6 +163,8 @@ pub struct PsEngine<A: PsApp> {
     clocks: WorkerClocks,
     net: SimNet,
     stats: RunStats,
+    /// Span recorder (disabled by default; see `orion-trace`).
+    trace: Tracer,
     pass: u64,
 }
 
@@ -190,8 +193,37 @@ impl<A: PsApp> PsEngine<A> {
             clocks: WorkerClocks::new(n_workers),
             net: SimNet::new(&cfg.cluster),
             stats: RunStats::default(),
+            trace: Tracer::default(),
             cfg,
             pass: 0,
+        }
+    }
+
+    /// Turns on span tracing with a pre-sized buffer.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    /// Snapshots the traced run for Perfetto export. Empty when tracing
+    /// is off.
+    pub fn trace_session(&self, name: &str) -> OwnedSession {
+        OwnedSession {
+            name: name.to_string(),
+            n_machines: self.cfg.cluster.n_machines,
+            workers_per_machine: self.cfg.cluster.workers_per_machine,
+            spans: self.trace.spans().to_vec(),
+            transfers: self
+                .net
+                .log()
+                .iter()
+                .map(|m| Transfer {
+                    src_machine: m.src_machine as u32,
+                    dst_machine: m.dst_machine as u32,
+                    bytes: m.bytes,
+                    depart_ns: m.depart.as_nanos(),
+                    arrive_ns: m.arrive.as_nanos(),
+                })
+                .collect(),
         }
     }
 
@@ -279,7 +311,17 @@ impl<A: PsApp> PsEngine<A> {
                 }
                 *pend = local;
                 let dt = self.cfg.cluster.compute_time(cost);
+                let compute_from = self.clocks.get(w);
                 self.clocks.advance(w, dt);
+                self.trace.record(
+                    SpanCat::Compute,
+                    self.cfg.cluster.machine_of(w),
+                    w,
+                    compute_from.as_nanos(),
+                    self.clocks.get(w).as_nanos(),
+                    0,
+                    round as u64,
+                );
             }
 
             // Mid-pass managed communication (not after the last round —
@@ -297,10 +339,31 @@ impl<A: PsApp> PsEngine<A> {
             let ups = pend.drain();
             let bytes = ups.len() as u64 * UPDATE_WIRE_BYTES;
             up_total += bytes;
-            let t = self.clocks.get(w) + self.cfg.cluster.marshal_time(bytes);
+            let flush_from = self.clocks.get(w);
+            let t = flush_from + self.cfg.cluster.marshal_time(bytes);
             let server = self.server_for(w);
             let arrive = self.net.send(&self.cfg.cluster, w, server, bytes, t);
             self.clocks.wait_until(w, arrive);
+            self.trace.record(
+                SpanCat::Flush,
+                self.cfg.cluster.machine_of(w),
+                w,
+                flush_from.as_nanos(),
+                self.clocks.get(w).as_nanos(),
+                bytes,
+                server as u64,
+            );
+            // Server-side apply of the shipped updates, on the serving
+            // machine's server track.
+            self.trace.record(
+                SpanCat::Server,
+                self.cfg.cluster.machine_of(server),
+                server,
+                arrive.as_nanos(),
+                (arrive + self.cfg.cluster.marshal_time(bytes)).as_nanos(),
+                bytes,
+                w as u64,
+            );
             self.apply_at_server(&ups);
         }
         // Broadcast fresh values (changed params ~ all touched params;
@@ -314,8 +377,32 @@ impl<A: PsApp> PsEngine<A> {
             // Unmarshal + apply the fresh values.
             self.clocks
                 .advance(w, self.cfg.cluster.marshal_time(down_bytes));
+            self.trace.record(
+                SpanCat::Flush,
+                self.cfg.cluster.machine_of(w),
+                w,
+                t.as_nanos(),
+                self.clocks.get(w).as_nanos(),
+                down_bytes,
+                server as u64,
+            );
         }
         self.refresh_snapshot(None);
+        if self.trace.is_enabled() {
+            let end = self.clocks.max();
+            for w in 0..n_workers {
+                let t = self.clocks.get(w);
+                self.trace.record(
+                    SpanCat::Barrier,
+                    self.cfg.cluster.machine_of(w),
+                    w,
+                    t.as_nanos(),
+                    end.as_nanos(),
+                    0,
+                    self.pass,
+                );
+            }
+        }
         let end = self.clocks.barrier();
         self.net.release_nics(end);
 
@@ -349,16 +436,36 @@ impl<A: PsApp> PsEngine<A> {
                 continue;
             }
             let bytes = ups.len() as u64 * UPDATE_WIRE_BYTES;
-            let t = self.clocks.get(w) + self.cfg.cluster.marshal_time(bytes);
+            let flush_from = self.clocks.get(w);
+            let t = flush_from + self.cfg.cluster.marshal_time(bytes);
             let server = self.server_for(w);
             let arrive = self.net.send(&self.cfg.cluster, w, server, bytes, t);
             // CM communication overlaps computation; the worker does not
             // block on it, but pays the marshalling CPU time, and the
             // co-located server process steals cycles from its host
             // worker to unmarshal and apply the updates under locks.
+            let server_from = self.clocks.get(server);
             self.clocks.advance(w, self.cfg.cluster.marshal_time(bytes));
             self.clocks
                 .advance(server, self.cfg.cluster.marshal_time(bytes) * 2);
+            self.trace.record(
+                SpanCat::Flush,
+                self.cfg.cluster.machine_of(w),
+                w,
+                flush_from.as_nanos(),
+                self.clocks.get(w).as_nanos(),
+                bytes,
+                server as u64,
+            );
+            self.trace.record(
+                SpanCat::Server,
+                self.cfg.cluster.machine_of(server),
+                server,
+                server_from.as_nanos(),
+                self.clocks.get(server).as_nanos(),
+                bytes,
+                w as u64,
+            );
             let _ = arrive;
             self.apply_at_server(&ups);
             refreshed.extend(ups.iter().map(|&(p, _)| p));
@@ -376,6 +483,15 @@ impl<A: PsApp> PsEngine<A> {
             let _ = self.net.send(&self.cfg.cluster, server, w, down_bytes, t);
             let recv_cpu = self.cfg.cluster.marshal_time(down_bytes) * 3;
             self.clocks.advance(w, recv_cpu);
+            self.trace.record(
+                SpanCat::Flush,
+                self.cfg.cluster.machine_of(w),
+                w,
+                t.as_nanos(),
+                self.clocks.get(w).as_nanos(),
+                down_bytes,
+                server as u64,
+            );
         }
         self.refresh_snapshot(Some(&refreshed));
     }
@@ -396,6 +512,12 @@ impl<A: PsApp> PsEngine<A> {
         let bin = VirtualTime::from_nanos((horizon.as_nanos() / 50).max(1_000_000));
         stats.bandwidth = self.net.bandwidth_trace(bin);
         stats
+    }
+
+    /// [`PsEngine::finish`] plus the traced session for Perfetto export.
+    pub fn finish_traced(self, name: &str) -> (RunStats, OwnedSession) {
+        let session = self.trace_session(name);
+        (self.finish(), session)
     }
 }
 
@@ -512,6 +634,43 @@ mod tests {
             cm.total_bytes,
             plain.total_bytes
         );
+    }
+
+    #[test]
+    fn traced_run_records_compute_flush_server() {
+        let mut cfg = PsConfig::vanilla(ClusterSpec::new(2, 2), 0.2);
+        cfg.managed = Some(CmConfig {
+            budget_mbps: 1600.0,
+            rounds_per_pass: 4,
+        });
+        let mut e = PsEngine::new(quad(), cfg);
+        e.enable_tracing(1024);
+        for _ in 0..3 {
+            e.run_pass();
+        }
+        let (stats, session) = e.finish_traced("bosen");
+        assert!(stats.total_bytes > 0);
+        let cats: std::collections::BTreeSet<_> =
+            session.spans.iter().map(|s| s.cat.name()).collect();
+        assert!(cats.contains("compute"));
+        assert!(cats.contains("flush"));
+        assert!(cats.contains("server"));
+        assert!(cats.contains("barrier"));
+        assert!(!session.transfers.is_empty());
+        // Tracing must not disturb the simulation: same run untraced
+        // gives identical convergence and traffic.
+        let mut cfg2 = PsConfig::vanilla(ClusterSpec::new(2, 2), 0.2);
+        cfg2.managed = Some(CmConfig {
+            budget_mbps: 1600.0,
+            rounds_per_pass: 4,
+        });
+        let mut e2 = PsEngine::new(quad(), cfg2);
+        for _ in 0..3 {
+            e2.run_pass();
+        }
+        let stats2 = e2.finish();
+        assert_eq!(stats.total_bytes, stats2.total_bytes);
+        assert_eq!(stats.progress, stats2.progress);
     }
 
     #[test]

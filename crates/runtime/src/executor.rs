@@ -9,6 +9,7 @@
 //! (§4.4), and synchronization.
 
 use orion_sim::{ClusterSpec, SimNet, VirtualTime, WorkerClocks};
+use orion_trace::{SpanCat, Tracer};
 
 use crate::prefetch::{PrefetchCost, ServedModel};
 use crate::schedule::{Schedule, SyncMode};
@@ -63,6 +64,10 @@ pub struct SimExecutor {
     pub clocks: WorkerClocks,
     /// Simulated network with byte accounting.
     pub net: SimNet,
+    /// Span recorder (disabled by default; see `orion-trace`). When
+    /// disabled every record call is a single branch, preserving the
+    /// hot-path invariants of DESIGN.md.
+    pub trace: Tracer,
     passes_run: u64,
 }
 
@@ -75,8 +80,14 @@ impl SimExecutor {
             cluster,
             clocks,
             net,
+            trace: Tracer::default(),
             passes_run: 0,
         }
+    }
+
+    /// Machine hosting `worker` (shorthand for span recording).
+    fn machine(&self, worker: usize) -> usize {
+        self.cluster.machine_of(worker)
     }
 
     /// Current global virtual time (the straggler's clock).
@@ -125,6 +136,7 @@ impl SimExecutor {
         for step_execs in &schedule.steps {
             for exec in step_execs {
                 let w = exec.worker;
+                let machine = self.machine(w);
 
                 // Wait for the rotated partition, if any: the sender
                 // marshals it after finishing its own step, then the
@@ -139,7 +151,17 @@ impl SimExecutor {
                         let arrive =
                             self.net
                                 .send(&self.cluster, a.from_worker, w, part_bytes, sent_at);
+                        let waiting_from = self.clocks.get(w);
                         self.clocks.wait_until(w, arrive);
+                        self.trace.record(
+                            SpanCat::Rotation,
+                            machine,
+                            w,
+                            waiting_from.as_nanos(),
+                            self.clocks.get(w).as_nanos(),
+                            part_bytes,
+                            a.from_worker as u64,
+                        );
                     }
                 }
 
@@ -172,11 +194,41 @@ impl SimExecutor {
                         let arrive = self.net.send(&self.cluster, w, server, req_bytes, t);
                         let back = self.net.send(&self.cluster, server, w, resp_bytes, arrive);
                         self.clocks.wait_until(w, back);
+                        // Server-side gather of the bulk response, drawn
+                        // on the serving machine's server track.
+                        self.trace.record(
+                            SpanCat::Server,
+                            self.machine(server),
+                            server,
+                            arrive.as_nanos(),
+                            (arrive + self.cluster.marshal_time(resp_bytes)).as_nanos(),
+                            resp_bytes,
+                            w as u64,
+                        );
                     }
                     self.clocks.advance(w, dt);
+                    self.trace.record(
+                        SpanCat::Prefetch,
+                        machine,
+                        w,
+                        t.as_nanos(),
+                        self.clocks.get(w).as_nanos(),
+                        req_bytes + resp_bytes,
+                        block.len() as u64,
+                    );
                 }
 
+                let compute_from = self.clocks.get(w);
                 self.clocks.advance(w, self.cluster.compute_time(block_ns));
+                self.trace.record(
+                    SpanCat::Compute,
+                    machine,
+                    w,
+                    compute_from.as_nanos(),
+                    self.clocks.get(w).as_nanos(),
+                    0,
+                    exec.block as u64,
+                );
                 iterations += block.len() as u64;
 
                 // Execute the real computation, in schedule order.
@@ -195,12 +247,22 @@ impl SimExecutor {
                     .max()
                     .unwrap_or(start);
                 for e in step_execs {
+                    let t = self.clocks.get(e.worker);
                     self.clocks.wait_until(e.worker, m);
+                    self.trace.record(
+                        SpanCat::Barrier,
+                        self.machine(e.worker),
+                        e.worker,
+                        t.as_nanos(),
+                        m.as_nanos(),
+                        0,
+                        e.step,
+                    );
                 }
             }
         }
 
-        let end = self.clocks.barrier();
+        let end = self.record_pass_barrier();
         self.net.release_nics(end);
         self.passes_run += 1;
         PassStats {
@@ -217,15 +279,58 @@ impl SimExecutor {
     pub fn sync_exchange(&mut self, up_bytes: u64, down_bytes: u64) -> VirtualTime {
         let n = self.clocks.n_workers();
         for w in 0..n {
-            let t = self.clocks.get(w) + self.cluster.marshal_time(up_bytes);
+            let flush_from = self.clocks.get(w);
+            let t = flush_from + self.cluster.marshal_time(up_bytes);
             let server = (w + 1) % n; // spread server load round-robin
             let up = self.net.send(&self.cluster, w, server, up_bytes, t);
             let down = self.net.send(&self.cluster, server, w, down_bytes, up);
             self.clocks.wait_until(w, down);
+            self.trace.record(
+                SpanCat::Flush,
+                self.machine(w),
+                w,
+                flush_from.as_nanos(),
+                self.clocks.get(w).as_nanos(),
+                up_bytes + down_bytes,
+                server as u64,
+            );
+            // Server-side apply of the shipped updates, drawn on the
+            // serving machine's server track.
+            self.trace.record(
+                SpanCat::Server,
+                self.machine(server),
+                server,
+                up.as_nanos(),
+                (up + self.cluster.marshal_time(up_bytes)).as_nanos(),
+                up_bytes,
+                w as u64,
+            );
         }
-        let end = self.clocks.barrier();
+        let end = self.record_pass_barrier();
         self.net.release_nics(end);
         end
+    }
+
+    /// Barriers all workers, recording a `Barrier` span for each worker
+    /// that had to wait for the straggler. Equivalent to
+    /// `self.clocks.barrier()` when tracing is disabled.
+    fn record_pass_barrier(&mut self) -> VirtualTime {
+        if self.trace.is_enabled() {
+            let end = self.clocks.max();
+            for w in 0..self.clocks.n_workers() {
+                let t = self.clocks.get(w);
+                self.trace.record(
+                    SpanCat::Barrier,
+                    self.machine(w),
+                    w,
+                    t.as_nanos(),
+                    end.as_nanos(),
+                    0,
+                    u64::MAX, // pass-end barrier marker
+                );
+            }
+        }
+        self.clocks.barrier()
     }
 }
 
@@ -430,6 +535,122 @@ mod tests {
             &mut |_, _| {},
         );
         assert_eq!(stats.iterations, 36);
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let idx = grid_indices(8, 8);
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: false,
+        };
+        let s = build_schedule(&strat, &idx, &[8, 8], 4);
+        let comm = LoopCommModel {
+            rotated_bytes: 8_000,
+            served: None,
+        };
+        let mut ex = SimExecutor::new(cluster(4, 1));
+        ex.run_pass(&s, &comm, &mut |_| 1000.0, &mut |_, _| {});
+        ex.sync_exchange(100, 100);
+        assert!(!ex.trace.is_enabled());
+        assert!(ex.trace.spans().is_empty());
+    }
+
+    #[test]
+    fn traced_pass_tiles_each_worker_timeline() {
+        let idx = grid_indices(8, 8);
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: false,
+        };
+        let s = build_schedule(&strat, &idx, &[8, 8], 4);
+        let comm = LoopCommModel {
+            rotated_bytes: 8_000,
+            served: None,
+        };
+        let mut ex = SimExecutor::new(cluster(4, 1));
+        ex.trace.enable(1024);
+        let stats = ex.run_pass(&s, &comm, &mut |_| 1000.0, &mut |_, _| {});
+        let wall = stats.end.as_nanos() - stats.start.as_nanos();
+        assert!(wall > 0);
+        // Worker-track spans must exactly tile [start, end] per worker:
+        // contiguous, non-overlapping, covering the full pass.
+        for w in 0..4 {
+            let mut spans: Vec<_> = ex
+                .trace
+                .spans()
+                .iter()
+                .filter(|sp| sp.worker == w && sp.cat.on_worker_track())
+                .collect();
+            spans.sort_by_key(|sp| sp.start_ns);
+            let mut cursor = stats.start.as_nanos();
+            let mut covered = 0u64;
+            for sp in &spans {
+                assert!(
+                    sp.start_ns >= cursor,
+                    "worker {w}: span overlaps previous at {}",
+                    sp.start_ns
+                );
+                cursor = sp.end_ns;
+                covered += sp.dur_ns();
+            }
+            assert_eq!(
+                covered, wall,
+                "worker {w}: spans cover {covered} of {wall} ns"
+            );
+        }
+        // Rotation, compute and barrier all appear in this workload.
+        let cats: std::collections::BTreeSet<_> =
+            ex.trace.spans().iter().map(|sp| sp.cat.name()).collect();
+        assert!(cats.contains("compute"));
+        assert!(cats.contains("rotation"));
+    }
+
+    #[test]
+    fn traced_sync_exchange_records_flush_and_server() {
+        let mut ex = SimExecutor::new(cluster(2, 1));
+        ex.trace.enable(64);
+        ex.sync_exchange(1_000, 2_000);
+        let cats: std::collections::BTreeSet<_> =
+            ex.trace.spans().iter().map(|sp| sp.cat.name()).collect();
+        assert!(cats.contains("flush"));
+        assert!(cats.contains("server"));
+        // Each worker flushed exactly once, carrying up+down bytes.
+        let flushes: Vec<_> = ex
+            .trace
+            .spans()
+            .iter()
+            .filter(|sp| sp.cat == SpanCat::Flush)
+            .collect();
+        assert_eq!(flushes.len(), 2);
+        assert!(flushes.iter().all(|sp| sp.bytes == 3_000));
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let idx = grid_indices(8, 8);
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: false,
+        };
+        let s = build_schedule(&strat, &idx, &[8, 8], 4);
+        let comm = LoopCommModel {
+            rotated_bytes: 8_000,
+            served: None,
+        };
+        let run = |traced: bool| {
+            let mut ex = SimExecutor::new(cluster(4, 1));
+            if traced {
+                ex.trace.enable(1024);
+            }
+            let mut order = Vec::new();
+            let stats = ex.run_pass(&s, &comm, &mut |_| 1000.0, &mut |_, pos| order.push(pos));
+            (stats, order, ex.net.total_bytes())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

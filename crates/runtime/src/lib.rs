@@ -1,4 +1,5 @@
-//! Orion's distributed execution runtime.
+//! Orion's distributed execution runtime — the paper's compiled
+//! computation schedules and their execution machinery (§4.3–§4.4).
 //!
 //! Turns the analyzer's [`orion_analysis::ParallelPlan`] into running
 //! computation:

@@ -168,6 +168,19 @@ impl Schedule {
     pub fn n_steps(&self) -> usize {
         self.steps.len()
     }
+
+    /// Items assigned to each worker over one pass — the scheduler's
+    /// load-balance outcome (§4.3). Feeds `orion_trace::LoadStats` for
+    /// skew reporting.
+    pub fn worker_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.n_workers];
+        for st in &self.steps {
+            for e in st {
+                loads[e.worker] += self.blocks.len_of(e.block) as u64;
+            }
+        }
+        loads
+    }
 }
 
 /// Pipeline depth of unordered 2-D schedules: time partitions per worker.
@@ -782,6 +795,22 @@ mod tests {
             q0s.dedup();
             assert_eq!(q0s.len(), 1);
         }
+    }
+
+    #[test]
+    fn worker_loads_sum_to_item_count() {
+        let idx = grid_indices(10, 10);
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: false,
+        };
+        let s = build_schedule(&strat, &idx, &[10, 10], 4);
+        let loads = s.worker_loads();
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads.iter().sum::<u64>(), 100);
+        // Dense 10-row grid over 4 workers: rows split 3/3/3/1.
+        assert!(loads.iter().all(|&l| (10..=30).contains(&l)), "{loads:?}");
     }
 
     #[test]

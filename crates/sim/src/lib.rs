@@ -1,4 +1,5 @@
-//! Deterministic virtual-time cluster simulation.
+//! Deterministic virtual-time cluster simulation — the measurement
+//! substrate behind this reproduction of the paper's evaluation (§6).
 //!
 //! The paper evaluates Orion on 12–42 machines with 40GbE; this crate
 //! lets the runtime execute the *real* training algorithms with the
@@ -27,6 +28,6 @@ mod time;
 
 pub use clock::WorkerClocks;
 pub use cluster::{ClusterSpec, CpuSpec, NetworkSpec};
-pub use net::{MsgRecord, SimNet};
+pub use net::{LinkTraffic, MsgRecord, SimNet};
 pub use stats::{ProgressPoint, RunStats};
 pub use time::VirtualTime;

@@ -25,6 +25,19 @@ pub struct MsgRecord {
     pub arrive: VirtualTime,
 }
 
+/// Byte and message totals of one directed machine-to-machine link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Sending machine.
+    pub src_machine: usize,
+    /// Receiving machine.
+    pub dst_machine: usize,
+    /// Total payload bytes carried.
+    pub bytes: u64,
+    /// Messages carried.
+    pub messages: u64,
+}
+
 /// The simulated network state for one experiment run.
 ///
 /// # Examples
@@ -36,6 +49,7 @@ pub struct MsgRecord {
 /// let arrive = net.send(&cluster, 0, 1, 1_000_000, VirtualTime::ZERO);
 /// assert!(arrive > VirtualTime::ZERO);
 /// assert_eq!(net.total_bytes(), 1_000_000);
+/// assert_eq!(net.link_bytes(0, 1), 1_000_000);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimNet {
@@ -44,15 +58,25 @@ pub struct SimNet {
     log: Vec<MsgRecord>,
     /// Bytes that crossed machine boundaries (excludes intra-machine).
     inter_machine_bytes: u64,
+    /// Per-directed-link byte counters, `src * n_machines + dst`
+    /// (row-major dense matrix; updated on every send, two adds).
+    link_bytes: Vec<u64>,
+    /// Per-directed-link message counters, same layout.
+    link_msgs: Vec<u64>,
+    n_machines: usize,
 }
 
 impl SimNet {
     /// Fresh network state for a cluster.
     pub fn new(cluster: &ClusterSpec) -> Self {
+        let n = cluster.n_machines;
         SimNet {
-            nic_free_tx: vec![VirtualTime::ZERO; cluster.n_machines],
+            nic_free_tx: vec![VirtualTime::ZERO; n],
             log: Vec::new(),
             inter_machine_bytes: 0,
+            link_bytes: vec![0; n * n],
+            link_msgs: vec![0; n * n],
+            n_machines: n,
         }
     }
 
@@ -99,6 +123,9 @@ impl SimNet {
             arrive,
         });
         self.inter_machine_bytes += bytes;
+        let link = src_m * self.n_machines + dst_m;
+        self.link_bytes[link] += bytes;
+        self.link_msgs[link] += 1;
         arrive
     }
 
@@ -119,14 +146,44 @@ impl SimNet {
         &self.log
     }
 
-    /// Aggregate cluster bandwidth usage over time: bins departures into
-    /// windows of `bin` and reports `(window start seconds, Mbps)` —
-    /// the series plotted in the paper's Fig. 12.
+    /// Bytes sent over the directed link `src` → `dst` (machine ids).
     ///
     /// # Panics
     ///
-    /// Panics if `bin` is zero.
-    pub fn bandwidth_trace(&self, bin: VirtualTime) -> Vec<(f64, f64)> {
+    /// Panics if a machine id is out of range.
+    pub fn link_bytes(&self, src: usize, dst: usize) -> u64 {
+        assert!(src < self.n_machines && dst < self.n_machines);
+        self.link_bytes[src * self.n_machines + dst]
+    }
+
+    /// Messages sent over the directed link `src` → `dst` (machine ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a machine id is out of range.
+    pub fn link_messages(&self, src: usize, dst: usize) -> u64 {
+        assert!(src < self.n_machines && dst < self.n_machines);
+        self.link_msgs[src * self.n_machines + dst]
+    }
+
+    /// Traffic totals of every directed link that carried at least one
+    /// message, in `(src, dst)` order.
+    pub fn per_link(&self) -> Vec<LinkTraffic> {
+        let n = self.n_machines;
+        (0..n * n)
+            .filter(|&i| self.link_msgs[i] > 0)
+            .map(|i| LinkTraffic {
+                src_machine: i / n,
+                dst_machine: i % n,
+                bytes: self.link_bytes[i],
+                messages: self.link_msgs[i],
+            })
+            .collect()
+    }
+
+    /// Bins departures of messages matching `keep` into windows of `bin`,
+    /// reporting `(window start seconds, Mbps)`.
+    fn binned_trace(&self, bin: VirtualTime, keep: impl Fn(&MsgRecord) -> bool) -> Vec<(f64, f64)> {
         assert!(bin > VirtualTime::ZERO, "bin width must be positive");
         let end = self
             .log
@@ -136,7 +193,7 @@ impl SimNet {
             .unwrap_or(VirtualTime::ZERO);
         let n_bins = (end.as_nanos() / bin.as_nanos() + 1) as usize;
         let mut bytes_per_bin = vec![0u64; n_bins];
-        for m in &self.log {
+        for m in self.log.iter().filter(|m| keep(m)) {
             let b = (m.depart.as_nanos() / bin.as_nanos()) as usize;
             bytes_per_bin[b] += m.bytes;
         }
@@ -146,6 +203,34 @@ impl SimNet {
             .enumerate()
             .map(|(i, &b)| (i as f64 * bin_s, b as f64 * 8.0 / bin_s / 1e6))
             .collect()
+    }
+
+    /// Aggregate cluster bandwidth usage over time: bins departures into
+    /// windows of `bin` and reports `(window start seconds, Mbps)` —
+    /// the series plotted in the paper's Fig. 12.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn bandwidth_trace(&self, bin: VirtualTime) -> Vec<(f64, f64)> {
+        self.binned_trace(bin, |_| true)
+    }
+
+    /// Bandwidth-over-time of one directed machine link, same binning as
+    /// [`SimNet::bandwidth_trace`]. The trace spans the whole run (bins
+    /// where this link was idle report 0 Mbps), so per-link series line
+    /// up when plotted together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn link_bandwidth_trace(
+        &self,
+        src: usize,
+        dst: usize,
+        bin: VirtualTime,
+    ) -> Vec<(f64, f64)> {
+        self.binned_trace(bin, |m| m.src_machine == src && m.dst_machine == dst)
     }
 
     /// Resets the NIC availability to `t` on all machines (used at pass
@@ -234,6 +319,46 @@ mod tests {
         // 1 MB in a 1 s bin = 8 Mbps.
         assert!((trace[0].1 - 8.0).abs() < 1e-9);
         assert!((trace[1].1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_link_counters_track_directed_traffic() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        net.send(&c, 0, 2, 1_000, VirtualTime::ZERO);
+        net.send(&c, 0, 3, 2_000, VirtualTime::ZERO); // same link: m0 -> m1
+        net.send(&c, 2, 0, 5_000, VirtualTime::ZERO);
+        net.send(&c, 0, 1, 9_000, VirtualTime::ZERO); // intra-machine: uncounted
+        assert_eq!(net.link_bytes(0, 1), 3_000);
+        assert_eq!(net.link_messages(0, 1), 2);
+        assert_eq!(net.link_bytes(1, 0), 5_000);
+        assert_eq!(net.link_bytes(0, 0), 0);
+        let links = net.per_link();
+        assert_eq!(links.len(), 2);
+        assert_eq!(
+            (links[0].src_machine, links[0].dst_machine, links[0].bytes),
+            (0, 1, 3_000)
+        );
+        let total: u64 = links.iter().map(|l| l.bytes).sum();
+        assert_eq!(total, net.total_bytes());
+    }
+
+    #[test]
+    fn link_trace_decomposes_aggregate_trace() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        net.send(&c, 0, 2, 1_000_000, VirtualTime::ZERO);
+        net.send(&c, 2, 0, 3_000_000, VirtualTime::from_secs(1));
+        let bin = VirtualTime::from_secs(1);
+        let all = net.bandwidth_trace(bin);
+        let l01 = net.link_bandwidth_trace(0, 1, bin);
+        let l10 = net.link_bandwidth_trace(1, 0, bin);
+        assert_eq!(all.len(), l01.len());
+        assert_eq!(all.len(), l10.len());
+        for i in 0..all.len() {
+            assert!((l01[i].1 + l10[i].1 - all[i].1).abs() < 1e-9);
+        }
+        assert!(l01[0].1 > 0.0 && l10[0].1 == 0.0);
     }
 
     #[test]

@@ -32,8 +32,16 @@ impl RunStats {
     /// the paper averages "over iteration 2 to 8" (Fig. 9a) and "2 to
     /// 100" (Table 3) to exclude warm-up.
     ///
-    /// Returns `None` when the range is empty or out of bounds.
+    /// A `to` beyond the recorded progress is clamped to the last
+    /// completed iteration, so `secs_per_iteration(2, u64::MAX)` means
+    /// "from iteration 2 to the end of the run". Returns `None` only
+    /// when the range is empty after clamping (no iterations completed,
+    /// or `from` is at or past the last completed iteration) or when
+    /// iteration `from - 1` was never recorded.
     pub fn secs_per_iteration(&self, from: u64, to: u64) -> Option<f64> {
+        // Clamp to the last completed iteration (progress is recorded in
+        // iteration order, one point per iteration).
+        let to = to.min(self.progress.last()?.iteration + 1);
         if from >= to {
             return None;
         }
@@ -95,7 +103,18 @@ mod tests {
         assert_eq!(s.secs_per_iteration(2, 8), Some(1.0));
         assert_eq!(s.secs_per_iteration(0, 10), Some(1.0));
         assert_eq!(s.secs_per_iteration(5, 5), None);
-        assert_eq!(s.secs_per_iteration(5, 100), None);
+    }
+
+    #[test]
+    fn secs_per_iteration_clamps_to_last_completed() {
+        let s = stats();
+        // 10 iterations completed: `to` past the end clamps to 10.
+        assert_eq!(s.secs_per_iteration(5, 100), Some(1.0));
+        assert_eq!(s.secs_per_iteration(5, 100), s.secs_per_iteration(5, 10));
+        assert_eq!(s.secs_per_iteration(2, u64::MAX), Some(1.0));
+        // Empty after clamping, or no progress at all: still None.
+        assert_eq!(s.secs_per_iteration(10, 100), None);
+        assert_eq!(RunStats::default().secs_per_iteration(0, 5), None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A STRADS-like manually model-parallel baseline [26] (paper §2.2, §6.4).
+//! A STRADS-like manually model-parallel baseline \[26\] (paper §2.2, §6.4).
 //!
 //! STRADS applications hand-code the same dependence-preserving schedule
 //! Orion derives automatically (the paper: "Orion's parallelization

@@ -1,0 +1,56 @@
+//! Virtual-time observability for Orion runs: spans, per-link transfers,
+//! Perfetto export, and run reports.
+//!
+//! The paper explains performance with time breakdowns and bandwidth
+//! traces (Fig. 12's per-second network utilisation, §6's
+//! compute-vs-communication analysis of pipelined rotation). This crate
+//! is the measurement substrate that makes those breakdowns available
+//! for every run:
+//!
+//! - [`Tracer`] — a pre-sized, branch-cheap span buffer the executors
+//!   record into; one [`Span`] per phase occurrence (compute block,
+//!   rotation wait, prefetch round trip, server apply, buffer flush,
+//!   barrier wait), stamped in virtual nanoseconds;
+//! - [`write_perfetto`] — Chrome/Perfetto `trace_event` JSON export: one
+//!   process per machine, one thread per executor (plus a NIC track per
+//!   machine), loadable in <https://ui.perfetto.dev>;
+//! - [`RunReport`] — a compact summary: per-executor phase totals, a
+//!   critical-path estimate, bytes by link and by array, and partition
+//!   load/skew statistics — serialized by a hand-rolled JSON writer;
+//! - [`json`] — a dependency-free JSON parser used to validate exported
+//!   traces in tests (no serde in this workspace).
+//!
+//! The crate is dependency-free and sits below `orion-sim` in the
+//! dependency graph: times are raw `u64` nanoseconds (the simulator's
+//! `VirtualTime` unwraps to exactly this), so the simulator, runtime,
+//! parameter-server baseline and applications can all record into the
+//! same buffers without cycles.
+//!
+//! Recording is designed to preserve the hot-path invariants of
+//! DESIGN.md: when disabled, every record call is a single predictable
+//! branch; when enabled, a record is one bounds-checked push into a
+//! pre-reserved `Vec` — no locks, no per-span heap allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use orion_trace::{SpanCat, Tracer};
+//! let mut t = Tracer::default();
+//! t.record(SpanCat::Compute, 0, 0, 0, 100, 0, 0); // dropped: disabled
+//! t.enable(16);
+//! t.record(SpanCat::Compute, 0, 0, 100, 250, 0, 1);
+//! assert_eq!(t.spans().len(), 1);
+//! assert_eq!(t.spans()[0].dur_ns(), 150);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod perfetto;
+mod report;
+mod span;
+
+pub use perfetto::{write_perfetto, OwnedSession, SessionView, Transfer};
+pub use report::{LinkBytes, LoadStats, PhaseTotals, RunReport, WorkerBreakdown};
+pub use span::{Span, SpanCat, Tracer};

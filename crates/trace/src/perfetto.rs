@@ -1,0 +1,270 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! The exported file is the ["JSON trace event format"] consumed by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: a `traceEvents`
+//! array of metadata (`"ph":"M"`) and complete-span (`"ph":"X"`) events.
+//! Mapping:
+//!
+//! - one **process** (`pid`) per simulated machine (per session);
+//! - one **thread** (`tid`) per executor, plus a `net` track per machine
+//!   carrying wire transfers and a `server` track carrying server-side
+//!   apply work;
+//! - timestamps are **virtual-time microseconds** (`ts`/`dur` are µs in
+//!   the format; spans are recorded in nanoseconds and emitted with
+//!   fractional precision).
+//!
+//! ["JSON trace event format"]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::io::{self, Write};
+
+use crate::span::{Span, SpanCat};
+
+/// One wire transfer, drawn on the source machine's `net` track.
+/// The simulator's message log converts 1:1 into these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending machine.
+    pub src_machine: u32,
+    /// Receiving machine.
+    pub dst_machine: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Departure, virtual nanoseconds.
+    pub depart_ns: u64,
+    /// Arrival, virtual nanoseconds.
+    pub arrive_ns: u64,
+}
+
+/// A borrowed view of one run's trace, ready for export. Several
+/// sessions (e.g. an Orion run and a parameter-server baseline of the
+/// same workload) can be written into a single file for side-by-side
+/// inspection; each gets its own process-id range.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionView<'a> {
+    /// Label prefixed to process names (`"orion/m3"`).
+    pub name: &'a str,
+    /// Machines in the simulated cluster.
+    pub n_machines: usize,
+    /// Workers per machine (used to map worker ids to machines for
+    /// thread naming).
+    pub workers_per_machine: usize,
+    /// Recorded executor spans.
+    pub spans: &'a [Span],
+    /// Recorded wire transfers.
+    pub transfers: &'a [Transfer],
+}
+
+/// An owned trace session, as returned by traced runners.
+#[derive(Debug, Clone, Default)]
+pub struct OwnedSession {
+    /// Label prefixed to process names.
+    pub name: String,
+    /// Machines in the simulated cluster.
+    pub n_machines: usize,
+    /// Workers per machine.
+    pub workers_per_machine: usize,
+    /// Recorded executor spans.
+    pub spans: Vec<Span>,
+    /// Recorded wire transfers.
+    pub transfers: Vec<Transfer>,
+}
+
+impl OwnedSession {
+    /// Borrows the session for export.
+    pub fn view(&self) -> SessionView<'_> {
+        SessionView {
+            name: &self.name,
+            n_machines: self.n_machines,
+            workers_per_machine: self.workers_per_machine,
+            spans: &self.spans,
+            transfers: &self.transfers,
+        }
+    }
+}
+
+/// Thread ids of the synthetic per-machine tracks. Executor tids are the
+/// global worker ids, which stay far below these offsets.
+const NET_TID_BASE: u64 = 1_000_000;
+const SERVER_TID_BASE: u64 = 2_000_000;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with nanosecond precision, as a JSON number.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn meta(w: &mut impl Write, pid: u64, tid: u64, key: &str, name: &str) -> io::Result<()> {
+    write!(
+        w,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{key}\",\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    )
+}
+
+/// Writes all sessions as one `trace_event` JSON document.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_perfetto(w: &mut impl Write, sessions: &[SessionView<'_>]) -> io::Result<()> {
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut dyn Write, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            writeln!(w, ",")
+        }
+    };
+    let mut pid_base = 1u64;
+    for s in sessions {
+        let pid_of = |machine: u64| pid_base + machine;
+        // Process/thread naming metadata.
+        for m in 0..s.n_machines as u64 {
+            sep(w, &mut first)?;
+            meta(w, pid_of(m), 0, "process_name", &format!("{}/m{m}", s.name))?;
+            sep(w, &mut first)?;
+            meta(w, pid_of(m), NET_TID_BASE + m, "thread_name", "net")?;
+            sep(w, &mut first)?;
+            meta(w, pid_of(m), SERVER_TID_BASE + m, "thread_name", "server")?;
+            for local in 0..s.workers_per_machine as u64 {
+                let worker = m * s.workers_per_machine as u64 + local;
+                sep(w, &mut first)?;
+                meta(
+                    w,
+                    pid_of(m),
+                    worker,
+                    "thread_name",
+                    &format!("executor {worker}"),
+                )?;
+            }
+        }
+        for span in s.spans {
+            let m = span.machine as u64;
+            let tid = if span.cat == SpanCat::Server {
+                SERVER_TID_BASE + m
+            } else {
+                span.worker as u64
+            };
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\",\"cat\":\"{}\",\
+                 \"args\":{{\"bytes\":{},\"aux\":{}}}}}",
+                pid_of(m),
+                us(span.start_ns),
+                us(span.dur_ns()),
+                span.cat.name(),
+                span.cat.name(),
+                span.bytes,
+                span.aux,
+            )?;
+        }
+        for t in s.transfers {
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+                 \"name\":\"xfer to m{}\",\"cat\":\"net\",\
+                 \"args\":{{\"bytes\":{},\"dst_machine\":{}}}}}",
+                pid_of(t.src_machine as u64),
+                NET_TID_BASE + t.src_machine as u64,
+                us(t.depart_ns),
+                us(t.arrive_ns.saturating_sub(t.depart_ns)),
+                t.dst_machine,
+                t.bytes,
+                t.dst_machine,
+            )?;
+        }
+        pid_base += s.n_machines as u64;
+    }
+    writeln!(w, "\n]}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    fn session(spans: &[Span], transfers: &[Transfer]) -> String {
+        let view = SessionView {
+            name: "test",
+            n_machines: 2,
+            workers_per_machine: 2,
+            spans,
+            transfers,
+        };
+        let mut buf = Vec::new();
+        write_perfetto(&mut buf, &[view]).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn export_is_schema_valid() {
+        let mut t = Tracer::enabled(8);
+        t.record(SpanCat::Compute, 0, 1, 1_500, 2_500, 0, 7);
+        t.record(SpanCat::Server, 1, 2, 2_000, 2_750, 64, 0);
+        let x = [Transfer {
+            src_machine: 0,
+            dst_machine: 1,
+            bytes: 1000,
+            depart_ns: 1_000,
+            arrive_ns: 3_000,
+        }];
+        let out = session(t.spans(), &x);
+        let summary = crate::json::validate_trace_events(&out).expect("schema-valid");
+        // 2 machines × (process + net + server + 2 executors) metadata
+        // events, 2 spans, 1 transfer.
+        assert_eq!(summary.n_events, 10 + 3);
+        assert!(summary.categories.contains("compute"));
+        assert!(summary.categories.contains("server"));
+        assert!(summary.categories.contains("net"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_ns_precision() {
+        assert_eq!(us(1_500), "1.500");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(2_000_001), "2000.001");
+    }
+
+    #[test]
+    fn multi_session_pids_do_not_collide() {
+        let mut t = Tracer::enabled(2);
+        t.record(SpanCat::Compute, 1, 3, 0, 10, 0, 0);
+        let v = SessionView {
+            name: "a",
+            n_machines: 2,
+            workers_per_machine: 2,
+            spans: t.spans(),
+            transfers: &[],
+        };
+        let mut buf = Vec::new();
+        write_perfetto(&mut buf, &[v, SessionView { name: "b", ..v }]).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        let summary = crate::json::validate_trace_events(&out).unwrap();
+        // Session a uses pids {1, 2}, session b uses {3, 4}.
+        assert_eq!(summary.pids, [1, 2, 3, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

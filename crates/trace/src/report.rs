@@ -1,0 +1,454 @@
+//! Compact run summaries derived from recorded spans.
+
+use crate::span::{Span, SpanCat, N_CATS};
+
+/// Nanoseconds per span category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals([u64; N_CATS]);
+
+impl PhaseTotals {
+    /// Adds `ns` to `cat`'s total.
+    pub fn add(&mut self, cat: SpanCat, ns: u64) {
+        self.0[cat as usize] += ns;
+    }
+
+    /// Total nanoseconds recorded for `cat`.
+    pub fn get(&self, cat: SpanCat) -> u64 {
+        self.0[cat as usize]
+    }
+
+    /// `(category, total nanoseconds)` in stable category order.
+    pub fn iter(&self) -> impl Iterator<Item = (SpanCat, u64)> + '_ {
+        SpanCat::ALL.iter().map(|&c| (c, self.get(c)))
+    }
+
+    /// Sum over the categories that occupy the executor timeline
+    /// (everything except server-track work).
+    pub fn worker_track_ns(&self) -> u64 {
+        self.iter()
+            .filter(|(c, _)| c.on_worker_track())
+            .map(|(_, ns)| ns)
+            .sum()
+    }
+}
+
+/// Phase totals of one executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerBreakdown {
+    /// Global worker id.
+    pub worker: u32,
+    /// Hosting machine.
+    pub machine: u32,
+    /// Nanoseconds by category.
+    pub phases: PhaseTotals,
+}
+
+impl WorkerBreakdown {
+    /// Fraction of `wall_ns` this executor's worker-track spans tile.
+    /// Executors whose phases tile their whole timeline report ≈ 1.0;
+    /// a shortfall means unattributed (untraced) virtual time.
+    pub fn coverage(&self, wall_ns: u64) -> f64 {
+        if wall_ns == 0 {
+            return 1.0;
+        }
+        self.phases.worker_track_ns() as f64 / wall_ns as f64
+    }
+}
+
+/// Traffic of one machine-to-machine link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkBytes {
+    /// Sending machine.
+    pub src_machine: usize,
+    /// Receiving machine.
+    pub dst_machine: usize,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Message count.
+    pub messages: u64,
+}
+
+/// Scheduler partition balance: iteration items assigned per worker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadStats {
+    /// Items per worker.
+    pub per_worker_items: Vec<u64>,
+}
+
+impl LoadStats {
+    /// From the per-worker item counts of a schedule.
+    pub fn new(per_worker_items: Vec<u64>) -> Self {
+        LoadStats { per_worker_items }
+    }
+
+    /// Heaviest worker's item count.
+    pub fn max_items(&self) -> u64 {
+        self.per_worker_items.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean items per worker.
+    pub fn mean_items(&self) -> f64 {
+        if self.per_worker_items.is_empty() {
+            return 0.0;
+        }
+        self.per_worker_items.iter().sum::<u64>() as f64 / self.per_worker_items.len() as f64
+    }
+
+    /// Load imbalance `max / mean` (1.0 = perfectly balanced; the
+    /// schedule's bottleneck worker determines pass time).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_items();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_items() as f64 / mean
+        }
+    }
+}
+
+/// The compact run summary: where the virtual time and the bytes went.
+///
+/// Built from an executor's span buffer plus the simulated network's
+/// per-link counters; serialized next to `BENCH_*.json` outputs by the
+/// bench harness and printable as text. Schema documented in
+/// `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Final virtual time of the run.
+    pub wall_ns: u64,
+    /// Nanoseconds by category, summed over executors.
+    pub phase_totals: PhaseTotals,
+    /// Per-executor breakdowns, sorted by worker id.
+    pub per_worker: Vec<WorkerBreakdown>,
+    /// Critical-path estimate: the busiest executor's non-barrier time.
+    /// No schedule of the same work on the same cluster can finish a
+    /// pass faster than its bottleneck worker's obligatory compute and
+    /// communication, so `wall_ns / critical_path_ns` close to 1 means
+    /// the schedule is as fast as this placement allows.
+    pub critical_path_ns: u64,
+    /// Inter-machine traffic by link, heaviest first.
+    pub links: Vec<LinkBytes>,
+    /// Bytes attributed per DistArray (rotation and served traffic),
+    /// when the caller knows the placement — empty otherwise.
+    pub bytes_by_array: Vec<(String, u64)>,
+    /// Scheduler partition balance.
+    pub load: LoadStats,
+}
+
+impl RunReport {
+    /// Builds the report from recorded spans.
+    ///
+    /// `n_workers`/`workers_per_machine` describe the cluster (workers
+    /// that recorded no spans still get a zero breakdown); `links`,
+    /// `bytes_by_array` and `load` come from the network and scheduler.
+    pub fn build(
+        wall_ns: u64,
+        spans: &[Span],
+        n_workers: usize,
+        workers_per_machine: usize,
+        mut links: Vec<LinkBytes>,
+        bytes_by_array: Vec<(String, u64)>,
+        load: LoadStats,
+    ) -> Self {
+        let mut phase_totals = PhaseTotals::default();
+        let mut per_worker: Vec<WorkerBreakdown> = (0..n_workers)
+            .map(|w| WorkerBreakdown {
+                worker: w as u32,
+                machine: (w / workers_per_machine.max(1)) as u32,
+                phases: PhaseTotals::default(),
+            })
+            .collect();
+        for s in spans {
+            phase_totals.add(s.cat, s.dur_ns());
+            if let Some(wb) = per_worker.get_mut(s.worker as usize) {
+                wb.phases.add(s.cat, s.dur_ns());
+            }
+        }
+        let critical_path_ns = per_worker
+            .iter()
+            .map(|w| w.phases.worker_track_ns() - w.phases.get(SpanCat::Barrier))
+            .max()
+            .unwrap_or(0);
+        links.sort_by(|a, b| {
+            b.bytes
+                .cmp(&a.bytes)
+                .then(a.src_machine.cmp(&b.src_machine))
+                .then(a.dst_machine.cmp(&b.dst_machine))
+        });
+        RunReport {
+            wall_ns,
+            phase_totals,
+            per_worker,
+            critical_path_ns,
+            links,
+            bytes_by_array,
+            load,
+        }
+    }
+
+    /// The lowest per-executor timeline coverage (see
+    /// [`WorkerBreakdown::coverage`]); ≥ 0.99 means the span taxonomy
+    /// accounts for essentially all virtual time on every executor.
+    pub fn min_worker_coverage(&self) -> f64 {
+        self.per_worker
+            .iter()
+            .map(|w| w.coverage(self.wall_ns))
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Total inter-machine bytes across links.
+    pub fn total_link_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes).sum()
+    }
+
+    /// Serializes the report as compact JSON (hand-rolled; schema in
+    /// `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let phases_json = |p: &PhaseTotals| {
+            let mut s = String::from("{");
+            for (i, (c, ns)) in p.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{}", c.name(), ns);
+            }
+            s.push('}');
+            s
+        };
+        let _ = write!(
+            out,
+            "{{\"wall_ns\":{},\"critical_path_ns\":{},\"phase_totals_ns\":{}",
+            self.wall_ns,
+            self.critical_path_ns,
+            phases_json(&self.phase_totals)
+        );
+        out.push_str(",\"workers\":[");
+        for (i, w) in self.per_worker.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"worker\":{},\"machine\":{},\"coverage\":{:.4},\"phases_ns\":{}}}",
+                w.worker,
+                w.machine,
+                w.coverage(self.wall_ns),
+                phases_json(&w.phases)
+            );
+        }
+        out.push_str("],\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"src\":{},\"dst\":{},\"bytes\":{},\"messages\":{}}}",
+                l.src_machine, l.dst_machine, l.bytes, l.messages
+            );
+        }
+        out.push_str("],\"bytes_by_array\":{");
+        for (i, (name, bytes)) in self.bytes_by_array.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let escaped: String = name
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c => vec![c],
+                })
+                .collect();
+            let _ = write!(out, "\"{escaped}\":{bytes}");
+        }
+        out.push_str("},\"load\":{\"per_worker_items\":[");
+        for (i, n) in self.load.per_worker_items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{n}");
+        }
+        let _ = write!(
+            out,
+            "],\"max_items\":{},\"mean_items\":{:.2},\"imbalance\":{:.4}}}}}",
+            self.load.max_items(),
+            self.load.mean_items(),
+            self.load.imbalance()
+        );
+        out
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let wall_s = self.wall_ns as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "run report: wall {wall_s:.4}s, critical path {:.4}s ({:.0}% of wall)",
+            self.critical_path_ns as f64 / 1e9,
+            100.0 * self.critical_path_ns as f64 / self.wall_ns.max(1) as f64
+        );
+        let _ = writeln!(
+            out,
+            "  phase totals over {} executors:",
+            self.per_worker.len()
+        );
+        let all_ns: u64 = self.phase_totals.iter().map(|(_, ns)| ns).sum();
+        for (cat, ns) in self.phase_totals.iter() {
+            if ns == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "    {:<9} {:>10.4}s  ({:>5.1}% of traced time)",
+                cat.name(),
+                ns as f64 / 1e9,
+                100.0 * ns as f64 / all_ns.max(1) as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  min executor coverage: {:.1}%",
+            100.0 * self.min_worker_coverage()
+        );
+        if !self.links.is_empty() {
+            let _ = writeln!(
+                out,
+                "  top links ({} total, {} bytes):",
+                self.links.len(),
+                self.total_link_bytes()
+            );
+            for l in self.links.iter().take(5) {
+                let _ = writeln!(
+                    out,
+                    "    m{} -> m{}: {} bytes in {} msgs",
+                    l.src_machine, l.dst_machine, l.bytes, l.messages
+                );
+            }
+        }
+        if !self.bytes_by_array.is_empty() {
+            let _ = writeln!(out, "  bytes by array:");
+            for (name, bytes) in &self.bytes_by_array {
+                let _ = writeln!(out, "    {name}: {bytes}");
+            }
+        }
+        if !self.load.per_worker_items.is_empty() {
+            let _ = writeln!(
+                out,
+                "  load: max {} items/worker, mean {:.1}, imbalance {:.3}",
+                self.load.max_items(),
+                self.load.mean_items(),
+                self.load.imbalance()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    fn report() -> RunReport {
+        let mut t = Tracer::enabled(8);
+        // Worker 0: compute 0..80, barrier 80..100.
+        t.record(SpanCat::Compute, 0, 0, 0, 80, 0, 0);
+        t.record(SpanCat::Barrier, 0, 0, 80, 100, 0, 0);
+        // Worker 1: rotation 0..30, compute 30..100.
+        t.record(SpanCat::Rotation, 0, 1, 0, 30, 500, 0);
+        t.record(SpanCat::Compute, 0, 1, 30, 100, 0, 0);
+        // Server work on machine 1 (overlaps; not on worker track).
+        t.record(SpanCat::Server, 1, 2, 10, 40, 64, 0);
+        RunReport::build(
+            100,
+            t.spans(),
+            4,
+            2,
+            vec![
+                LinkBytes {
+                    src_machine: 0,
+                    dst_machine: 1,
+                    bytes: 500,
+                    messages: 1,
+                },
+                LinkBytes {
+                    src_machine: 1,
+                    dst_machine: 0,
+                    bytes: 900,
+                    messages: 2,
+                },
+            ],
+            vec![("H".into(), 500)],
+            LoadStats::new(vec![10, 12, 8, 10]),
+        )
+    }
+
+    #[test]
+    fn phase_totals_and_coverage() {
+        let r = report();
+        assert_eq!(r.phase_totals.get(SpanCat::Compute), 150);
+        assert_eq!(r.phase_totals.get(SpanCat::Rotation), 30);
+        assert_eq!(r.phase_totals.get(SpanCat::Server), 30);
+        // Workers 0 and 1 tile their whole 100 ns timeline.
+        assert_eq!(r.per_worker[0].coverage(100), 1.0);
+        assert_eq!(r.per_worker[1].coverage(100), 1.0);
+        // Workers 2/3 recorded nothing (coverage 0) — min reflects that.
+        assert_eq!(r.min_worker_coverage(), 0.0);
+    }
+
+    #[test]
+    fn critical_path_excludes_barrier() {
+        let r = report();
+        // Worker 1: 30 rotation + 70 compute = 100; worker 0: 80 compute
+        // (barrier excluded).
+        assert_eq!(r.critical_path_ns, 100);
+    }
+
+    #[test]
+    fn links_sorted_heaviest_first() {
+        let r = report();
+        assert_eq!(r.links[0].bytes, 900);
+        assert_eq!(r.total_link_bytes(), 1400);
+    }
+
+    #[test]
+    fn load_stats() {
+        let l = LoadStats::new(vec![10, 12, 8, 10]);
+        assert_eq!(l.max_items(), 12);
+        assert_eq!(l.mean_items(), 10.0);
+        assert!((l.imbalance() - 1.2).abs() < 1e-9);
+        assert_eq!(LoadStats::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let r = report();
+        let j = r.to_json();
+        let v = crate::json::parse(&j).expect("valid JSON");
+        assert_eq!(v.get("wall_ns").and_then(|x| x.as_f64()), Some(100.0));
+        let phases = v.get("phase_totals_ns").unwrap();
+        assert_eq!(phases.get("compute").and_then(|x| x.as_f64()), Some(150.0));
+        assert_eq!(v.get("workers").and_then(|x| x.as_arr()).unwrap().len(), 4);
+        assert_eq!(v.get("links").and_then(|x| x.as_arr()).unwrap().len(), 2);
+        assert_eq!(
+            v.get("bytes_by_array").unwrap().get("H").unwrap().as_f64(),
+            Some(500.0)
+        );
+        let load = v.get("load").unwrap();
+        assert_eq!(load.get("max_items").unwrap().as_f64(), Some(12.0));
+    }
+
+    #[test]
+    fn render_mentions_phases_and_links() {
+        let text = report().render();
+        assert!(text.contains("compute"));
+        assert!(text.contains("rotation"));
+        assert!(text.contains("m1 -> m0: 900 bytes"));
+        assert!(text.contains("imbalance"));
+    }
+}

@@ -2,12 +2,28 @@
 //! histogram split finding.
 //!
 //! Run with: `cargo run --release --example boosted_trees`
+//!
+//! Pass `--trace out.json` to dump a Perfetto-loadable phase trace of
+//! the split-finding passes (see `docs/OBSERVABILITY.md`).
 
-use orion::apps::gbt::{train_orion, GbtConfig, GbtRunConfig};
+use orion::apps::gbt::{train_orion, train_orion_traced, GbtConfig, GbtRunConfig};
 use orion::core::ClusterSpec;
 use orion::data::{TabularConfig, TabularData};
+use orion::trace::write_perfetto;
+
+/// `--trace <path>` from argv.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace_path = trace_arg();
     let data = TabularData::generate(TabularConfig::bench());
     println!(
         "dataset: {} samples × {} features, target variance {:.3}",
@@ -20,7 +36,17 @@ fn main() {
     let run = GbtRunConfig {
         cluster: ClusterSpec::new(4, 5),
     };
-    let (model, stats) = train_orion(&data, cfg, &run);
+    let (model, stats) = if let Some(path) = &trace_path {
+        let (model, stats, artifacts) = train_orion_traced(&data, cfg, &run);
+        let file = std::fs::File::create(path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        write_perfetto(&mut w, &[artifacts.session.view()]).expect("write trace");
+        println!("\n{}", artifacts.report.render());
+        println!("wrote Perfetto trace to {}", path.display());
+        (model, stats)
+    } else {
+        train_orion(&data, cfg, &run)
+    };
 
     println!("\n{:>5}  {:>10}  {:>12}", "tree", "MSE", "virtual t");
     for p in stats.progress.iter().step_by(2) {

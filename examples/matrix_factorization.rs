@@ -3,13 +3,33 @@
 //! comparison, Fig. 9b).
 //!
 //! Run with: `cargo run --release --example matrix_factorization`
+//!
+//! Pass `--trace out.json` to record phase-level spans of both the Orion
+//! run and the parameter-server baseline into one Perfetto-loadable
+//! trace (open at <https://ui.perfetto.dev>), plus a run report at
+//! `out.json.report.json` — see `docs/OBSERVABILITY.md`.
 
-use orion::apps::sgd_mf::{train_orion, train_serial, MfConfig, MfPsAdapter, MfRunConfig};
+use orion::apps::sgd_mf::{
+    train_orion, train_orion_traced, train_serial, MfConfig, MfPsAdapter, MfRunConfig,
+};
 use orion::core::ClusterSpec;
 use orion::data::{RatingsConfig, RatingsData};
 use orion::ps::{PsConfig, PsEngine};
+use orion::trace::write_perfetto;
+
+/// `--trace <path>` from argv.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace_path = trace_arg();
     let data = RatingsData::generate(RatingsConfig {
         n_users: 400,
         n_items: 320,
@@ -35,7 +55,13 @@ fn main() {
         passes,
         ordered: false,
     };
-    let (_, orion_stats) = train_orion(&data, cfg.clone(), &run);
+    let (orion_stats, orion_trace) = if trace_path.is_some() {
+        let (_, stats, artifacts) = train_orion_traced(&data, cfg.clone(), &run);
+        (stats, Some(artifacts))
+    } else {
+        let (_, stats) = train_orion(&data, cfg.clone(), &run);
+        (stats, None)
+    };
 
     // The data-parallel baseline gets its own tuned (smaller) step size,
     // the largest that stays stable under conflicting updates.
@@ -43,10 +69,19 @@ fn main() {
         MfPsAdapter::new(&data, cfg),
         PsConfig::vanilla(cluster, 0.02),
     );
+    if trace_path.is_some() {
+        // Generous capacity: a handful of spans per (worker, round, pass).
+        ps.enable_tracing(8 * 32 * passes as usize * 64);
+    }
     for _ in 0..passes {
         ps.run_pass();
     }
-    let ps_stats = ps.finish();
+    let (ps_stats, ps_trace) = if trace_path.is_some() {
+        let (stats, session) = ps.finish_traced("bosen/sgd_mf");
+        (stats, Some(session))
+    } else {
+        (ps.finish(), None)
+    };
 
     println!(
         "{:>4}  {:>14}  {:>22}  {:>16}",
@@ -70,4 +105,19 @@ fn main() {
         serial.progress.last().unwrap().time,
         orion_stats.progress.last().unwrap().time,
     );
+
+    if let (Some(path), Some(artifacts), Some(ps_session)) = (trace_path, orion_trace, ps_trace) {
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        write_perfetto(&mut w, &[artifacts.session.view(), ps_session.view()])
+            .expect("write trace");
+        let report_path = format!("{}.report.json", path.display());
+        std::fs::write(&report_path, artifacts.report.to_json()).expect("write report");
+        println!("\n{}", artifacts.report.render());
+        println!(
+            "wrote Perfetto trace to {} (load at https://ui.perfetto.dev)\n\
+             wrote run report to {report_path}",
+            path.display()
+        );
+    }
 }

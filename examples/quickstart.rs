@@ -5,11 +5,27 @@
 //! schedule, and run training passes on a simulated cluster.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--trace out.json` to dump a Perfetto-loadable phase trace of
+//! the run (see `docs/OBSERVABILITY.md`).
 
 use orion::core::{ClusterSpec, DistArray, Driver, LoopSpec, Subscript};
 use orion::data::{RatingsConfig, RatingsData};
+use orion::trace::write_perfetto;
+
+/// `--trace <path>` from argv.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace_path = trace_arg();
     // A seeded synthetic ratings matrix (users × items).
     let data = RatingsData::generate(RatingsConfig::tiny());
     let dims = data.ratings.shape().dims().to_vec();
@@ -48,6 +64,9 @@ fn main() {
     let compiled = driver.parallel_for(spec, &items).expect("parallelizes");
     println!("\n--- static parallelization report (cf. paper Fig. 6) ---");
     print!("{}", driver.report(&compiled));
+    if trace_path.is_some() {
+        driver.enable_tracing(orion::apps::common::span_capacity(&compiled.schedule, 10));
+    }
 
     // Train: the loop body is ordinary imperative Rust over the arrays.
     let step = 0.08f32;
@@ -72,7 +91,17 @@ fn main() {
         println!("pass {pass:2}  loss {loss:10.3}  t={}", driver.now());
     }
 
-    let stats = driver.finish();
+    let stats = if let Some(path) = trace_path {
+        let (stats, session, report) = driver.finish_traced("orion/quickstart", &compiled);
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        write_perfetto(&mut w, &[session.view()]).expect("write trace");
+        println!("\n{}", report.render());
+        println!("wrote Perfetto trace to {}", path.display());
+        stats
+    } else {
+        driver.finish()
+    };
     println!(
         "\ncommunicated {} bytes in {} messages over {} passes",
         stats.total_bytes,

@@ -3,12 +3,30 @@
 //! (no prefetch / synthesized recording pass / cached indices).
 //!
 //! Run with: `cargo run --release --example sparse_logreg`
+//!
+//! Pass `--trace out.json` to record all three prefetch regimes as
+//! separate process groups in one Perfetto-loadable trace (see
+//! `docs/OBSERVABILITY.md`) — the Prefetch spans shrink visibly from
+//! regime to regime.
 
-use orion::apps::slr::{train_orion, SlrConfig, SlrRunConfig};
+use orion::apps::slr::{train_orion, train_orion_traced, SlrConfig, SlrRunConfig};
 use orion::core::{ClusterSpec, PrefetchMode};
 use orion::data::{SparseConfig, SparseData};
+use orion::trace::write_perfetto;
+
+/// `--trace <path>` from argv.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace_path = trace_arg();
     let data = SparseData::generate(SparseConfig {
         n_samples: 1_500,
         n_features: 20_000,
@@ -26,6 +44,7 @@ fn main() {
 
     let passes = 5u64;
     let mut rows = Vec::new();
+    let mut sessions = Vec::new();
     for (label, mode) in [
         ("no prefetch", PrefetchMode::Disabled),
         ("synthesized prefetch", PrefetchMode::Recorded),
@@ -42,9 +61,27 @@ fn main() {
             step_size: 0.002,
             adaptive: false,
         };
-        let (_, stats) = train_orion(&data, cfg, &run);
+        let stats = if trace_path.is_some() {
+            let (_, stats, mut artifacts) = train_orion_traced(&data, cfg, &run);
+            artifacts.session.name = format!("orion/slr [{label}]");
+            sessions.push(artifacts.session);
+            stats
+        } else {
+            train_orion(&data, cfg, &run).1
+        };
         let secs = stats.progress.last().unwrap().time.as_secs_f64() / passes as f64;
         rows.push((label, secs, stats.final_metric().unwrap()));
+    }
+
+    if let Some(path) = &trace_path {
+        let file = std::fs::File::create(path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        let views: Vec<_> = sessions.iter().map(|s| s.view()).collect();
+        write_perfetto(&mut w, &views).expect("write trace");
+        println!(
+            "wrote Perfetto trace to {} (one pid group per prefetch regime)",
+            path.display()
+        );
     }
 
     println!(

@@ -5,12 +5,30 @@
 //! parallelism by relaxing only the smallest factor.
 //!
 //! Run with: `cargo run --release --example tensor_decomposition`
+//!
+//! Pass `--trace out.json` to dump a Perfetto-loadable phase trace of
+//! the buffered 2-D parallel run (see `docs/OBSERVABILITY.md`).
 
-use orion::apps::tensor_cp::{analyze_unbuffered, train_orion, CpConfig, CpRunConfig};
+use orion::apps::tensor_cp::{
+    analyze_unbuffered, train_orion, train_orion_traced, CpConfig, CpRunConfig,
+};
 use orion::core::ClusterSpec;
 use orion::data::{TensorConfig, TensorData};
+use orion::trace::write_perfetto;
+
+/// `--trace <path>` from argv.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace_path = trace_arg();
     let data = TensorData::generate(TensorConfig::bench());
     println!(
         "tensor: {:?}, {} observed entries",
@@ -37,16 +55,22 @@ fn main() {
     .1;
     let mut buffered_cfg = CpConfig::new(8);
     buffered_cfg.step_size = 0.02; // tuned for lumped S application
-    let parallel = train_orion(
-        &data,
-        buffered_cfg,
-        &CpRunConfig {
-            cluster: ClusterSpec::new(2, 2),
-            passes,
-            buffer_s: true,
-        },
-    )
-    .1;
+    let buffered_run = CpRunConfig {
+        cluster: ClusterSpec::new(2, 2),
+        passes,
+        buffer_s: true,
+    };
+    let parallel = if let Some(path) = &trace_path {
+        let (_, stats, artifacts) = train_orion_traced(&data, buffered_cfg, &buffered_run);
+        let file = std::fs::File::create(path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        write_perfetto(&mut w, &[artifacts.session.view()]).expect("write trace");
+        println!("\n{}", artifacts.report.render());
+        println!("wrote Perfetto trace to {}", path.display());
+        stats
+    } else {
+        train_orion(&data, buffered_cfg, &buffered_run).1
+    };
 
     println!(
         "\n{:>4}  {:>20}  {:>24}",

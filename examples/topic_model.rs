@@ -4,12 +4,28 @@
 //! (the paper's "non-critical dependences").
 //!
 //! Run with: `cargo run --release --example topic_model`
+//!
+//! Pass `--trace out.json` to dump a Perfetto-loadable phase trace of
+//! the Orion run (see `docs/OBSERVABILITY.md`).
 
-use orion::apps::lda::{train_orion, train_serial, LdaConfig, LdaRunConfig};
+use orion::apps::lda::{train_orion, train_orion_traced, train_serial, LdaConfig, LdaRunConfig};
 use orion::core::ClusterSpec;
 use orion::data::{CorpusConfig, CorpusData};
+use orion::trace::write_perfetto;
+
+/// `--trace <path>` from argv.
+fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() {
+    let trace_path = trace_arg();
     let corpus = CorpusData::generate(CorpusConfig::nytimes_like());
     println!(
         "corpus: {} docs, vocab {}, {} tokens",
@@ -25,7 +41,17 @@ fn main() {
         passes,
         ordered: false,
     };
-    let (model, parallel) = train_orion(&corpus, cfg, &run);
+    let (model, parallel) = if let Some(path) = &trace_path {
+        let (model, stats, artifacts) = train_orion_traced(&corpus, cfg, &run);
+        let file = std::fs::File::create(path).expect("create trace file");
+        let mut w = std::io::BufWriter::new(file);
+        write_perfetto(&mut w, &[artifacts.session.view()]).expect("write trace");
+        println!("\n{}", artifacts.report.render());
+        println!("wrote Perfetto trace to {}", path.display());
+        (model, stats)
+    } else {
+        train_orion(&corpus, cfg, &run)
+    };
 
     println!(
         "\n{:>4}  {:>18}  {:>18}",

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Checks that documentation cross-references resolve.
+
+Two classes of reference are verified, repo-wide:
+
+1. Markdown links ``[text](target)`` in ``*.md`` files whose target is a
+   relative path (external URLs and pure ``#fragment`` anchors are
+   skipped) must point at an existing file or directory.
+2. Bare file mentions of the repo's canonical documents
+   (``docs/OBSERVABILITY.md``, ``DESIGN.md`` etc.) inside Markdown and
+   Rust doc comments must name files that actually exist, so renames
+   cannot silently strand prose.
+
+Exit status is non-zero if any reference dangles.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Canonical docs referred to by bare name throughout prose and rustdoc.
+DOC_MENTION = re.compile(
+    r"\b((?:docs/)[A-Za-z0-9_\-]+\.md|[A-Z][A-Z0-9_]+\.md)\b"
+)
+
+SKIP_DIRS = {"target", ".git", "vendor", "results"}
+
+
+def repo_files(patterns):
+    for pattern in patterns:
+        for path in ROOT.rglob(pattern):
+            if not any(part in SKIP_DIRS for part in path.parts):
+                yield path
+
+
+def check_md_links(errors):
+    for md in repo_files(["*.md"]):
+        text = md.read_text(encoding="utf-8")
+        for match in MD_LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{md.relative_to(ROOT)}:{line}: broken link `{target}`"
+                )
+
+
+def check_doc_mentions(errors):
+    for src in repo_files(["*.md", "*.rs"]):
+        text = src.read_text(encoding="utf-8")
+        for match in DOC_MENTION.finditer(text):
+            name = match.group(1)
+            if not (ROOT / name).exists():
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{src.relative_to(ROOT)}:{line}: "
+                    f"mentions non-existent doc `{name}`"
+                )
+
+
+def main():
+    errors = []
+    check_md_links(errors)
+    check_doc_mentions(errors)
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken documentation reference(s)")
+        return 1
+    print("documentation links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

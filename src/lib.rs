@@ -23,6 +23,8 @@
 //! - [`runtime`] — schedules, the simulated executor, the real-thread
 //!   engine, prefetch models;
 //! - [`core`] — the user-facing [`core::Driver`] API;
+//! - [`trace`] — phase-level span tracing, per-link byte accounting and
+//!   Chrome/Perfetto trace export (see `docs/OBSERVABILITY.md`);
 //! - [`ps`] / [`strads`] / [`dataflow`] — the Bösen, STRADS and
 //!   TensorFlow-style baselines of the paper's evaluation;
 //! - [`data`] — seeded synthetic datasets (Netflix-, NYTimes-,
@@ -44,3 +46,4 @@ pub use orion_ps as ps;
 pub use orion_runtime as runtime;
 pub use orion_sim as sim;
 pub use orion_strads as strads;
+pub use orion_trace as trace;
