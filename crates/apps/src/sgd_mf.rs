@@ -21,7 +21,9 @@ use orion_runtime::run_grid_pass_threaded;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::chaos::{run_chaos_loop, ChaosConfig, ChaosReport};
 use crate::common::{cost, span_capacity, TraceArtifacts};
+use orion_dsm::checkpoint;
 
 /// SGD MF hyperparameters.
 #[derive(Debug, Clone)]
@@ -231,6 +233,110 @@ fn train_orion_impl(
     }
     let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/sgd_mf", &compiled));
     (model, driver.finish(), artifacts)
+}
+
+/// Trains under a fault plan with checkpoint-every-N recovery: crashes
+/// discard the partial pass, reload `W`/`H` from the latest checkpoint,
+/// and re-execute — ending bit-identical to the fault-free run (asserted
+/// by `tests/chaos_recovery.rs`).
+///
+/// # Panics
+///
+/// Panics in adaptive mode: the `wz2`/`hz2` accumulators live outside
+/// the checkpointed DistArrays, so restore could not reproduce them.
+pub fn train_orion_chaos(
+    data: &RatingsData,
+    cfg: MfConfig,
+    run: &MfRunConfig,
+    chaos: &ChaosConfig,
+) -> (MfModel, RunStats, ChaosReport) {
+    let (model, stats, report, _) = train_orion_chaos_impl(data, cfg, run, chaos, false);
+    (model, stats, report)
+}
+
+/// [`train_orion_chaos`] with span tracing on: additionally returns the
+/// Perfetto-exportable session (with `Fault`/`Recovery`/`Checkpoint`
+/// spans) and the run report carrying recovery-overhead totals.
+pub fn train_orion_chaos_traced(
+    data: &RatingsData,
+    cfg: MfConfig,
+    run: &MfRunConfig,
+    chaos: &ChaosConfig,
+) -> (MfModel, RunStats, ChaosReport, TraceArtifacts) {
+    let (model, stats, report, artifacts) = train_orion_chaos_impl(data, cfg, run, chaos, true);
+    (
+        model,
+        stats,
+        report,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_orion_chaos_impl(
+    data: &RatingsData,
+    cfg: MfConfig,
+    run: &MfRunConfig,
+    chaos: &ChaosConfig,
+    traced: bool,
+) -> (MfModel, RunStats, ChaosReport, Option<TraceArtifacts>) {
+    assert!(
+        !cfg.adaptive,
+        "chaos recovery requires the plain update: adaptive accumulators are not checkpointed"
+    );
+    let items = data.items();
+    let dims = data.ratings.shape().dims().to_vec();
+    let mut model = MfModel::new(dims[0], dims[1], cfg);
+
+    let mut driver = Driver::new(run.cluster.clone());
+    let z_id = driver.register(&data.ratings);
+    let w_id = driver.register(&model.w);
+    let h_id = driver.register(&model.h);
+    let spec = mf_spec(z_id, w_id, h_id, dims, run.ordered);
+    let compiled = driver
+        .parallel_for(spec, &items)
+        .expect("MF loop parallelizes");
+    driver.set_fault_plan(chaos.plan.clone());
+    if traced {
+        // Re-executed passes and fault spans need headroom beyond the
+        // fault-free span count; the buffer grows if a plan exceeds it.
+        driver.enable_tracing(span_capacity(&compiled.schedule, run.passes * 2 + 2));
+    }
+    std::fs::create_dir_all(&chaos.dir).expect("checkpoint dir is creatable");
+    let policy = chaos.policy();
+
+    let iter_ns = cost::mf_iter_ns(model.cfg.rank) * cost::ORION_OVERHEAD;
+    let triples: Vec<(i64, i64, f32)> = items.iter().map(|(i, v)| (i[0], i[1], *v)).collect();
+    let reexecuted = run_chaos_loop(
+        &mut driver,
+        &mut model,
+        run.passes,
+        &policy,
+        |m| {
+            checkpoint::save(&m.w, policy.path_for("W")).expect("checkpoint W")
+                + checkpoint::save(&m.h, policy.path_for("H")).expect("checkpoint H")
+        },
+        |m| {
+            m.w = checkpoint::load(policy.path_for("W")).expect("reload W");
+            m.h = checkpoint::load(policy.path_for("H")).expect("reload H");
+            let len = |p: &std::path::Path| std::fs::metadata(p).map_or(0, |md| md.len());
+            len(&policy.path_for("W")) + len(&policy.path_for("H"))
+        },
+        |driver, m, pass| {
+            let (_, fault) =
+                driver.run_pass_checked(&compiled, &mut |_pos| iter_ns, &mut |_w, pos| {
+                    let (u, i, v) = triples[pos];
+                    m.sgd_update(u, i, v);
+                });
+            if fault.is_none() {
+                driver.record_progress(pass, m.loss(&items));
+            }
+            fault
+        },
+    );
+    let report = ChaosReport::from_stats(driver.recovery_stats(), reexecuted);
+    let artifacts =
+        traced.then(|| TraceArtifacts::collect(&driver, "orion/sgd_mf_chaos", &compiled));
+    (model, driver.finish(), report, artifacts)
 }
 
 /// Trains serially (the plain Julia program of Fig. 5 without

@@ -17,7 +17,9 @@ use orion_core::{
 };
 use orion_data::SparseData;
 
+use crate::chaos::{run_chaos_loop, ChaosConfig, ChaosReport};
 use crate::common::{cost, sigmoid, span_capacity, TraceArtifacts};
+use orion_dsm::checkpoint;
 
 /// SLR hyperparameters.
 #[derive(Debug, Clone)]
@@ -220,6 +222,113 @@ fn train_orion_impl(
     }
     let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/slr", &compiled));
     (model, driver.finish(), artifacts)
+}
+
+/// Trains under a fault plan with checkpoint-every-N recovery. The
+/// weight DistArray only mutates at the pass-end buffer apply, so a
+/// crashed pass simply discards its buffers; restore then rewinds the
+/// weights to the latest checkpoint and the passes since re-execute,
+/// ending bit-identical to the fault-free run.
+///
+/// # Panics
+///
+/// Panics in adaptive mode: the `z2` accumulators live outside the
+/// checkpointed DistArray.
+pub fn train_orion_chaos(
+    data: &SparseData,
+    cfg: SlrConfig,
+    run: &SlrRunConfig,
+    chaos: &ChaosConfig,
+) -> (SlrModel, RunStats, ChaosReport) {
+    assert!(
+        !cfg.adaptive,
+        "chaos recovery requires the plain update: adaptive accumulators are not checkpointed"
+    );
+    let n_features = data.config.n_features;
+    let mut model = SlrModel::new(n_features, cfg);
+    let samples_arr: DistArray<f32> = DistArray::sparse_from(
+        "samples",
+        vec![data.samples.len() as u64],
+        data.samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (vec![i as i64], s.label as f32)),
+    );
+    let items: Vec<(Vec<i64>, f32)> = samples_arr.iter().map(|(i, &v)| (i, v)).collect();
+
+    let mut driver = Driver::new(run.cluster.clone());
+    let samples_id = driver.register(&samples_arr);
+    let weights_id = driver.register(&model.weights);
+    driver.set_served_reads_per_iter(data.mean_nnz());
+    let spec = LoopSpec::builder("slr_sgd", samples_id, vec![data.samples.len() as u64])
+        .read(weights_id, vec![Subscript::unknown()])
+        .write(weights_id, vec![Subscript::unknown()])
+        .buffer_writes(weights_id)
+        .build()
+        .expect("static SLR spec is valid");
+    let mut compiled = driver
+        .parallel_for(spec, &items)
+        .expect("SLR loop parallelizes with buffers");
+    if let (Some(mode), Some(served)) = (run.prefetch_override, compiled.comm.served.as_mut()) {
+        served.mode = mode;
+    }
+    driver.set_fault_plan(chaos.plan.clone());
+    std::fs::create_dir_all(&chaos.dir).expect("checkpoint dir is creatable");
+    let policy = chaos.policy();
+
+    let n_workers = compiled.schedule.n_workers;
+    let iter_cost: Vec<f64> = data
+        .samples
+        .iter()
+        .map(|s| cost::slr_iter_ns(s.features.len()) * cost::ORION_OVERHEAD)
+        .collect();
+    let reexecuted = run_chaos_loop(
+        &mut driver,
+        &mut model,
+        run.passes,
+        &policy,
+        |m| checkpoint::save(&m.weights, policy.path_for("weights")).expect("checkpoint weights"),
+        |m| {
+            m.weights = checkpoint::load(policy.path_for("weights")).expect("reload weights");
+            std::fs::metadata(policy.path_for("weights")).map_or(0, |md| md.len())
+        },
+        |driver, m, pass| {
+            let mut buffers: Vec<DistArrayBuffer<f32>> = (0..n_workers)
+                .map(|_| DistArrayBuffer::additive(m.weights.shape().clone()))
+                .collect();
+            let fault = {
+                let weights = &m.weights;
+                let step = m.cfg.step_size;
+                let (_, fault) =
+                    driver.run_pass_checked(&compiled, &mut |pos| iter_cost[pos], &mut |w, pos| {
+                        let sample = &data.samples[pos];
+                        let buf = &mut buffers[w];
+                        let margin = SlrModel::margin_with(&sample.features, |f| {
+                            weights.get_flat_or_default(f as u64) + buf_read(buf, f)
+                        });
+                        let coef = logistic_grad_coef(sample.label, margin);
+                        for &f in &sample.features {
+                            buf.write(&[f as i64], -step * coef);
+                        }
+                    });
+                fault
+            };
+            if fault.is_some() {
+                // Crash mid-pass: the buffered updates never reached the
+                // weights; dropping the buffers erases the pass.
+                return fault;
+            }
+            let up: u64 = buffers.iter().map(DistArrayBuffer::payload_bytes).sum();
+            driver.sync_exchange(up / n_workers as u64, up / n_workers as u64);
+            for buf in &mut buffers {
+                apply_buffer(m, buf);
+            }
+            driver.record_progress(pass, m.loss(data));
+            None
+        },
+    );
+    let report = ChaosReport::from_stats(driver.recovery_stats(), reexecuted);
+    (model, driver.finish(), report)
 }
 
 /// Peeks a buffered (pending) delta without draining.

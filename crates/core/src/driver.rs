@@ -16,8 +16,10 @@ use orion_ir::{ArrayMeta, DistArrayId, LoopSpec};
 use orion_runtime::{
     build_schedule, comm_model_with_spec, LoopCommModel, PassStats, Schedule, SimExecutor,
 };
-use orion_sim::{ClusterSpec, RunStats, VirtualTime};
-use orion_trace::{LinkBytes, LoadStats, OwnedSession, RunReport, Transfer};
+use orion_sim::{ClusterSpec, FaultPlan, RunStats, VirtualTime};
+use orion_trace::{LinkBytes, LoadStats, OwnedSession, RunReport, SpanCat, Transfer};
+
+use crate::recovery::{FaultEvent, RecoveryConfig, RecoveryStats};
 
 /// Errors surfaced by the driver.
 #[derive(Debug)]
@@ -114,6 +116,8 @@ pub struct Driver {
     /// loop with served arrays (e.g. nonzeros per sample for SLR).
     served_reads_per_iter: f64,
     stats: RunStats,
+    recovery_cfg: RecoveryConfig,
+    recovery: RecoveryStats,
 }
 
 impl Driver {
@@ -126,6 +130,8 @@ impl Driver {
             compiled: HashMap::new(),
             served_reads_per_iter: 1.0,
             stats: RunStats::default(),
+            recovery_cfg: RecoveryConfig::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -223,6 +229,115 @@ impl Driver {
         self.executor.sync_exchange(up_bytes, down_bytes)
     }
 
+    /// Installs a fault plan on the simulated cluster (crashes,
+    /// stragglers, link faults). Pair with [`Driver::run_pass_checked`]
+    /// to detect and recover from the scripted crashes.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.executor.set_fault_plan(plan);
+    }
+
+    /// Overrides detection/recovery timing (barrier timeout, modeled
+    /// disk bandwidth).
+    pub fn set_recovery_config(&mut self, cfg: RecoveryConfig) {
+        self.recovery_cfg = cfg;
+    }
+
+    /// Fault-handling accounting so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Like [`Driver::run_pass`], but afterwards checks the fault plan
+    /// for a machine crash during the pass. On a crash, the pass's
+    /// results must be discarded by the caller: the failure is detected
+    /// at the pass barrier after `barrier_timeout` of missing progress,
+    /// a `Fault` span covers the detection window on every worker, and
+    /// the returned [`FaultEvent`] must be fed to
+    /// [`Driver::complete_recovery`] after the caller restores model
+    /// state from its latest checkpoint.
+    pub fn run_pass_checked(
+        &mut self,
+        compiled: &CompiledLoop,
+        cost: &mut dyn FnMut(usize) -> f64,
+        body: &mut dyn FnMut(usize, usize),
+    ) -> (PassStats, Option<FaultEvent>) {
+        let stats = self.run_pass(compiled, cost, body);
+        let Some(crash) = self.executor.take_crash_before(stats.end) else {
+            return (stats, None);
+        };
+        let detected = stats.end + self.recovery_cfg.barrier_timeout;
+        for w in 0..self.executor.cluster.n_workers() {
+            self.executor.trace.record(
+                SpanCat::Fault,
+                self.executor.cluster.machine_of(w),
+                w,
+                self.executor.clocks.get(w).as_nanos(),
+                detected.as_nanos(),
+                0,
+                crash.machine as u64,
+            );
+            self.executor.clocks.wait_until(w, detected);
+        }
+        self.recovery.crashes += 1;
+        self.recovery.fault_ns += detected.saturating_sub(stats.end).as_nanos();
+        let ev = FaultEvent {
+            machine: crash.machine,
+            at: crash.at,
+            detected_at: detected,
+            restart_delay: crash.restart_delay,
+        };
+        (stats, Some(ev))
+    }
+
+    /// Finishes recovering from `ev` after the caller reloaded
+    /// `reload_bytes` of checkpoint state: charges the machine restart
+    /// delay plus checkpoint-reload disk time, records a `Recovery` span
+    /// on every worker, and returns the instant re-execution resumes.
+    pub fn complete_recovery(&mut self, ev: &FaultEvent, reload_bytes: u64) -> VirtualTime {
+        let from = self.executor.clocks.barrier();
+        let recovered = from + ev.restart_delay + self.recovery_cfg.io_time(reload_bytes);
+        for w in 0..self.executor.cluster.n_workers() {
+            self.executor.trace.record(
+                SpanCat::Recovery,
+                self.executor.cluster.machine_of(w),
+                w,
+                from.as_nanos(),
+                recovered.as_nanos(),
+                reload_bytes,
+                ev.machine as u64,
+            );
+            self.executor.clocks.wait_until(w, recovered);
+        }
+        self.executor.net.release_nics(recovered);
+        self.recovery.recovery_ns += recovered.saturating_sub(from).as_nanos();
+        recovered
+    }
+
+    /// Charges the virtual time of writing a `bytes`-sized checkpoint
+    /// (all workers stall while parameter state drains to disk) and
+    /// records a `Checkpoint` span on every worker.
+    pub fn charge_checkpoint(&mut self, bytes: u64) -> VirtualTime {
+        let from = self.executor.clocks.barrier();
+        let done = from + self.recovery_cfg.io_time(bytes);
+        for w in 0..self.executor.cluster.n_workers() {
+            self.executor.trace.record(
+                SpanCat::Checkpoint,
+                self.executor.cluster.machine_of(w),
+                w,
+                from.as_nanos(),
+                done.as_nanos(),
+                bytes,
+                0,
+            );
+            self.executor.clocks.wait_until(w, done);
+        }
+        self.executor.net.release_nics(done);
+        self.recovery.checkpoints_written += 1;
+        self.recovery.checkpoint_bytes += bytes;
+        self.recovery.checkpoint_ns += done.saturating_sub(from).as_nanos();
+        done
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> VirtualTime {
         self.executor.now()
@@ -237,6 +352,13 @@ impl Driver {
             time,
             metric,
         });
+    }
+
+    /// Discards progress points of passes that will re-execute after a
+    /// rollback (`iteration >= from_pass`), so the recovered run's
+    /// progress curve has exactly one point per pass.
+    pub fn rollback_progress(&mut self, from_pass: u64) {
+        self.stats.progress.retain(|p| p.iteration < from_pass);
     }
 
     /// Consumes the driver and returns the accumulated run statistics

@@ -28,8 +28,12 @@
 #![warn(missing_docs)]
 
 mod driver;
+mod recovery;
 
 pub use driver::{CompiledLoop, Driver, DriverError};
+pub use recovery::{
+    clean_checkpoints, CheckpointPolicy, FaultEvent, RecoveryConfig, RecoveryStats,
+};
 
 // The layers re-exported for convenience, so applications can depend on
 // `orion-core` alone.
@@ -46,5 +50,8 @@ pub use orion_runtime::{
     build_schedule, run_grid_pass_threaded, run_one_d_pass_threaded, IndexRecorder, PassStats,
     PrefetchMode, Schedule,
 };
-pub use orion_sim::{ClusterSpec, ProgressPoint, RunStats, VirtualTime};
-pub use orion_trace::{write_perfetto, OwnedSession, RunReport, SessionView};
+pub use orion_sim::{
+    ClusterSpec, CrashEvent, FaultPlan, LinkFault, PlanParseError, ProgressPoint, RunStats,
+    Straggler, VirtualTime,
+};
+pub use orion_trace::{write_perfetto, OwnedSession, RunReport, SessionView, SpanCat};

@@ -198,6 +198,23 @@ impl<T: Element> DistArray<T> {
         &self.origin
     }
 
+    /// Re-homes the array at `origin` in global coordinates, keeping its
+    /// local shape and contents — how checkpoint restore reconstitutes a
+    /// partition produced by [`DistArray::split_along`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` has a different rank than the array.
+    pub fn with_origin(mut self, origin: Vec<i64>) -> Self {
+        assert_eq!(
+            origin.len(),
+            self.shape.ndims(),
+            "origin rank must match array rank"
+        );
+        self.origin = origin;
+        self
+    }
+
     /// The backing storage (read-only; used by checkpointing).
     pub fn storage(&self) -> &Storage<T> {
         &self.storage

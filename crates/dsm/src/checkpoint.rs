@@ -113,43 +113,73 @@ pub fn from_bytes<T: Element>(mut wire: Bytes) -> Result<DistArray<T>, Checkpoin
     need(ndims * 16 + 1, &wire)?;
     let dims: Vec<u64> = (0..ndims).map(|_| wire.get_u64_le()).collect();
     let origin: Vec<i64> = (0..ndims).map(|_| wire.get_i64_le()).collect();
-    if origin.iter().any(|&o| o != 0) {
-        return Err(CheckpointError::Corrupt(
-            "checkpoints of partitions are not supported".into(),
-        ));
-    }
+    let volume: u64 = dims.iter().product();
     let tag = wire.get_u8();
+    // The payload is decoded inline rather than through `codec`: the
+    // codec decoders are wire-path helpers that panic on malformed
+    // buffers, while a checkpoint file can be truncated by a crash and
+    // must come back as `Corrupt`. Lengths are validated exactly, before
+    // any allocation.
     match tag {
         0 => {
-            let (base, values) = codec::decode_dense_run::<T>(wire);
+            need(16, &wire)?;
+            let base = wire.get_u64_le();
             if base != 0 {
                 return Err(CheckpointError::Corrupt("dense base must be 0".into()));
             }
-            let expect: u64 = dims.iter().product();
-            if values.len() as u64 != expect {
+            let n = wire.get_u64_le();
+            if n != volume {
                 return Err(CheckpointError::Corrupt(format!(
-                    "dense payload {} != volume {expect}",
-                    values.len()
+                    "dense payload {n} != volume {volume}"
                 )));
             }
-            Ok(DistArray::dense_from_vec(name, dims, values))
+            let payload = n
+                .checked_mul(T::WIRE_BYTES as u64)
+                .ok_or_else(|| CheckpointError::Corrupt(format!("dense count {n} overflows")))?;
+            if wire.remaining() as u64 != payload {
+                return Err(CheckpointError::Corrupt(format!(
+                    "dense payload holds {} of {payload} bytes",
+                    wire.remaining()
+                )));
+            }
+            let values: Vec<T> = (0..n).map(|_| T::decode(&mut wire)).collect();
+            Ok(DistArray::dense_from_vec(name, dims, values).with_origin(origin))
         }
         1 => {
-            let updates = codec::decode_updates::<T>(wire);
-            let volume: u64 = dims.iter().product();
-            if let Some(&(flat, _)) = updates.iter().find(|&&(flat, _)| flat >= volume) {
+            need(8, &wire)?;
+            let n = wire.get_u64_le();
+            let payload = n
+                .checked_mul(8 + T::WIRE_BYTES as u64)
+                .ok_or_else(|| CheckpointError::Corrupt(format!("update count {n} overflows")))?;
+            if wire.remaining() as u64 != payload {
                 return Err(CheckpointError::Corrupt(format!(
-                    "index {flat} out of bounds {volume}"
+                    "sparse payload holds {} of {payload} bytes",
+                    wire.remaining()
                 )));
             }
-            Ok(DistArray::sparse_from_flat(name, dims, updates))
+            let mut updates = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let flat = wire.get_u64_le();
+                if flat >= volume {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "index {flat} out of bounds {volume}"
+                    )));
+                }
+                updates.push((flat, T::decode(&mut wire)));
+            }
+            Ok(DistArray::sparse_from_flat(name, dims, updates).with_origin(origin))
         }
         other => Err(CheckpointError::Corrupt(format!("bad storage tag {other}"))),
     }
 }
 
 /// Writes an array checkpoint to `path` (eagerly, like `Orion`'s
-/// checkpoint operation).
+/// checkpoint operation) and returns the bytes written.
+///
+/// The write is atomic: the payload goes to a `<path>.tmp` sibling,
+/// is fsynced, then renamed over `path`. A crash mid-checkpoint leaves
+/// either the previous complete checkpoint or a stray `.tmp` — never a
+/// torn file at `path`.
 ///
 /// # Errors
 ///
@@ -157,11 +187,18 @@ pub fn from_bytes<T: Element>(mut wire: Bytes) -> Result<DistArray<T>, Checkpoin
 pub fn save<T: Element>(
     array: &DistArray<T>,
     path: impl AsRef<Path>,
-) -> Result<(), CheckpointError> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&to_bytes(array))?;
+) -> Result<u64, CheckpointError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let bytes = to_bytes(array);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&bytes)?;
     f.sync_all()?;
-    Ok(())
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
 }
 
 /// Loads an array checkpoint from `path`.
@@ -212,6 +249,59 @@ mod tests {
         let b = load::<f64>(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_origin_roundtrips() {
+        let a: DistArray<f32> =
+            DistArray::dense_from_fn("Wpart", vec![4, 3], |i| (i[0] - i[1]) as f32)
+                .with_origin(vec![8, -2]);
+        let b = from_bytes::<f32>(to_bytes(&a)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.origin(), &[8, -2]);
+    }
+
+    #[test]
+    fn save_is_atomic_and_reports_bytes() {
+        let path = tmp("atomic");
+        let a: DistArray<f32> = DistArray::dense_from_fn("W", vec![4, 4], |i| i[0] as f32);
+        let n = save(&a, &path).unwrap();
+        assert_eq!(n, to_bytes(&a).len() as u64);
+        let mut tmp_path = path.as_os_str().to_os_string();
+        tmp_path.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp_path).exists(),
+            "temp file must be renamed away"
+        );
+        // Overwriting an existing checkpoint also goes through the
+        // temp file, replacing the old content wholesale.
+        let newer: DistArray<f32> = DistArray::dense_from_fn("W", vec![4, 4], |i| i[1] as f32);
+        save(&newer, &path).unwrap();
+        let back = load::<f32>(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, newer);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_corrupt_not_panic() {
+        let dense: DistArray<f32> = DistArray::dense_from_fn("W", vec![3, 2], |i| i[0] as f32);
+        let sparse: DistArray<u64> =
+            DistArray::sparse_from("S", vec![9, 9], vec![(vec![1, 2], 3), (vec![8, 8], 4)]);
+        for bytes in [to_bytes(&dense), to_bytes(&sparse)] {
+            for cut in 0..bytes.len() {
+                let err = from_bytes::<f32>(bytes.slice(0..cut)).unwrap_err();
+                assert!(matches!(err, CheckpointError::Corrupt(_)), "prefix {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let a: DistArray<f32> = DistArray::dense("W", vec![2, 2]);
+        let mut extended = to_bytes(&a).to_vec();
+        extended.extend_from_slice(&[0xAB; 3]);
+        let err = from_bytes::<f32>(Bytes::from(extended)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! intra-machine "pointer swapping" optimization — §6.4 — shows up as
 //! *skipping* this codec for same-machine transfers.)
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+/// The wire byte buffer (re-exported so callers can build and inspect
+/// encoded payloads without naming the underlying crate).
+pub use bytes::Bytes;
+use bytes::{Buf, BufMut, BytesMut};
 
 use crate::element::Element;
 

@@ -8,7 +8,9 @@
 //! transfers with pipelining (Fig. 8), served-array prefetch round trips
 //! (§4.4), and synchronization.
 
-use orion_sim::{ClusterSpec, SimNet, VirtualTime, WorkerClocks};
+use orion_sim::{
+    ClusterSpec, CrashEvent, FaultPlan, FaultTimeline, SimNet, VirtualTime, WorkerClocks,
+};
 use orion_trace::{SpanCat, Tracer};
 
 use crate::prefetch::{PrefetchCost, ServedModel};
@@ -69,6 +71,8 @@ pub struct SimExecutor {
     /// hot-path invariants of DESIGN.md.
     pub trace: Tracer,
     passes_run: u64,
+    /// Installed fault plan being consumed, if any.
+    faults: Option<FaultTimeline>,
 }
 
 impl SimExecutor {
@@ -82,7 +86,31 @@ impl SimExecutor {
             net,
             trace: Tracer::default(),
             passes_run: 0,
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan: link faults go to the network, straggler
+    /// slowdowns scale compute from the next pass on, and crashes become
+    /// available through [`SimExecutor::take_crash_before`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_link_faults(plan.link_faults.clone());
+        self.faults = Some(FaultTimeline::new(plan));
+    }
+
+    /// Compute slowdown of `worker` under the installed plan (1.0 when
+    /// no plan or no matching straggler). Only declared compute time is
+    /// scaled — marshalling and transfers are unaffected, so slowdowns
+    /// never change byte accounting.
+    pub fn slowdown_of(&self, worker: usize) -> f64 {
+        self.faults.as_ref().map_or(1.0, |f| f.slowdown_of(worker))
+    }
+
+    /// Consumes the earliest scripted crash with instant `<= t`, if any.
+    /// Each crash fires exactly once, so re-execution after recovery
+    /// cannot re-kill the machine.
+    pub fn take_crash_before(&mut self, t: VirtualTime) -> Option<CrashEvent> {
+        self.faults.as_mut()?.take_crash_before(t)
     }
 
     /// Machine hosting `worker` (shorthand for span recording).
@@ -219,7 +247,8 @@ impl SimExecutor {
                 }
 
                 let compute_from = self.clocks.get(w);
-                self.clocks.advance(w, self.cluster.compute_time(block_ns));
+                self.clocks
+                    .advance(w, self.cluster.compute_time(block_ns * self.slowdown_of(w)));
                 self.trace.record(
                     SpanCat::Compute,
                     machine,
@@ -651,6 +680,35 @@ mod tests {
             (stats, order, ex.net.total_bytes())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn straggler_slows_pass_but_not_results_or_bytes() {
+        let idx = grid_indices(8, 8);
+        let strat = Strategy::TwoD {
+            space: 0,
+            time: 1,
+            ordered: false,
+        };
+        let s = build_schedule(&strat, &idx, &[8, 8], 4);
+        let comm = LoopCommModel {
+            rotated_bytes: 8_000,
+            served: None,
+        };
+        let run = |plan: Option<FaultPlan>| {
+            let mut ex = SimExecutor::new(cluster(4, 1));
+            if let Some(p) = plan {
+                ex.set_fault_plan(p);
+            }
+            let mut order = Vec::new();
+            let stats = ex.run_pass(&s, &comm, &mut |_| 1000.0, &mut |_, pos| order.push(pos));
+            (stats.elapsed(), order, ex.net.total_bytes())
+        };
+        let (clean_t, clean_order, clean_bytes) = run(None);
+        let (slow_t, slow_order, slow_bytes) = run(Some(FaultPlan::new(0).straggler(2, 3.0)));
+        assert!(slow_t > clean_t, "straggler must stretch the pass");
+        assert_eq!(clean_order, slow_order, "execution order unchanged");
+        assert_eq!(clean_bytes, slow_bytes, "traffic unchanged");
     }
 
     #[test]

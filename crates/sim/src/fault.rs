@@ -1,0 +1,562 @@
+//! Seeded, replayable fault injection for chaos experiments.
+//!
+//! A [`FaultPlan`] scripts everything that can go wrong in a simulated
+//! run — machine crashes at a virtual instant, per-worker straggler
+//! slowdowns, and link degradation or partition windows — so a chaos
+//! run is a pure function of `(program, cluster, plan)` and replays
+//! bit-identically. The cluster consults the plan on the *virtual*
+//! clock: no wall-clock randomness ever enters a run.
+//!
+//! Plans can be built programmatically, generated from a seed
+//! ([`FaultPlan::random`]), or loaded from the line-oriented text format
+//! documented in `docs/FAULTS.md` (the `--fault-plan` flag of the
+//! examples).
+
+use crate::time::VirtualTime;
+
+/// One machine crash: the machine dies at `at` and needs
+/// `restart_delay` of virtual time to come back after detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Machine that fails.
+    pub machine: usize,
+    /// Virtual instant of the failure.
+    pub at: VirtualTime,
+    /// Reboot/respawn delay charged during recovery, on top of
+    /// checkpoint reload time.
+    pub restart_delay: VirtualTime,
+}
+
+/// A persistent per-worker compute slowdown (e.g. a flaky core or a
+/// noisy neighbour). Multiplies declared compute nanoseconds; it never
+/// changes how many bytes the worker sends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Affected worker (global id).
+    pub worker: usize,
+    /// Compute-time multiplier, ≥ 1.0.
+    pub slowdown: f64,
+}
+
+/// A degradation window of one directed machine link. While active the
+/// link runs at `factor` × nominal bandwidth; `factor == 0.0` partitions
+/// the link entirely, forcing senders into retry-with-backoff until the
+/// window closes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Sending machine.
+    pub src_machine: usize,
+    /// Receiving machine.
+    pub dst_machine: usize,
+    /// Window start (inclusive).
+    pub from: VirtualTime,
+    /// Window end (exclusive).
+    pub until: VirtualTime,
+    /// Bandwidth multiplier in `[0.0, 1.0]`; 0.0 = partitioned.
+    pub factor: f64,
+}
+
+impl LinkFault {
+    /// True when this fault covers the directed link at instant `t`.
+    pub fn applies(&self, src: usize, dst: usize, t: VirtualTime) -> bool {
+        self.src_machine == src && self.dst_machine == dst && t >= self.from && t < self.until
+    }
+}
+
+/// Everything that goes wrong in one chaos run.
+///
+/// # Examples
+///
+/// ```
+/// use orion_sim::{FaultPlan, VirtualTime};
+/// let plan = FaultPlan::new(42)
+///     .crash(1, VirtualTime::from_millis(50), VirtualTime::from_millis(20))
+///     .straggler(3, 2.5)
+///     .partition_link(0, 1, VirtualTime::from_millis(10), VirtualTime::from_millis(30));
+/// assert_eq!(plan.slowdown_of(3), 2.5);
+/// let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
+/// assert_eq!(plan, reparsed);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed identifying the plan (recorded in reports; also the seed
+    /// [`FaultPlan::random`] generated from).
+    pub seed: u64,
+    /// Machine crashes.
+    pub crashes: Vec<CrashEvent>,
+    /// Straggling workers.
+    pub stragglers: Vec<Straggler>,
+    /// Link degradation / partition windows.
+    pub link_faults: Vec<LinkFault>,
+}
+
+/// Error from [`FaultPlan::parse`] / [`FaultPlan::from_file`].
+#[derive(Debug)]
+pub struct PlanParseError(pub String);
+
+impl core::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// An empty plan tagged with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a machine crash.
+    pub fn crash(mut self, machine: usize, at: VirtualTime, restart_delay: VirtualTime) -> Self {
+        self.crashes.push(CrashEvent {
+            machine,
+            at,
+            restart_delay,
+        });
+        self
+    }
+
+    /// Adds a straggling worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown < 1.0` (a straggler can only be slower).
+    pub fn straggler(mut self, worker: usize, slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0, "straggler slowdown must be >= 1.0");
+        self.stragglers.push(Straggler { worker, slowdown });
+        self
+    }
+
+    /// Adds a bandwidth-degradation window on a directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < factor <= 1.0` (use
+    /// [`FaultPlan::partition_link`] for a full outage).
+    pub fn degrade_link(
+        mut self,
+        src_machine: usize,
+        dst_machine: usize,
+        from: VirtualTime,
+        until: VirtualTime,
+        factor: f64,
+    ) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1]"
+        );
+        self.link_faults.push(LinkFault {
+            src_machine,
+            dst_machine,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a full partition window on a directed link.
+    pub fn partition_link(
+        mut self,
+        src_machine: usize,
+        dst_machine: usize,
+        from: VirtualTime,
+        until: VirtualTime,
+    ) -> Self {
+        self.link_faults.push(LinkFault {
+            src_machine,
+            dst_machine,
+            from,
+            until,
+            factor: 0.0,
+        });
+        self
+    }
+
+    /// The compute slowdown of `worker`: the product of every matching
+    /// straggler entry, 1.0 when none match.
+    pub fn slowdown_of(&self, worker: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.worker == worker)
+            .map(|s| s.slowdown)
+            .product()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.stragglers.is_empty() && self.link_faults.is_empty()
+    }
+
+    /// A small deterministic plan derived from `seed`: one crash
+    /// somewhere in the middle of `[0, horizon)`, one straggler, and one
+    /// degradation window. Same seed, same plan — chaos runs replay.
+    pub fn random(seed: u64, n_machines: usize, n_workers: usize, horizon: VirtualTime) -> Self {
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            // SplitMix64: deterministic, dependency-free.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let h = horizon.as_nanos().max(1);
+        // Crash in the middle half of the horizon, restart 2–10% of it.
+        let at = VirtualTime::from_nanos(h / 4 + next() % (h / 2).max(1));
+        let restart = VirtualTime::from_nanos(h / 50 + next() % (h / 12).max(1));
+        let from = VirtualTime::from_nanos(next() % h);
+        let until = from + VirtualTime::from_nanos(h / 10 + next() % (h / 4).max(1));
+        FaultPlan::new(seed)
+            .crash(next() as usize % n_machines.max(1), at, restart)
+            .straggler(
+                next() as usize % n_workers.max(1),
+                1.5 + (next() % 200) as f64 / 100.0,
+            )
+            .degrade_link(
+                next() as usize % n_machines.max(1),
+                next() as usize % n_machines.max(1),
+                from,
+                until,
+                0.1 + (next() % 80) as f64 / 100.0,
+            )
+    }
+
+    /// Serializes the plan in the text format accepted by
+    /// [`FaultPlan::parse`].
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = |t: VirtualTime| t.as_nanos() as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(out, "seed {}", self.seed);
+        for c in &self.crashes {
+            let _ = writeln!(
+                out,
+                "crash machine={} at_ms={} restart_ms={}",
+                c.machine,
+                ms(c.at),
+                ms(c.restart_delay)
+            );
+        }
+        for s in &self.stragglers {
+            let _ = writeln!(out, "straggler worker={} slowdown={}", s.worker, s.slowdown);
+        }
+        for l in &self.link_faults {
+            if l.factor <= 0.0 {
+                let _ = writeln!(
+                    out,
+                    "partition src={} dst={} from_ms={} until_ms={}",
+                    l.src_machine,
+                    l.dst_machine,
+                    ms(l.from),
+                    ms(l.until)
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "degrade src={} dst={} from_ms={} until_ms={} factor={}",
+                    l.src_machine,
+                    l.dst_machine,
+                    ms(l.from),
+                    ms(l.until),
+                    l.factor
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses the line-oriented plan format (see `docs/FAULTS.md`):
+    /// `#` comments and blank lines are skipped; each remaining line is
+    /// `seed N`, `crash machine=M at_ms=T restart_ms=T`,
+    /// `straggler worker=W slowdown=F`,
+    /// `degrade src=A dst=B from_ms=T until_ms=T factor=F`, or
+    /// `partition src=A dst=B from_ms=T until_ms=T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanParseError`] naming the offending line.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |m: String| PlanParseError(format!("line {}: {m}", lineno + 1));
+            let mut tokens = line.split_whitespace();
+            let keyword = tokens.next().expect("non-empty line has a token");
+            if keyword == "seed" {
+                plan.seed = tokens
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("`seed` needs an integer".into()))?;
+                continue;
+            }
+            let mut fields: Vec<(&str, &str)> = Vec::new();
+            for tok in tokens {
+                let (k, v) = tok
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("expected key=value, got `{tok}`")))?;
+                fields.push((k, v));
+            }
+            let get = |key: &str| -> Result<&str, PlanParseError> {
+                fields
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| err(format!("`{keyword}` needs `{key}=`")))
+            };
+            let num = |key: &str| -> Result<f64, PlanParseError> {
+                get(key)?
+                    .parse::<f64>()
+                    .map_err(|_| err(format!("`{key}` is not a number")))
+            };
+            let idx = |key: &str| -> Result<usize, PlanParseError> {
+                get(key)?
+                    .parse::<usize>()
+                    .map_err(|_| err(format!("`{key}` is not an index")))
+            };
+            let at_ms = |v: f64| VirtualTime::from_secs_f64(v / 1e3);
+            match keyword {
+                "crash" => plan.crashes.push(CrashEvent {
+                    machine: idx("machine")?,
+                    at: at_ms(num("at_ms")?),
+                    restart_delay: at_ms(num("restart_ms")?),
+                }),
+                "straggler" => {
+                    let slowdown = num("slowdown")?;
+                    if slowdown < 1.0 {
+                        return Err(err("slowdown must be >= 1.0".into()));
+                    }
+                    plan.stragglers.push(Straggler {
+                        worker: idx("worker")?,
+                        slowdown,
+                    });
+                }
+                "degrade" | "partition" => {
+                    let factor = if keyword == "degrade" {
+                        let f = num("factor")?;
+                        if f <= 0.0 || f > 1.0 {
+                            return Err(err("factor must be in (0, 1]".into()));
+                        }
+                        f
+                    } else {
+                        0.0
+                    };
+                    plan.link_faults.push(LinkFault {
+                        src_machine: idx("src")?,
+                        dst_machine: idx("dst")?,
+                        from: at_ms(num("from_ms")?),
+                        until: at_ms(num("until_ms")?),
+                        factor,
+                    });
+                }
+                other => return Err(err(format!("unknown directive `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads and parses a plan file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanParseError`] on unreadable files or malformed
+    /// content.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<FaultPlan, PlanParseError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| PlanParseError(format!("cannot read {}: {e}", path.display())))?;
+        FaultPlan::parse(&text)
+    }
+}
+
+/// A [`FaultPlan`] being consumed by a run: each crash fires exactly
+/// once, so virtual time moving past a crash instant (including during
+/// re-execution after recovery) cannot re-kill the machine.
+#[derive(Debug, Clone)]
+pub struct FaultTimeline {
+    plan: FaultPlan,
+    fired: Vec<bool>,
+}
+
+impl FaultTimeline {
+    /// Starts consuming `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired = vec![false; plan.crashes.len()];
+        FaultTimeline { plan, fired }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Compute slowdown of `worker` (see [`FaultPlan::slowdown_of`]).
+    pub fn slowdown_of(&self, worker: usize) -> f64 {
+        self.plan.slowdown_of(worker)
+    }
+
+    /// Takes the earliest not-yet-fired crash with `at <= t`, marking it
+    /// fired. Detection polls this at synchronization points; returns
+    /// `None` once every scripted crash has been consumed.
+    pub fn take_crash_before(&mut self, t: VirtualTime) -> Option<CrashEvent> {
+        let mut best: Option<usize> = None;
+        for (i, c) in self.plan.crashes.iter().enumerate() {
+            if self.fired[i] || c.at > t {
+                continue;
+            }
+            if best.is_none_or(|b| c.at < self.plan.crashes[b].at) {
+                best = Some(i);
+            }
+        }
+        best.map(|i| {
+            self.fired[i] = true;
+            self.plan.crashes[i]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::WorkerClocks;
+    use crate::cluster::ClusterSpec;
+    use crate::net::SimNet;
+
+    #[test]
+    fn builder_and_text_roundtrip() {
+        let plan = FaultPlan::new(9)
+            .crash(
+                2,
+                VirtualTime::from_millis(120),
+                VirtualTime::from_millis(35),
+            )
+            .straggler(1, 3.5)
+            .degrade_link(
+                0,
+                3,
+                VirtualTime::from_millis(10),
+                VirtualTime::from_millis(40),
+                0.25,
+            )
+            .partition_link(
+                3,
+                0,
+                VirtualTime::from_millis(50),
+                VirtualTime::from_millis(60),
+            );
+        let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_rejects_garbage() {
+        let plan =
+            FaultPlan::parse("# a comment\n\nseed 7\ncrash machine=0 at_ms=1.5 restart_ms=0.5\n")
+                .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.crashes[0].at, VirtualTime::from_micros(1_500));
+        for bad in [
+            "explode machine=1",
+            "crash machine=1",
+            "crash machine=x at_ms=1 restart_ms=1",
+            "straggler worker=0 slowdown=0.5",
+            "degrade src=0 dst=1 from_ms=0 until_ms=1 factor=2.0",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn slowdown_defaults_to_one_and_compounds() {
+        let plan = FaultPlan::new(0).straggler(2, 2.0).straggler(2, 1.5);
+        assert_eq!(plan.slowdown_of(0), 1.0);
+        assert_eq!(plan.slowdown_of(2), 3.0);
+    }
+
+    #[test]
+    fn crashes_fire_exactly_once_in_time_order() {
+        let plan = FaultPlan::new(0)
+            .crash(1, VirtualTime::from_secs(5), VirtualTime::ZERO)
+            .crash(0, VirtualTime::from_secs(2), VirtualTime::ZERO);
+        let mut tl = FaultTimeline::new(plan);
+        assert!(tl.take_crash_before(VirtualTime::from_secs(1)).is_none());
+        let first = tl.take_crash_before(VirtualTime::from_secs(10)).unwrap();
+        assert_eq!(first.machine, 0, "earliest crash fires first");
+        let second = tl.take_crash_before(VirtualTime::from_secs(10)).unwrap();
+        assert_eq!(second.machine, 1);
+        // Consumed: time moving past the instants again re-kills nothing.
+        assert!(tl.take_crash_before(VirtualTime::from_secs(100)).is_none());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let horizon = VirtualTime::from_secs(10);
+        let a = FaultPlan::random(11, 4, 16, horizon);
+        let b = FaultPlan::random(11, 4, 16, horizon);
+        let c = FaultPlan::random(12, 4, 16, horizon);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.crashes.len(), 1);
+        assert!(a.crashes[0].machine < 4);
+        assert!(a.stragglers[0].slowdown >= 1.0);
+    }
+
+    // Satellite: straggler accounting. The barrier lands exactly on the
+    // straggler's clock — the max over per-worker clocks after each
+    // advanced by its (slowdown-scaled) compute time.
+    #[test]
+    fn barrier_time_is_the_max_straggler_clock() {
+        let cluster = ClusterSpec::new(2, 2);
+        let plan = FaultPlan::new(0).straggler(3, 4.0);
+        let mut clocks = WorkerClocks::new(4);
+        let block_ns = 10_000.0;
+        for w in 0..4 {
+            clocks.advance(w, cluster.compute_time(block_ns * plan.slowdown_of(w)));
+        }
+        let straggler_clock = clocks.get(3);
+        assert_eq!(straggler_clock, cluster.compute_time(40_000.0));
+        let barrier = clocks.barrier();
+        assert_eq!(barrier, straggler_clock);
+        assert_eq!(clocks.get(0), straggler_clock, "everyone waits for w3");
+    }
+
+    // Satellite: slowdown factors shift *when* traffic happens, never
+    // how much — per-link byte/message counters must be identical.
+    #[test]
+    fn slowdown_does_not_change_link_byte_counters() {
+        let cluster = ClusterSpec::new(2, 2);
+        let sends = [(0usize, 2usize, 5_000u64), (1, 3, 7_000), (2, 0, 11_000)];
+        let run = |slowdown: u64| {
+            let mut net = SimNet::new(&cluster);
+            let mut last = VirtualTime::ZERO;
+            for (i, &(src, dst, bytes)) in sends.iter().enumerate() {
+                // A straggler sends the same bytes, just later.
+                let ready = VirtualTime::from_micros((i as u64 + 1) * 100 * slowdown);
+                last = net.send(&cluster, src, dst, bytes, ready);
+            }
+            (
+                net.total_bytes(),
+                net.link_bytes(0, 1),
+                net.link_bytes(1, 0),
+                net.link_messages(0, 1),
+                last,
+            )
+        };
+        let fast = run(1);
+        let slow = run(5);
+        assert_eq!(fast.0, slow.0, "total bytes unaffected by slowdown");
+        assert_eq!(fast.1, slow.1);
+        assert_eq!(fast.2, slow.2);
+        assert_eq!(fast.3, slow.3);
+        assert!(slow.4 > fast.4, "only the timing moves");
+    }
+}

@@ -22,12 +22,14 @@
 
 mod clock;
 mod cluster;
+mod fault;
 mod net;
 mod stats;
 mod time;
 
 pub use clock::WorkerClocks;
 pub use cluster::{ClusterSpec, CpuSpec, NetworkSpec};
+pub use fault::{CrashEvent, FaultPlan, FaultTimeline, LinkFault, PlanParseError, Straggler};
 pub use net::{LinkTraffic, MsgRecord, SimNet};
 pub use stats::{ProgressPoint, RunStats};
 pub use time::VirtualTime;

@@ -8,6 +8,7 @@
 //! time traces (the paper's Fig. 12).
 
 use crate::cluster::ClusterSpec;
+use crate::fault::LinkFault;
 use crate::time::VirtualTime;
 
 /// One recorded message.
@@ -64,6 +65,12 @@ pub struct SimNet {
     /// Per-directed-link message counters, same layout.
     link_msgs: Vec<u64>,
     n_machines: usize,
+    /// Active degradation/partition windows (from a `FaultPlan`).
+    link_faults: Vec<LinkFault>,
+    /// Initial backoff when a send hits a partitioned link.
+    retry_backoff: VirtualTime,
+    /// Sends that had to retry at least once because of a partition.
+    retries: u64,
 }
 
 impl SimNet {
@@ -77,7 +84,33 @@ impl SimNet {
             link_bytes: vec![0; n * n],
             link_msgs: vec![0; n * n],
             n_machines: n,
+            link_faults: Vec::new(),
+            retry_backoff: VirtualTime::from_micros(500),
+            retries: 0,
         }
+    }
+
+    /// Installs the link-fault windows of a fault plan. Sends through a
+    /// degraded link see proportionally reduced bandwidth; sends into a
+    /// partition retry with exponential backoff until the window closes.
+    pub fn set_link_faults(&mut self, faults: Vec<LinkFault>) {
+        self.link_faults = faults;
+    }
+
+    /// Number of sends that hit a partitioned link and had to back off.
+    pub fn n_retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The bandwidth multiplier of the `src → dst` machine link at
+    /// instant `t`: the minimum factor over active fault windows (1.0
+    /// when none apply, 0.0 when partitioned).
+    fn link_factor(&self, src: usize, dst: usize, t: VirtualTime) -> f64 {
+        self.link_faults
+            .iter()
+            .filter(|f| f.applies(src, dst, t))
+            .map(|f| f.factor)
+            .fold(1.0, f64::min)
     }
 
     /// Sends `bytes` from `src_worker` to `dst_worker`, with the payload
@@ -110,8 +143,20 @@ impl SimNet {
             );
             return ready + tx;
         }
-        let start = ready.max(self.nic_free_tx[src_m]);
-        let tx = VirtualTime::from_secs_f64(bytes as f64 * 8.0 / cluster.network.bandwidth_bps);
+        let mut start = ready.max(self.nic_free_tx[src_m]);
+        // Partitioned link: retry with exponential backoff. Attempt times
+        // grow geometrically, so any finite partition window terminates
+        // the loop.
+        let mut backoff = self.retry_backoff;
+        while self.link_factor(src_m, dst_m, start) <= 0.0 {
+            self.retries += 1;
+            start += backoff;
+            backoff = backoff * 2;
+        }
+        let factor = self.link_factor(src_m, dst_m, start);
+        let tx = VirtualTime::from_secs_f64(
+            bytes as f64 * 8.0 / (cluster.network.bandwidth_bps * factor),
+        );
         let done_tx = start + tx;
         self.nic_free_tx[src_m] = done_tx;
         let arrive = done_tx + cluster.network.latency;
@@ -359,6 +404,58 @@ mod tests {
             assert!((l01[i].1 + l10[i].1 - all[i].1).abs() < 1e-9);
         }
         assert!(l01[0].1 > 0.0 && l10[0].1 == 0.0);
+    }
+
+    #[test]
+    fn degraded_link_stretches_transfers_but_not_counters() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        net.set_link_faults(vec![LinkFault {
+            src_machine: 0,
+            dst_machine: 1,
+            from: VirtualTime::ZERO,
+            until: VirtualTime::from_secs(100),
+            factor: 0.25,
+        }]);
+        // 1 MB at 0.25 * 1 GB/s = 4 ms transfer + 10 us latency.
+        let arrive = net.send(&c, 0, 2, 1_000_000, VirtualTime::ZERO);
+        assert_eq!(
+            arrive,
+            VirtualTime::from_millis(4) + VirtualTime::from_micros(10)
+        );
+        // Reverse direction is untouched.
+        let back = net.send(&c, 2, 0, 1_000_000, VirtualTime::ZERO);
+        assert_eq!(
+            back,
+            VirtualTime::from_millis(1) + VirtualTime::from_micros(10)
+        );
+        // Byte accounting sees the payload, not the slowdown.
+        assert_eq!(net.link_bytes(0, 1), 1_000_000);
+        assert_eq!(net.n_retries(), 0);
+    }
+
+    #[test]
+    fn partitioned_link_backs_off_until_window_closes() {
+        let c = cluster();
+        let mut net = SimNet::new(&c);
+        net.set_link_faults(vec![LinkFault {
+            src_machine: 0,
+            dst_machine: 1,
+            from: VirtualTime::ZERO,
+            until: VirtualTime::from_millis(20),
+            factor: 0.0,
+        }]);
+        let arrive = net.send(&c, 0, 2, 1_000_000, VirtualTime::ZERO);
+        // Transfer cannot begin before the partition heals at 20 ms.
+        assert!(arrive >= VirtualTime::from_millis(21));
+        assert!(net.n_retries() > 0);
+        assert_eq!(net.link_bytes(0, 1), 1_000_000);
+        // After the window everything is back to nominal speed.
+        let later = net.send(&c, 0, 2, 1_000_000, VirtualTime::from_secs(1));
+        assert_eq!(
+            later,
+            VirtualTime::from_secs(1) + VirtualTime::from_millis(1) + VirtualTime::from_micros(10)
+        );
     }
 
     #[test]

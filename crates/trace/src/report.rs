@@ -30,6 +30,12 @@ impl PhaseTotals {
             .map(|(_, ns)| ns)
             .sum()
     }
+
+    /// Time lost to fault handling: detection stalls, restart +
+    /// checkpoint reload, and checkpoint writes.
+    pub fn recovery_overhead_ns(&self) -> u64 {
+        self.get(SpanCat::Fault) + self.get(SpanCat::Recovery) + self.get(SpanCat::Checkpoint)
+    }
 }
 
 /// Phase totals of one executor.
@@ -164,9 +170,15 @@ impl RunReport {
                 wb.phases.add(s.cat, s.dur_ns());
             }
         }
+        // Barrier waits and fault-handling stalls are excluded: neither
+        // is obligatory work of the schedule itself.
         let critical_path_ns = per_worker
             .iter()
-            .map(|w| w.phases.worker_track_ns() - w.phases.get(SpanCat::Barrier))
+            .map(|w| {
+                w.phases.worker_track_ns()
+                    - w.phases.get(SpanCat::Barrier)
+                    - w.phases.recovery_overhead_ns()
+            })
             .max()
             .unwrap_or(0);
         links.sort_by(|a, b| {
@@ -202,6 +214,23 @@ impl RunReport {
         self.links.iter().map(|l| l.bytes).sum()
     }
 
+    /// Total fault-handling time across executors (detection stalls,
+    /// restart + reload, checkpoint writes).
+    pub fn recovery_overhead_ns(&self) -> u64 {
+        self.phase_totals.recovery_overhead_ns()
+    }
+
+    /// Fault-handling time as a fraction of all worker-track time —
+    /// the price of the chaos plan plus the checkpoint policy. 0.0 for
+    /// a fault-free run without checkpointing.
+    pub fn recovery_overhead(&self) -> f64 {
+        let track = self.phase_totals.worker_track_ns();
+        if track == 0 {
+            return 0.0;
+        }
+        self.recovery_overhead_ns() as f64 / track as f64
+    }
+
     /// Serializes the report as compact JSON (hand-rolled; schema in
     /// `docs/OBSERVABILITY.md`).
     pub fn to_json(&self) -> String {
@@ -224,6 +253,12 @@ impl RunReport {
             self.wall_ns,
             self.critical_path_ns,
             phases_json(&self.phase_totals)
+        );
+        let _ = write!(
+            out,
+            ",\"recovery_overhead_ns\":{},\"recovery_overhead\":{:.6}",
+            self.recovery_overhead_ns(),
+            self.recovery_overhead()
         );
         out.push_str(",\"workers\":[");
         for (i, w) in self.per_worker.iter().enumerate() {
@@ -315,6 +350,14 @@ impl RunReport {
             "  min executor coverage: {:.1}%",
             100.0 * self.min_worker_coverage()
         );
+        if self.recovery_overhead_ns() > 0 {
+            let _ = writeln!(
+                out,
+                "  recovery overhead: {:.4}s ({:.1}% of worker-track time)",
+                self.recovery_overhead_ns() as f64 / 1e9,
+                100.0 * self.recovery_overhead()
+            );
+        }
         if !self.links.is_empty() {
             let _ = writeln!(
                 out,
@@ -441,6 +484,32 @@ mod tests {
         );
         let load = v.get("load").unwrap();
         assert_eq!(load.get("max_items").unwrap().as_f64(), Some(12.0));
+    }
+
+    #[test]
+    fn recovery_overhead_sums_fault_phases() {
+        let mut t = Tracer::enabled(8);
+        t.record(SpanCat::Compute, 0, 0, 0, 60, 0, 0);
+        t.record(SpanCat::Checkpoint, 0, 0, 60, 70, 0, 0);
+        t.record(SpanCat::Fault, 0, 0, 70, 85, 0, 1);
+        t.record(SpanCat::Recovery, 0, 0, 85, 100, 0, 1);
+        let r = RunReport::build(100, t.spans(), 1, 1, vec![], vec![], LoadStats::default());
+        assert_eq!(r.recovery_overhead_ns(), 40);
+        assert!((r.recovery_overhead() - 0.4).abs() < 1e-9);
+        // Fault handling is not obligatory work: critical path is compute.
+        assert_eq!(r.critical_path_ns, 60);
+        // Fault spans still tile the timeline, so coverage stays exact.
+        assert_eq!(r.min_worker_coverage(), 1.0);
+        let v = crate::json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("recovery_overhead_ns").and_then(|x| x.as_f64()),
+            Some(40.0)
+        );
+        assert!(r.render().contains("recovery overhead"));
+        // Fault-free report: overhead absent from render, zero in JSON.
+        let clean = report();
+        assert_eq!(clean.recovery_overhead_ns(), 0);
+        assert!(!clean.render().contains("recovery overhead"));
     }
 
     #[test]

@@ -19,10 +19,18 @@ pub enum SpanCat {
     Flush = 4,
     /// Waiting on a step or pass barrier (straggler skew).
     Barrier = 5,
+    /// Stalled between a machine crash and its detection (the barrier-
+    /// timeout window of the failure detector).
+    Fault = 6,
+    /// Restarting the crashed machine and reloading the latest
+    /// checkpoint before re-execution resumes.
+    Recovery = 7,
+    /// Writing a periodic checkpoint (atomic temp-file + rename).
+    Checkpoint = 8,
 }
 
 /// Number of span categories (size of [`crate::PhaseTotals`]).
-pub const N_CATS: usize = 6;
+pub const N_CATS: usize = 9;
 
 impl SpanCat {
     /// All categories, in discriminant order.
@@ -33,6 +41,9 @@ impl SpanCat {
         SpanCat::Server,
         SpanCat::Flush,
         SpanCat::Barrier,
+        SpanCat::Fault,
+        SpanCat::Recovery,
+        SpanCat::Checkpoint,
     ];
 
     /// Stable lower-case name, used as the Perfetto `cat` field and as
@@ -45,6 +56,9 @@ impl SpanCat {
             SpanCat::Server => "server",
             SpanCat::Flush => "flush",
             SpanCat::Barrier => "barrier",
+            SpanCat::Fault => "fault",
+            SpanCat::Recovery => "recovery",
+            SpanCat::Checkpoint => "checkpoint",
         }
     }
 
@@ -195,5 +209,10 @@ mod tests {
         assert!(!SpanCat::Server.on_worker_track());
         assert!(SpanCat::Compute.on_worker_track());
         assert!(SpanCat::Barrier.on_worker_track());
+        // Fault-injection phases stall the executor itself, so they tile
+        // the worker timeline like any other wait.
+        assert!(SpanCat::Fault.on_worker_track());
+        assert!(SpanCat::Recovery.on_worker_track());
+        assert!(SpanCat::Checkpoint.on_worker_track());
     }
 }

@@ -9,10 +9,12 @@
 //! trace (open at <https://ui.perfetto.dev>), plus a run report at
 //! `out.json.report.json` — see `docs/OBSERVABILITY.md`.
 
+use orion::apps::chaos::ChaosConfig;
 use orion::apps::sgd_mf::{
-    train_orion, train_orion_traced, train_serial, MfConfig, MfPsAdapter, MfRunConfig,
+    train_orion, train_orion_chaos, train_orion_chaos_traced, train_orion_traced, train_serial,
+    MfConfig, MfPsAdapter, MfRunConfig,
 };
-use orion::core::ClusterSpec;
+use orion::core::{clean_checkpoints, ClusterSpec, FaultPlan};
 use orion::data::{RatingsConfig, RatingsData};
 use orion::ps::{PsConfig, PsEngine};
 use orion::trace::write_perfetto;
@@ -23,6 +25,20 @@ fn trace_arg() -> Option<std::path::PathBuf> {
     while let Some(a) = args.next() {
         if a == "--trace" {
             return args.next().map(Into::into);
+        }
+    }
+    None
+}
+
+/// `--fault-plan <path>` from argv: a scripted fault plan (see
+/// `docs/FAULTS.md` for the format) applied to the Orion run with
+/// checkpoint-every-2 recovery.
+fn fault_plan_arg() -> Option<FaultPlan> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--fault-plan" {
+            let p = args.next().expect("--fault-plan needs a file path");
+            return Some(FaultPlan::from_file(&p).expect("fault plan parses"));
         }
     }
     None
@@ -55,7 +71,29 @@ fn main() {
         passes,
         ordered: false,
     };
-    let (orion_stats, orion_trace) = if trace_path.is_some() {
+    let fault_plan = fault_plan_arg();
+    let (orion_stats, orion_trace) = if let Some(plan) = fault_plan {
+        let dir = std::env::temp_dir().join(format!("orion_mf_example_{}", std::process::id()));
+        let chaos = ChaosConfig::new(plan, 2, &dir, "mf");
+        let (stats, report, artifacts) = if trace_path.is_some() {
+            let (_, stats, report, artifacts) =
+                train_orion_chaos_traced(&data, cfg.clone(), &run, &chaos);
+            (stats, report, Some(artifacts))
+        } else {
+            let (_, stats, report) = train_orion_chaos(&data, cfg.clone(), &run, &chaos);
+            (stats, report, None)
+        };
+        clean_checkpoints(&chaos.policy(), &["W", "H"]);
+        println!(
+            "fault plan: {} crash(es) recovered, {} pass(es) re-executed, \
+             {} checkpoint(s), {:.3}s virtual fault-handling overhead\n",
+            report.crashes_recovered,
+            report.passes_reexecuted,
+            report.checkpoints_written,
+            report.overhead_ns() as f64 / 1e9,
+        );
+        (stats, artifacts)
+    } else if trace_path.is_some() {
         let (_, stats, artifacts) = train_orion_traced(&data, cfg.clone(), &run);
         (stats, Some(artifacts))
     } else {

@@ -9,8 +9,11 @@
 //! `docs/OBSERVABILITY.md`) — the Prefetch spans shrink visibly from
 //! regime to regime.
 
-use orion::apps::slr::{train_orion, train_orion_traced, SlrConfig, SlrRunConfig};
-use orion::core::{ClusterSpec, PrefetchMode};
+use orion::apps::chaos::ChaosConfig;
+use orion::apps::slr::{
+    train_orion, train_orion_chaos, train_orion_traced, SlrConfig, SlrRunConfig,
+};
+use orion::core::{clean_checkpoints, ClusterSpec, FaultPlan, PrefetchMode};
 use orion::data::{SparseConfig, SparseData};
 use orion::trace::write_perfetto;
 
@@ -25,8 +28,27 @@ fn trace_arg() -> Option<std::path::PathBuf> {
     None
 }
 
+/// `--fault-plan <path>` from argv: scripted faults (see
+/// `docs/FAULTS.md`) applied to every prefetch regime with
+/// checkpoint-every-2 recovery. Mutually exclusive with `--trace`.
+fn fault_plan_arg() -> Option<FaultPlan> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--fault-plan" {
+            let p = args.next().expect("--fault-plan needs a file path");
+            return Some(FaultPlan::from_file(&p).expect("fault plan parses"));
+        }
+    }
+    None
+}
+
 fn main() {
     let trace_path = trace_arg();
+    let fault_plan = fault_plan_arg();
+    assert!(
+        trace_path.is_none() || fault_plan.is_none(),
+        "--trace and --fault-plan are mutually exclusive here"
+    );
     let data = SparseData::generate(SparseConfig {
         n_samples: 1_500,
         n_features: 20_000,
@@ -61,7 +83,22 @@ fn main() {
             step_size: 0.002,
             adaptive: false,
         };
-        let stats = if trace_path.is_some() {
+        let stats = if let Some(plan) = &fault_plan {
+            let dir =
+                std::env::temp_dir().join(format!("orion_slr_example_{}", std::process::id()));
+            let tag = label.replace(' ', "_");
+            let chaos = ChaosConfig::new(plan.clone(), 2, &dir, &tag);
+            let (_, stats, report) = train_orion_chaos(&data, cfg, &run, &chaos);
+            clean_checkpoints(&chaos.policy(), &["weights"]);
+            println!(
+                "  [{label}] {} crash(es) recovered, {} pass(es) re-executed, \
+                 {:.3}s virtual fault-handling overhead",
+                report.crashes_recovered,
+                report.passes_reexecuted,
+                report.overhead_ns() as f64 / 1e9,
+            );
+            stats
+        } else if trace_path.is_some() {
             let (_, stats, mut artifacts) = train_orion_traced(&data, cfg, &run);
             artifacts.session.name = format!("orion/slr [{label}]");
             sessions.push(artifacts.session);

@@ -1,0 +1,230 @@
+//! Chaos conformance suite (§4.3): deterministic fault injection with
+//! checkpoint-every-N recovery must reproduce the fault-free run
+//! *bit-for-bit* — crashes cost virtual time, never correctness — and
+//! the fault handling must be visible in the trace artifacts.
+
+use orion::apps::chaos::ChaosConfig;
+use orion::apps::sgd_mf::{
+    train_orion as train_mf, train_orion_chaos as train_mf_chaos,
+    train_orion_chaos_traced as train_mf_chaos_traced, MfConfig, MfRunConfig,
+};
+use orion::apps::slr::{
+    train_orion as train_slr, train_orion_chaos as train_slr_chaos, SlrConfig, SlrRunConfig,
+};
+use orion::core::{clean_checkpoints, ClusterSpec, FaultPlan, RunStats, VirtualTime};
+use orion::data::{RatingsConfig, RatingsData, SparseConfig, SparseData};
+use orion::trace::write_perfetto;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("orion_chaos_{}_{}", std::process::id(), name))
+}
+
+fn wall(stats: &RunStats) -> VirtualTime {
+    stats.progress.last().expect("run recorded progress").time
+}
+
+fn mf_run(passes: u64) -> MfRunConfig {
+    MfRunConfig {
+        cluster: ClusterSpec::new(2, 2),
+        passes,
+        ordered: false,
+    }
+}
+
+fn slr_run(passes: u64) -> SlrRunConfig {
+    SlrRunConfig {
+        cluster: ClusterSpec::new(2, 2),
+        passes,
+        prefetch_override: None,
+    }
+}
+
+/// A plan crashing machine 1 halfway through the fault-free run.
+fn mid_run_crash(clean_wall: VirtualTime) -> FaultPlan {
+    FaultPlan::new(42).crash(
+        1,
+        VirtualTime::from_nanos(clean_wall.as_nanos() / 2),
+        VirtualTime::from_millis(250),
+    )
+}
+
+#[test]
+fn mf_crash_recovery_is_bit_identical() {
+    let data = RatingsData::generate(RatingsConfig::tiny());
+    let passes = 6;
+    let (clean, clean_stats) = train_mf(&data, MfConfig::new(4), &mf_run(passes));
+    let clean_wall = wall(&clean_stats);
+
+    let dir = tmp_dir("mf");
+    let chaos = ChaosConfig::new(mid_run_crash(clean_wall), 2, &dir, "mf");
+    let (recovered, chaos_stats, report) =
+        train_mf_chaos(&data, MfConfig::new(4), &mf_run(passes), &chaos);
+
+    assert_eq!(report.crashes_recovered, 1, "the planned crash must fire");
+    assert!(report.passes_reexecuted >= 1);
+    assert!(report.checkpoints_written >= 2);
+    assert_eq!(recovered.w, clean.w, "recovered W must be bit-identical");
+    assert_eq!(recovered.h, clean.h, "recovered H must be bit-identical");
+    assert_eq!(
+        clean_stats.progress.len(),
+        chaos_stats.progress.len(),
+        "every pass reports progress exactly once"
+    );
+    for (a, b) in clean_stats.progress.iter().zip(&chaos_stats.progress) {
+        assert_eq!(a.metric, b.metric, "loss trajectory must be unchanged");
+    }
+    assert!(
+        wall(&chaos_stats) > clean_wall,
+        "fault handling must cost virtual time: {:?} vs {clean_wall:?}",
+        wall(&chaos_stats)
+    );
+    clean_checkpoints(&chaos.policy(), &["W", "H"]);
+}
+
+#[test]
+fn slr_crash_recovery_is_bit_identical() {
+    let data = SparseData::generate(SparseConfig::tiny());
+    let passes = 6;
+    let (clean, clean_stats) = train_slr(&data, SlrConfig::new(), &slr_run(passes));
+    let clean_wall = wall(&clean_stats);
+
+    let dir = tmp_dir("slr");
+    let chaos = ChaosConfig::new(mid_run_crash(clean_wall), 2, &dir, "slr");
+    let (recovered, chaos_stats, report) =
+        train_slr_chaos(&data, SlrConfig::new(), &slr_run(passes), &chaos);
+
+    assert_eq!(report.crashes_recovered, 1, "the planned crash must fire");
+    assert!(report.passes_reexecuted >= 1);
+    assert_eq!(
+        recovered.weights, clean.weights,
+        "recovered weights must be bit-identical"
+    );
+    for (a, b) in clean_stats.progress.iter().zip(&chaos_stats.progress) {
+        assert_eq!(a.metric, b.metric, "loss trajectory must be unchanged");
+    }
+    assert!(wall(&chaos_stats) > clean_wall);
+    clean_checkpoints(&chaos.policy(), &["weights"]);
+}
+
+#[test]
+fn stragglers_stretch_wall_clock_but_not_results() {
+    let data = RatingsData::generate(RatingsConfig::tiny());
+    let passes = 4;
+    let (clean, clean_stats) = train_mf(&data, MfConfig::new(4), &mf_run(passes));
+
+    let dir = tmp_dir("straggler");
+    let plan = FaultPlan::new(7).straggler(0, 3.0).straggler(3, 1.5);
+    let chaos = ChaosConfig::new(plan, passes, &dir, "straggler");
+    let (slow, slow_stats, report) =
+        train_mf_chaos(&data, MfConfig::new(4), &mf_run(passes), &chaos);
+
+    assert_eq!(report.crashes_recovered, 0);
+    assert_eq!(report.passes_reexecuted, 0);
+    assert_eq!(slow.w, clean.w, "stragglers must not change the model");
+    assert_eq!(slow.h, clean.h);
+    assert_eq!(
+        slow_stats.total_bytes, clean_stats.total_bytes,
+        "stragglers must not change traffic"
+    );
+    assert!(
+        wall(&slow_stats) > wall(&clean_stats),
+        "a 3x straggler must stretch the run: {:?} vs {:?}",
+        wall(&slow_stats),
+        wall(&clean_stats)
+    );
+    clean_checkpoints(&chaos.policy(), &["W", "H"]);
+}
+
+#[test]
+fn sparse_checkpoints_recover_from_the_initial_one() {
+    // Checkpoint interval far beyond the run length: only the initial
+    // (pass-0) checkpoint exists, so the crash rewinds to the start and
+    // re-executes everything — still bit-identical.
+    let data = RatingsData::generate(RatingsConfig::tiny());
+    let passes = 4;
+    let (clean, _) = train_mf(&data, MfConfig::new(4), &mf_run(passes));
+    let (_, probe_stats) = train_mf(&data, MfConfig::new(4), &mf_run(passes));
+    let clean_wall = wall(&probe_stats);
+
+    let dir = tmp_dir("sparse_ckpt");
+    let chaos = ChaosConfig::new(mid_run_crash(clean_wall), 1_000, &dir, "sparse");
+    let (recovered, _, report) = train_mf_chaos(&data, MfConfig::new(4), &mf_run(passes), &chaos);
+
+    assert_eq!(report.crashes_recovered, 1);
+    assert_eq!(
+        report.checkpoints_written, 1,
+        "only the initial checkpoint is due"
+    );
+    assert!(
+        report.passes_reexecuted >= 2,
+        "rewinding to pass 0 re-executes the crashed pass and its predecessors"
+    );
+    assert_eq!(recovered.w, clean.w);
+    assert_eq!(recovered.h, clean.h);
+    clean_checkpoints(&chaos.policy(), &["W", "H"]);
+}
+
+#[test]
+fn traced_chaos_run_exports_fault_and_recovery_spans() {
+    let data = RatingsData::generate(RatingsConfig::tiny());
+    let passes = 6;
+    let (_, clean_stats) = train_mf(&data, MfConfig::new(4), &mf_run(passes));
+    let clean_wall = wall(&clean_stats);
+
+    let dir = tmp_dir("traced");
+    let chaos = ChaosConfig::new(mid_run_crash(clean_wall), 2, &dir, "traced");
+    let (_, _, report, artifacts) =
+        train_mf_chaos_traced(&data, MfConfig::new(4), &mf_run(passes), &chaos);
+
+    assert_eq!(report.crashes_recovered, 1);
+    let cats: std::collections::BTreeSet<&str> = artifacts
+        .session
+        .spans
+        .iter()
+        .map(|s| s.cat.name())
+        .collect();
+    assert!(
+        cats.contains("fault"),
+        "trace must show the detection stall"
+    );
+    assert!(cats.contains("recovery"), "trace must show the restore");
+    assert!(cats.contains("checkpoint"), "trace must show checkpoint IO");
+
+    let mut buf = Vec::new();
+    write_perfetto(&mut buf, &[artifacts.session.view()]).expect("perfetto export");
+    let json = String::from_utf8(buf).expect("exporter emits UTF-8");
+    assert!(json.contains("\"fault\""));
+    assert!(json.contains("\"recovery\""));
+
+    assert!(
+        artifacts.report.recovery_overhead_ns() > 0,
+        "the run report must account the fault-handling time"
+    );
+    assert!(artifacts.report.recovery_overhead() > 0.0);
+    let report_json = artifacts.report.to_json();
+    assert!(report_json.contains("\"recovery_overhead_ns\""));
+    clean_checkpoints(&chaos.policy(), &["W", "H"]);
+}
+
+#[test]
+fn chaos_runs_are_reproducible() {
+    // Same plan, same data → the chaos run itself is deterministic:
+    // identical model bits, progress times, and recovery accounting.
+    let data = SparseData::generate(SparseConfig::tiny());
+    let passes = 5;
+    let (_, probe) = train_slr(&data, SlrConfig::new(), &slr_run(passes));
+    let plan = mid_run_crash(wall(&probe)).straggler(2, 2.0);
+
+    let mk = |tag: &str| {
+        let dir = tmp_dir(tag);
+        let chaos = ChaosConfig::new(plan.clone(), 2, &dir, tag);
+        let out = train_slr_chaos(&data, SlrConfig::new(), &slr_run(passes), &chaos);
+        clean_checkpoints(&chaos.policy(), &["weights"]);
+        out
+    };
+    let (m1, s1, r1) = mk("repro_a");
+    let (m2, s2, r2) = mk("repro_b");
+    assert_eq!(m1.weights, m2.weights);
+    assert_eq!(s1.progress, s2.progress);
+    assert_eq!(r1, r2);
+}

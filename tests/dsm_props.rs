@@ -9,6 +9,25 @@ fn arb_dims() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(1u64..8, 1..4)
 }
 
+/// An origin vector matching `rank`: each coordinate in [-16, 16].
+fn arb_origin(rank: usize) -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-16i64..=16, rank)
+}
+
+fn arb_dense_array() -> impl Strategy<Value = DistArray<f32>> {
+    arb_dims().prop_flat_map(|dims| {
+        let volume: u64 = dims.iter().product();
+        let d = dims.clone();
+        (
+            proptest::collection::vec(any::<f32>(), volume as usize),
+            arb_origin(dims.len()),
+        )
+            .prop_map(move |(values, origin)| {
+                DistArray::dense_from_vec("d", d.clone(), values).with_origin(origin)
+            })
+    })
+}
+
 fn arb_sparse_array() -> impl Strategy<Value = DistArray<f32>> {
     arb_dims().prop_flat_map(|dims| {
         let volume: u64 = dims.iter().product();
@@ -127,6 +146,60 @@ proptest! {
     fn checkpoint_roundtrip_sparse(a in arb_sparse_array()) {
         let b = checkpoint::from_bytes::<f32>(checkpoint::to_bytes(&a)).unwrap();
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_dense_any_shape_and_origin(a in arb_dense_array()) {
+        // `any::<f32>()` includes NaN, so compare the re-encoding (exact
+        // value bits + name + dims + origin) rather than `==`.
+        let wire = checkpoint::to_bytes(&a);
+        let b = checkpoint::from_bytes::<f32>(wire.clone()).unwrap();
+        prop_assert_eq!(a.shape(), b.shape());
+        prop_assert_eq!(a.origin(), b.origin());
+        prop_assert_eq!(wire.to_vec(), checkpoint::to_bytes(&b).to_vec());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_sparse_with_origin(
+        a in arb_sparse_array(),
+        origin in arb_origin(3),
+    ) {
+        let rank = a.shape().ndims();
+        let a = a.with_origin(origin[..rank].to_vec());
+        let b = checkpoint::from_bytes::<f32>(checkpoint::to_bytes(&a)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_corrupt_never_panic(
+        a in arb_dense_array(),
+        cut_permille in 0u32..1000,
+    ) {
+        // A crash can leave a strict prefix of a checkpoint on disk (the
+        // atomic tmp+rename path prevents this for `save`, but readers
+        // must still refuse gracefully). Every strict prefix decodes to
+        // `Corrupt`, never a panic or a silently wrong array.
+        let wire = checkpoint::to_bytes(&a);
+        let cut = (wire.len() as u64 * cut_permille as u64 / 1000) as usize;
+        prop_assume!(cut < wire.len());
+        let truncated = orion::dsm::codec::Bytes::from(wire[..cut].to_vec());
+        match checkpoint::from_bytes::<f32>(truncated) {
+            Err(checkpoint::CheckpointError::Corrupt(_)) => {}
+            other => prop_assert!(false, "expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extended_checkpoint_is_corrupt(a in arb_sparse_array(), junk in 1usize..16) {
+        // Trailing garbage (e.g. a torn concatenated write) is rejected
+        // too: the payload length must match the header exactly.
+        let wire = checkpoint::to_bytes(&a);
+        let mut v = wire.to_vec();
+        v.extend(std::iter::repeat_n(0xAAu8, junk));
+        match checkpoint::from_bytes::<f32>(orion::dsm::codec::Bytes::from(v)) {
+            Err(checkpoint::CheckpointError::Corrupt(_)) => {}
+            other => prop_assert!(false, "expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]
