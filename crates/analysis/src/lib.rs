@@ -56,6 +56,6 @@ pub use comm::{
 };
 pub use deptest::dependence_vectors;
 pub use depvec::{normalize, DepElem, DepVec};
-pub use report::report;
+pub use report::{plan_diagnostic, report, report_with};
 pub use strategy::{analyze, ParallelPlan, Strategy};
 pub use unimodular::{find_unimodular, Ext, UniMat};

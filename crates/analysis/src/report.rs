@@ -1,14 +1,107 @@
-//! Human-readable compilation reports, mirroring the paper's Fig. 6.
+//! Compilation reports, mirroring the paper's Fig. 6, built on the
+//! structured [`Diagnostic`] type so the `orion_lint` CLI and `report()`
+//! render through the same pipeline and cannot drift.
 
-use orion_ir::{ArrayMeta, LoopSpec};
+use orion_ir::{render_all, ArrayMeta, Code, Diagnostic, LoopSpec, Severity};
 
 use crate::comm::Placement;
 use crate::strategy::{ParallelPlan, Strategy};
 
-/// Renders a multi-line report of the static-parallelization outcome for
-/// one loop, in the spirit of the paper's Fig. 6 walkthrough: the loop
+/// Resolves an array id to its registered name (falling back to the
+/// `A<n>` id display).
+pub(crate) fn array_name(metas: &[ArrayMeta], id: orion_ir::DistArrayId) -> String {
+    metas
+        .iter()
+        .find(|m| m.id == id)
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| id.to_string())
+}
+
+/// Builds the plan-summary diagnostic (`O000`, a note): the loop
 /// information extracted from the program, the computed dependence
-/// vectors, the chosen schedule, and the DistArray placements.
+/// vectors, the chosen schedule, and the DistArray placements — the
+/// paper's Fig. 6 walkthrough as one structured [`Diagnostic`].
+pub fn plan_diagnostic(spec: &LoopSpec, metas: &[ArrayMeta], plan: &ParallelPlan) -> Diagnostic {
+    let headline = match &plan.strategy {
+        Strategy::FullyParallel { dim } | Strategy::OneD { dim } => {
+            format!(
+                "loop `{}` parallelized as {} — partition dim {dim}",
+                spec.name,
+                plan.strategy.label()
+            )
+        }
+        Strategy::TwoD { space, time, .. } => format!(
+            "loop `{}` parallelized as {} — space dim {space}, time dim {time}",
+            spec.name,
+            plan.strategy.label()
+        ),
+        Strategy::TwoDUnimodular {
+            transform,
+            space,
+            time,
+        } => format!(
+            "loop `{}` parallelized as {} — T = {transform}, transformed space dim {space}, \
+             time dim {time}",
+            spec.name,
+            plan.strategy.label()
+        ),
+        Strategy::Serial => format!("loop `{}` executes serially", spec.name),
+    };
+    let mut d = Diagnostic::new(
+        Code::PlanSummary,
+        Severity::Note,
+        format!("loop `{}`", spec.name),
+        headline,
+    );
+
+    d = d.with_note(format!(
+        "iteration space: {} {:?} ({})",
+        array_name(metas, spec.iter_space),
+        spec.iter_dims,
+        if spec.ordered { "ordered" } else { "unordered" }
+    ));
+    for r in &spec.refs {
+        let buffered = if r.kind.is_write() && spec.buffered.contains(&r.array) {
+            "  (buffered)"
+        } else {
+            ""
+        };
+        d = d.with_note(format!("{} {}{}", r, array_name(metas, r.array), buffered));
+    }
+
+    if plan.dep_vectors.is_empty() {
+        d = d.with_note("dependence vectors: none");
+    } else {
+        let vecs: Vec<String> = plan.dep_vectors.iter().map(|v| v.to_string()).collect();
+        d = d.with_note(format!("dependence vectors: {}", vecs.join(" ")));
+    }
+
+    for p in &plan.placements {
+        let desc = match p.placement {
+            Placement::Local { array_dim } => {
+                format!("local (range-partitioned by dim {array_dim})")
+            }
+            Placement::Rotated { array_dim } => {
+                format!("rotated (range-partitioned by dim {array_dim})")
+            }
+            Placement::Served { prefetch } => format!("served (prefetch: {prefetch:?})"),
+        };
+        d = d.with_note(format!(
+            "{}: {} — est. {} bytes/pass",
+            array_name(metas, p.array),
+            desc,
+            p.est_bytes_per_pass
+        ));
+    }
+    d.with_note(format!(
+        "estimated communication: {} bytes per data pass",
+        plan.est_bytes_per_pass
+    ))
+}
+
+/// Renders the multi-line Fig. 6-style report of the static
+/// parallelization outcome for one loop (the rendered
+/// [`plan_diagnostic`]).
 ///
 /// # Examples
 ///
@@ -27,92 +120,20 @@ use crate::strategy::{ParallelPlan, Strategy};
 /// assert!(text.contains("1D"));
 /// ```
 pub fn report(spec: &LoopSpec, metas: &[ArrayMeta], plan: &ParallelPlan) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let name_of = |id| {
-        metas
-            .iter()
-            .find(|m| m.id == id)
-            .map(|m| m.name.clone())
-            .unwrap_or_else(|| id.to_string())
-    };
+    plan_diagnostic(spec, metas, plan).render()
+}
 
-    let _ = writeln!(out, "loop `{}`", spec.name);
-    let _ = writeln!(
-        out,
-        "  iteration space: {} {:?} ({})",
-        name_of(spec.iter_space),
-        spec.iter_dims,
-        if spec.ordered { "ordered" } else { "unordered" }
-    );
-    let _ = writeln!(out, "  DistArray references:");
-    for r in &spec.refs {
-        let buffered = if r.kind.is_write() && spec.buffered.contains(&r.array) {
-            "  (buffered)"
-        } else {
-            ""
-        };
-        let _ = writeln!(out, "    {} {}{}", r, name_of(r.array), buffered);
-    }
-
-    if plan.dep_vectors.is_empty() {
-        let _ = writeln!(out, "  dependence vectors: none");
-    } else {
-        let _ = write!(out, "  dependence vectors:");
-        for d in &plan.dep_vectors {
-            let _ = write!(out, " {d}");
-        }
-        let _ = writeln!(out);
-    }
-
-    let _ = write!(out, "  strategy: {}", plan.strategy.label());
-    match &plan.strategy {
-        Strategy::FullyParallel { dim } | Strategy::OneD { dim } => {
-            let _ = writeln!(out, " — partition dim {dim}");
-        }
-        Strategy::TwoD { space, time, .. } => {
-            let _ = writeln!(out, " — space dim {space}, time dim {time}");
-        }
-        Strategy::TwoDUnimodular {
-            transform,
-            space,
-            time,
-        } => {
-            let _ = writeln!(
-                out,
-                " — T = {transform}, transformed space dim {space}, time dim {time}"
-            );
-        }
-        Strategy::Serial => {
-            let _ = writeln!(out);
-        }
-    }
-
-    let _ = writeln!(out, "  placements:");
-    for p in &plan.placements {
-        let desc = match p.placement {
-            Placement::Local { array_dim } => {
-                format!("local (range-partitioned by dim {array_dim})")
-            }
-            Placement::Rotated { array_dim } => {
-                format!("rotated (range-partitioned by dim {array_dim})")
-            }
-            Placement::Served { prefetch } => format!("served (prefetch: {prefetch:?})"),
-        };
-        let _ = writeln!(
-            out,
-            "    {}: {} — est. {} bytes/pass",
-            name_of(p.array),
-            desc,
-            p.est_bytes_per_pass
-        );
-    }
-    let _ = writeln!(
-        out,
-        "  estimated communication: {} bytes per data pass",
-        plan.est_bytes_per_pass
-    );
-    out
+/// Renders the plan summary followed by the given lint diagnostics —
+/// the full compilation report the CLI and `Driver::report` show.
+pub fn report_with(
+    spec: &LoopSpec,
+    metas: &[ArrayMeta],
+    plan: &ParallelPlan,
+    lints: &[Diagnostic],
+) -> String {
+    let mut all = vec![plan_diagnostic(spec, metas, plan)];
+    all.extend(lints.iter().cloned());
+    render_all(&all)
 }
 
 #[cfg(test)]
@@ -142,6 +163,10 @@ mod tests {
         assert!(text.contains("(+∞, 0)"));
         assert!(text.contains("W: local"));
         assert!(text.contains("H: rotated"));
+        assert!(
+            text.starts_with("note[O000]:"),
+            "report is a rendered diagnostic"
+        );
     }
 
     #[test]
@@ -157,5 +182,26 @@ mod tests {
         let plan = analyze(&spec, &metas, 4);
         let text = report(&spec, &metas, &plan);
         assert!(text.contains("(buffered)"));
+    }
+
+    #[test]
+    fn report_with_appends_lints() {
+        let (z, w) = (DistArrayId(0), DistArrayId(1));
+        let spec = LoopSpec::builder("map", z, vec![8])
+            .read_write(w, vec![Subscript::loop_index(0)])
+            .build()
+            .unwrap();
+        let metas = [ArrayMeta::dense(w, "w", vec![8], 4)];
+        let plan = analyze(&spec, &metas, 2);
+        let lint = Diagnostic::new(
+            Code::LoadSkew,
+            Severity::Warning,
+            "loop `map`",
+            "partition load skew",
+        );
+        let text = report_with(&spec, &metas, &plan, &[lint]);
+        assert!(text.contains("note[O000]:"));
+        assert!(text.contains("warning[O005]: partition load skew"));
+        assert!(text.contains("warning: 1 warning(s) emitted"));
     }
 }

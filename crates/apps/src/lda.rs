@@ -182,7 +182,7 @@ pub struct LdaRunConfig {
     pub ordered: bool,
 }
 
-fn lda_spec(
+pub(crate) fn lda_spec(
     tokens: orion_core::DistArrayId,
     dt: orion_core::DistArrayId,
     wt: orion_core::DistArrayId,

@@ -24,4 +24,5 @@ pub mod gbt;
 pub mod lda;
 pub mod sgd_mf;
 pub mod slr;
+pub mod specs;
 pub mod tensor_cp;

@@ -159,7 +159,7 @@ pub struct MfRunConfig {
 }
 
 /// Builds the MF loop spec over registered arrays.
-fn mf_spec(
+pub(crate) fn mf_spec(
     z: orion_core::DistArrayId,
     w: orion_core::DistArrayId,
     h: orion_core::DistArrayId,

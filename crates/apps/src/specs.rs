@@ -1,0 +1,289 @@
+//! Canonical loop specs for every application, packaged for the lint
+//! driver (`examples/orion_lint.rs`) and the golden-snapshot tests.
+//!
+//! Each [`AppSpec`] carries exactly what `orion-check` needs to produce
+//! a full report: the [`LoopSpec`] a training program declares, the
+//! [`ArrayMeta`] table a [`Driver`] would hold after registering the
+//! program's arrays, and the iteration indices the schedule is built
+//! from. The data sizes are the `tiny()` generator configs, so reports
+//! are deterministic and cheap to produce.
+//!
+//! [`canonical`] returns the five Table-2 applications in their
+//! shipping form — all of them lint clean (warning-free), which is what
+//! the CI `--deny-warnings` gate enforces. [`demos`] returns
+//! deliberately degraded variants (the CP loop without its §3.3 buffer,
+//! SLR without its buffer) that trigger the serial-loop lints
+//! O001–O003; they exist so the diagnostics themselves stay covered by
+//! golden tests.
+
+use orion_core::{
+    analyze, build_schedule, ArrayMeta, ClusterSpec, DistArray, Driver, LoopSpec, ParallelPlan,
+    Schedule, Subscript,
+};
+use orion_data::{
+    CorpusConfig, CorpusData, RatingsConfig, RatingsData, SparseConfig, SparseData, TabularConfig,
+    TensorConfig, TensorData,
+};
+
+use crate::lda::LdaModel;
+use crate::sgd_mf::{MfConfig, MfModel};
+use crate::slr::{SlrConfig, SlrModel};
+use crate::tensor_cp::{CpConfig, CpModel};
+use crate::{lda, sgd_mf, tensor_cp};
+
+/// One application's loop, ready for analysis and linting.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// The loop spec the training program declares.
+    pub spec: LoopSpec,
+    /// Array metadata as registered with the driver.
+    pub metas: Vec<ArrayMeta>,
+    /// The iteration indices of one data pass.
+    pub indices: Vec<Vec<i64>>,
+    /// Workers the schedule is sized for.
+    pub n_workers: usize,
+}
+
+impl AppSpec {
+    /// The loop's name (the spec's name).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Runs dependence analysis for this app.
+    pub fn analyze(&self) -> ParallelPlan {
+        analyze(&self.spec, &self.metas, self.n_workers as u64)
+    }
+
+    /// Builds the schedule the driver would execute.
+    pub fn schedule(&self, plan: &ParallelPlan) -> Schedule {
+        build_schedule(
+            &plan.strategy,
+            &self.indices,
+            &self.spec.iter_dims,
+            self.n_workers,
+        )
+    }
+}
+
+const N_WORKERS: usize = 4;
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::new(2, 2)
+}
+
+/// The five canonical applications (Table 2), lint clean.
+pub fn canonical() -> Vec<AppSpec> {
+    vec![sgd_mf(), lda(), slr(), tensor_cp(), gbt()]
+}
+
+/// Deliberately degraded variants that trigger the serial-loop lints:
+/// CP without the §3.3 buffer (O002 + O003) and SLR without its buffer
+/// (O001 + O002).
+pub fn demos() -> Vec<AppSpec> {
+    vec![tensor_cp_unbuffered(), slr_unbuffered()]
+}
+
+/// Every packaged spec, canonical then demos.
+pub fn all() -> Vec<AppSpec> {
+    let mut v = canonical();
+    v.extend(demos());
+    v
+}
+
+/// Looks up a packaged spec by loop name.
+pub fn by_name(name: &str) -> Option<AppSpec> {
+    all().into_iter().find(|a| a.name() == name)
+}
+
+/// SGD matrix factorization: 2-D unordered over (users, items).
+pub fn sgd_mf() -> AppSpec {
+    let data = RatingsData::generate(RatingsConfig::tiny());
+    let dims = data.ratings.shape().dims().to_vec();
+    let model = MfModel::new(dims[0], dims[1], MfConfig::new(4));
+    let mut driver = Driver::new(cluster());
+    let z = driver.register(&data.ratings);
+    let w = driver.register(&model.w);
+    let h = driver.register(&model.h);
+    AppSpec {
+        spec: sgd_mf::mf_spec(z, w, h, dims, false),
+        metas: driver.metas().to_vec(),
+        indices: data.items().into_iter().map(|(i, _)| i).collect(),
+        n_workers: N_WORKERS,
+    }
+}
+
+/// LDA collapsed Gibbs: 2-D unordered with the topic summary buffered.
+pub fn lda() -> AppSpec {
+    let corpus = CorpusData::generate(CorpusConfig::tiny());
+    let dims = corpus.tokens.shape().dims().to_vec();
+    let model = LdaModel::init(&corpus, crate::lda::LdaConfig::new(8));
+    let ts: DistArray<i64> = DistArray::dense("topic_sum", vec![model.cfg.n_topics as u64]);
+    let mut driver = Driver::new(cluster());
+    let tok = driver.register(&corpus.tokens);
+    let dt = driver.register(&model.dt);
+    let wt = driver.register(&model.wt);
+    let ts = driver.register(&ts);
+    AppSpec {
+        spec: lda::lda_spec(tok, dt, wt, ts, dims, false),
+        metas: driver.metas().to_vec(),
+        indices: corpus.items().into_iter().map(|(i, _)| i).collect(),
+        n_workers: N_WORKERS,
+    }
+}
+
+/// Registers the SLR arrays and returns the pieces shared by the
+/// buffered and unbuffered variants.
+fn slr_parts() -> (
+    Driver,
+    orion_core::DistArrayId,
+    orion_core::DistArrayId,
+    usize,
+) {
+    let data = SparseData::generate(SparseConfig::tiny());
+    let model = SlrModel::new(data.config.n_features, SlrConfig::new());
+    let samples: DistArray<f32> = DistArray::sparse_from(
+        "samples",
+        vec![data.samples.len() as u64],
+        data.samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (vec![i as i64], s.label as f32)),
+    );
+    let mut driver = Driver::new(cluster());
+    let samples_id = driver.register(&samples);
+    let weights_id = driver.register(&model.weights);
+    (driver, samples_id, weights_id, data.samples.len())
+}
+
+/// Sparse logistic regression: 1-D data parallelism via buffered
+/// weight writes; the weights are served with bulk prefetch.
+pub fn slr() -> AppSpec {
+    let (driver, samples, weights, n) = slr_parts();
+    let spec = LoopSpec::builder("slr_sgd", samples, vec![n as u64])
+        .read(weights, vec![Subscript::unknown()])
+        .write(weights, vec![Subscript::unknown()])
+        .buffer_writes(weights)
+        .build()
+        .expect("static SLR spec is valid");
+    AppSpec {
+        spec,
+        metas: driver.metas().to_vec(),
+        indices: (0..n as i64).map(|i| vec![i]).collect(),
+        n_workers: N_WORKERS,
+    }
+}
+
+/// SLR *without* the buffer exemption: the runtime-only subscripts
+/// force serialization (O001 + O002).
+pub fn slr_unbuffered() -> AppSpec {
+    let (driver, samples, weights, n) = slr_parts();
+    let spec = LoopSpec::builder("slr_sgd_unbuffered", samples, vec![n as u64])
+        .read(weights, vec![Subscript::unknown()])
+        .write(weights, vec![Subscript::unknown()])
+        .build()
+        .expect("static SLR spec is valid");
+    AppSpec {
+        spec,
+        metas: driver.metas().to_vec(),
+        indices: (0..n as i64).map(|i| vec![i]).collect(),
+        n_workers: N_WORKERS,
+    }
+}
+
+/// Registers the CP tensor arrays for either variant.
+fn cp_app(buffer_s: bool) -> AppSpec {
+    let data = TensorData::generate(TensorConfig::tiny());
+    let dims = data.entries.shape().dims().to_vec();
+    let model = CpModel::new(&dims, CpConfig::new(4));
+    let mut driver = Driver::new(cluster());
+    let t = driver.register(&data.entries);
+    let u = driver.register(&model.u);
+    let v = driver.register(&model.v);
+    let s = driver.register(&model.s);
+    AppSpec {
+        spec: tensor_cp::cp_spec(t, u, v, s, dims, buffer_s),
+        metas: driver.metas().to_vec(),
+        indices: data.items().into_iter().map(|(i, _)| i).collect(),
+        n_workers: N_WORKERS,
+    }
+}
+
+/// CP tensor decomposition with the context factor buffered: 2-D
+/// unordered over (users, items).
+pub fn tensor_cp() -> AppSpec {
+    cp_app(true)
+}
+
+/// CP as first written — three all-pairs-conflicting dependence
+/// families, correctly serial (O002 + O003).
+pub fn tensor_cp_unbuffered() -> AppSpec {
+    cp_app(false)
+}
+
+/// GBT split finding: independent features, 1-D.
+pub fn gbt() -> AppSpec {
+    let cfg = TabularConfig::tiny();
+    let n_features = cfg.n_features;
+    let n_samples = cfg.n_samples;
+    let feat_arr: DistArray<u32> =
+        DistArray::dense_from_fn("features", vec![n_features as u64], |i| i[0] as u32);
+    let grad_arr: DistArray<f32> = DistArray::dense("gradients", vec![n_samples as u64]);
+    let hist_arr: DistArray<f32> =
+        DistArray::dense("histograms", vec![n_features as u64, 2 * 16_u64]);
+    let mut driver = Driver::new(cluster());
+    let feats = driver.register(&feat_arr);
+    let grads = driver.register(&grad_arr);
+    let hist = driver.register(&hist_arr);
+    let spec = LoopSpec::builder("gbt_split_finding", feats, vec![n_features as u64])
+        .read(grads, vec![Subscript::Full])
+        .write(hist, vec![Subscript::loop_index(0), Subscript::Full])
+        .build()
+        .expect("static GBT spec is valid");
+    AppSpec {
+        spec,
+        metas: driver.metas().to_vec(),
+        indices: (0..n_features as i64).map(|i| vec![i]).collect(),
+        n_workers: N_WORKERS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_core::Strategy;
+
+    #[test]
+    fn canonical_apps_all_parallelize() {
+        for app in canonical() {
+            let plan = app.analyze();
+            assert!(
+                !matches!(plan.strategy, Strategy::Serial),
+                "{} must parallelize, got {:?}",
+                app.name(),
+                plan.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn demo_apps_are_serial() {
+        for app in demos() {
+            let plan = app.analyze();
+            assert!(
+                matches!(plan.strategy, Strategy::Serial),
+                "{} must be serial, got {:?}",
+                app.name(),
+                plan.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_every_app() {
+        for app in all() {
+            assert!(by_name(app.name()).is_some(), "{} not found", app.name());
+        }
+        assert!(by_name("nope").is_none());
+    }
+}

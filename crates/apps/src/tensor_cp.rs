@@ -132,7 +132,7 @@ fn cp_update(model: &mut CpModel, idx: &[i64], x: f32, s_sink: Option<&mut DistA
 }
 
 /// Builds the spec; `buffer_s` exempts the context factor's writes.
-fn cp_spec(
+pub(crate) fn cp_spec(
     t: orion_core::DistArrayId,
     u: orion_core::DistArrayId,
     v: orion_core::DistArrayId,

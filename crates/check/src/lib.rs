@@ -1,0 +1,56 @@
+//! Correctness tooling for Orion's static parallelization: dependence
+//! lints and a dynamic schedule sanitizer.
+//!
+//! Orion's core claim (EuroSys '19 §4) is that its dependence analysis
+//! *safely* parallelizes serial training loops. This crate makes that
+//! claim checkable from both sides:
+//!
+//! - **Lints** ([`lint`], [`lint_all`]): a pass over a
+//!   [`orion_ir::LoopSpec`], its [`orion_ir::ArrayMeta`] table, and the
+//!   analyzer's `ParallelPlan` that explains *why* a loop was (or was
+//!   not) parallelized, as structured [`orion_ir::Diagnostic`] values
+//!   with stable codes (`O001`–`O005`). Serialization caused by unknown
+//!   subscripts (§3.2), conflicting writes fixable with DistArray
+//!   Buffers (§3.3), dependence vectors that defeat 2D and unimodular
+//!   schedules (§4.3), degenerate served-array prefetch (§4.4), and
+//!   partition load skew are all reported rustc-style with actionable
+//!   help. See `docs/CHECKING.md` for the catalogue.
+//! - **Schedule sanitizer** ([`race`]): a TSan-style shadow-access race
+//!   detector for the simulated cluster. The [`race::AccessOracle`]
+//!   evaluates the loop's declared access pattern for concrete
+//!   iterations; [`race::check_schedule`] proves a schedule free of
+//!   conflicting concurrent slots statically, and [`race::RaceChecker`]
+//!   replays the executor's recorded time slots
+//!   ([`orion_runtime::SlotRecord`]) each pass, failing loudly — with
+//!   the offending access pair, epoch, and virtual timestamps — if two
+//!   concurrent slots of any `build_schedule` output conflict. Writes
+//!   exempted through DistArray Buffers (§3.3, `analyzed_refs`) are
+//!   exempt here too: the buffer defers their visibility, so they
+//!   cannot race.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lint;
+pub mod race;
+
+pub use lint::{full_report, has_warnings, lint, lint_all, lint_schedule, LintOptions};
+pub use race::{check_schedule, AccessOracle, Race, RaceChecker, RaceViolation};
+
+use orion_ir::{ArrayMeta, ArrayRef};
+
+/// Human-oriented label of one access: `` write `W`[i0, :] ``.
+pub(crate) fn ref_label(metas: &[ArrayMeta], r: &ArrayRef) -> String {
+    let name = metas
+        .iter()
+        .find(|m| m.id == r.array)
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| r.array.to_string());
+    let subs: Vec<String> = r.subscripts.iter().map(|s| s.to_string()).collect();
+    format!(
+        "{} `{}`[{}]",
+        if r.kind.is_write() { "write" } else { "read" },
+        name,
+        subs.join(", ")
+    )
+}

@@ -10,7 +10,8 @@
 
 use std::collections::HashMap;
 
-use orion_analysis::{analyze, report, ParallelPlan, Strategy};
+use orion_analysis::{analyze, ParallelPlan, Strategy};
+use orion_check::{full_report, RaceChecker};
 use orion_dsm::{DistArray, Element};
 use orion_ir::{ArrayMeta, DistArrayId, LoopSpec};
 use orion_runtime::{
@@ -118,6 +119,10 @@ pub struct Driver {
     stats: RunStats,
     recovery_cfg: RecoveryConfig,
     recovery: RecoveryStats,
+    /// Whether compiled loops are sanitized by the dynamic race checker.
+    validate: bool,
+    /// Per-loop schedule sanitizers (`orion-check`), keyed by loop name.
+    checkers: HashMap<String, RaceChecker>,
 }
 
 impl Driver {
@@ -132,7 +137,32 @@ impl Driver {
             stats: RunStats::default(),
             recovery_cfg: RecoveryConfig::default(),
             recovery: RecoveryStats::default(),
+            validate: Self::validate_by_default(),
+            checkers: HashMap::new(),
         }
+    }
+
+    /// Whether drivers sanitize schedules by default: on in debug
+    /// builds (which include the test profile), off in release, like
+    /// `debug_assert!`. Override per driver with
+    /// [`Driver::set_validate`].
+    pub fn validate_by_default() -> bool {
+        cfg!(debug_assertions)
+    }
+
+    /// Turns the schedule sanitizer on or off for loops compiled *after*
+    /// this call. When on, every executed pass's time slots are checked
+    /// against the loop's declared accesses (TSan-style, in virtual
+    /// time) and a detected race panics with an `O100` diagnostic
+    /// naming the offending access pair, epoch, and timestamps.
+    pub fn set_validate(&mut self, on: bool) {
+        self.validate = on;
+    }
+
+    /// Whether the schedule sanitizer is active for newly compiled
+    /// loops.
+    pub fn validating(&self) -> bool {
+        self.validate
     }
 
     /// Registers a DistArray, assigning its id and recording the metadata
@@ -200,6 +230,13 @@ impl Driver {
         let schedule = build_schedule(&plan.strategy, &indices, &spec.iter_dims, n_workers);
         let comm =
             comm_model_with_spec(&plan, &self.metas, self.served_reads_per_iter, Some(&spec));
+        if self.validate {
+            self.executor.slots.enable();
+            self.checkers.insert(
+                spec.name.clone(),
+                RaceChecker::new(&spec, &self.metas, &indices),
+            );
+        }
         self.compiled.insert(spec.name.clone(), 0);
         Ok(CompiledLoop {
             spec,
@@ -212,14 +249,42 @@ impl Driver {
     /// Executes one pass of a compiled loop: `cost(pos)` returns the
     /// compute nanoseconds of iteration `pos`, `body(worker, pos)`
     /// performs it. Returns the pass statistics.
+    ///
+    /// # Panics
+    ///
+    /// With validation on (see [`Driver::set_validate`]), panics with a
+    /// rendered `O100` diagnostic if the executed pass co-scheduled two
+    /// conflicting accesses.
     pub fn run_pass(
         &mut self,
         compiled: &CompiledLoop,
         cost: &mut dyn FnMut(usize) -> f64,
         body: &mut dyn FnMut(usize, usize),
     ) -> PassStats {
-        self.executor
-            .run_pass(&compiled.schedule, &compiled.comm, cost, body)
+        let stats = self
+            .executor
+            .run_pass(&compiled.schedule, &compiled.comm, cost, body);
+        self.sanitize_pass(compiled);
+        stats
+    }
+
+    /// Feeds the pass's recorded time slots to the loop's race checker
+    /// and fails loudly on a conflict. The slots are resolved against
+    /// the block table of the schedule that actually ran, so a schedule
+    /// swapped in after compilation is still checked honestly. Slots
+    /// are drained even when the loop has no checker (compiled by
+    /// another driver, or before validation was enabled) so the log
+    /// cannot grow unbounded.
+    fn sanitize_pass(&mut self, compiled: &CompiledLoop) {
+        if !self.executor.slots.is_enabled() {
+            return;
+        }
+        let records = self.executor.slots.drain();
+        if let Some(checker) = self.checkers.get_mut(&compiled.spec.name) {
+            if let Err(violation) = checker.check_epoch(&compiled.schedule.blocks, &records) {
+                panic!("schedule sanitizer tripped:\n{violation}");
+            }
+        }
     }
 
     /// Models a data-parallel buffer flush: every worker ships `up_bytes`
@@ -374,9 +439,15 @@ impl Driver {
         stats
     }
 
-    /// Renders the Fig. 6-style compilation report of a compiled loop.
+    /// Renders the Fig. 6-style compilation report of a compiled loop:
+    /// the plan summary plus every `orion-check` lint, rustc-style.
     pub fn report(&self, compiled: &CompiledLoop) -> String {
-        report(&compiled.spec, &self.metas, &compiled.plan)
+        full_report(
+            &compiled.spec,
+            &self.metas,
+            &compiled.plan,
+            Some(&compiled.schedule),
+        )
     }
 
     /// Turns on span tracing with a pre-sized buffer (see `orion-trace`).
@@ -628,6 +699,87 @@ mod tests {
         assert_eq!(report.load.per_worker_items.iter().sum::<u64>(), 48);
         // No spans recorded: coverage is 0 but traffic/load still report.
         assert!(d.trace_session("x").spans.is_empty());
+    }
+
+    #[test]
+    fn validation_is_on_by_default_in_tests() {
+        // Tests build with debug assertions, so every driver-executed
+        // schedule in the suite runs under the race sanitizer.
+        assert!(Driver::validate_by_default());
+        let mut d = Driver::new(ClusterSpec::serial());
+        assert!(d.validating());
+        d.set_validate(false);
+        assert!(!d.validating());
+    }
+
+    #[test]
+    #[should_panic(expected = "O100")]
+    fn sanitizer_catches_a_deliberately_conflicting_schedule() {
+        // Compile a sound loop, then swap in a schedule that ignores
+        // the dependence analysis: every iteration writes H row 0, but
+        // the 1D-by-i0 schedule runs them concurrently.
+        use orion_runtime::build_schedule;
+        let z: DistArray<f32> =
+            DistArray::sparse_from("z", vec![8, 1], (0..8).map(|i| (vec![i, 0], 1.0)));
+        let mut d = Driver::new(ClusterSpec::new(2, 2));
+        let z_id = d.register(&z);
+        let h: DistArray<f32> = DistArray::dense("H", vec![1, 4]);
+        let h_id = d.register(&h);
+        let spec = LoopSpec::builder("deliberate_conflict", z_id, vec![8, 1])
+            .read_write(h_id, vec![Subscript::loop_index(1), Subscript::Full])
+            .build()
+            .unwrap();
+        let items: Vec<(Vec<i64>, f32)> = z.iter().map(|(i, &v)| (i, v)).collect();
+        let mut c = d.parallel_for(spec, &items).unwrap();
+        let indices: Vec<&[i64]> = items.iter().map(|(i, _)| i.as_slice()).collect();
+        c.schedule = build_schedule(&Strategy::OneD { dim: 0 }, &indices, &[8, 1], 4);
+        d.run_pass(&c, &mut |_| 10.0, &mut |_, _| {});
+    }
+
+    #[test]
+    fn sanitizer_stays_quiet_on_compiled_schedules() {
+        let z = ratings();
+        let mut d = Driver::new(ClusterSpec::new(2, 2));
+        assert!(d.validating());
+        let w: DistArray<f32> = DistArray::dense("W", vec![16, 8]);
+        let h: DistArray<f32> = DistArray::dense("H", vec![12, 8]);
+        let z_id = d.register(&z);
+        let w_id = d.register(&w);
+        let h_id = d.register(&h);
+        let spec = LoopSpec::builder("sgd_mf", z_id, vec![16, 12])
+            .read_write(w_id, vec![Subscript::loop_index(0), Subscript::Full])
+            .read_write(h_id, vec![Subscript::loop_index(1), Subscript::Full])
+            .build()
+            .unwrap();
+        let items: Vec<(Vec<i64>, f32)> = z.iter().map(|(i, &v)| (i, v)).collect();
+        let c = d.parallel_for(spec, &items).unwrap();
+        for _ in 0..3 {
+            d.run_pass(&c, &mut |_| 10.0, &mut |_, _| {});
+        }
+    }
+
+    #[test]
+    fn report_includes_lints_for_served_arrays() {
+        // SLR-shaped loop: unknown subscripts, buffered writes, served
+        // placement — the report carries the O004 note alongside O000.
+        let z: DistArray<f32> =
+            DistArray::sparse_from("samples", vec![32], (0..32).map(|i| (vec![i], 1.0)));
+        let mut d = Driver::new(ClusterSpec::new(2, 2));
+        let z_id = d.register(&z);
+        let wts: DistArray<f32> = DistArray::dense("weights", vec![64]);
+        let w_id = d.register(&wts);
+        let spec = LoopSpec::builder("slr_sgd", z_id, vec![32])
+            .read(w_id, vec![Subscript::unknown()])
+            .write(w_id, vec![Subscript::unknown()])
+            .buffer_writes(w_id)
+            .build()
+            .unwrap();
+        let items: Vec<(Vec<i64>, f32)> = z.iter().map(|(i, &v)| (i, v)).collect();
+        let c = d.parallel_for(spec, &items).unwrap();
+        let rep = d.report(&c);
+        assert!(rep.contains("note[O000]:"), "{rep}");
+        assert!(rep.contains("[O004]"), "{rep}");
+        assert!(rep.contains("weights"), "{rep}");
     }
 
     #[test]

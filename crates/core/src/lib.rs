@@ -38,14 +38,21 @@ pub use recovery::{
 // The layers re-exported for convenience, so applications can depend on
 // `orion-core` alone.
 pub use orion_analysis::{
-    analyze, dependence_vectors, DepElem, DepVec, ParallelPlan, Placement, PrefetchPlan, Strategy,
-    UniMat,
+    analyze, dependence_vectors, plan_diagnostic, report_with, DepElem, DepVec, ParallelPlan,
+    Placement, PrefetchPlan, Strategy, UniMat,
+};
+pub use orion_check::{
+    check_schedule, full_report, has_warnings, lint, lint_all, lint_schedule, AccessOracle,
+    LintOptions, Race, RaceChecker, RaceViolation,
 };
 pub use orion_dsm::{
     codec, group_by, Accumulator, DistArray, DistArrayBuffer, Element, LazyArray, RangePartition,
     Shape,
 };
-pub use orion_ir::{ArrayMeta, ArrayRef, Dim, DistArrayId, LoopSpec, Subscript};
+pub use orion_ir::{
+    render_all, ArrayMeta, ArrayRef, Code, Diagnostic, Dim, DistArrayId, LoopSpec, Severity,
+    SpecError, Subscript,
+};
 pub use orion_runtime::{
     build_schedule, run_grid_pass_threaded, run_one_d_pass_threaded, IndexRecorder, PassStats,
     PrefetchMode, Schedule,

@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 mod access;
+mod diag;
 mod loop_spec;
 mod meta;
 mod subscript;
 
 pub use access::{AccessKind, ArrayRef};
+pub use diag::{render_all, Code, Diagnostic, Severity};
 pub use loop_spec::{LoopSpec, LoopSpecBuilder, SpecError};
 pub use meta::{ArrayMeta, Density};
 pub use subscript::Subscript;

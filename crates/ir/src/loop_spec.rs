@@ -296,4 +296,27 @@ mod tests {
         assert_eq!(s.refs_of(DistArrayId(1)).len(), 2);
         assert_eq!(s.refs_of(DistArrayId(9)).len(), 0);
     }
+
+    /// `SpecError`'s `Display` output is stable API: the lint pass and
+    /// golden snapshots embed it verbatim, so these strings must not
+    /// change without updating `docs/CHECKING.md`.
+    #[test]
+    fn spec_error_display_is_stable() {
+        assert_eq!(
+            SpecError::IterDimOutOfRange {
+                ref_index: 2,
+                dim: 3
+            }
+            .to_string(),
+            "reference #2 subscripts iteration dimension 3, which is out of range"
+        );
+        assert_eq!(
+            SpecError::EmptyIterSpace.to_string(),
+            "iteration space has zero dimensions"
+        );
+        assert_eq!(
+            SpecError::BufferedArrayNotWritten(DistArrayId(7)).to_string(),
+            "buffered array A7 has no write reference"
+        );
+    }
 }

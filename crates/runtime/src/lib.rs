@@ -26,7 +26,7 @@ mod prefetch;
 mod schedule;
 mod threaded;
 
-pub use executor::{LoopCommModel, PassStats, SimExecutor};
+pub use executor::{LoopCommModel, PassStats, SimExecutor, SlotLog, SlotRecord};
 pub use model::{comm_model_from_plan, comm_model_with_spec};
 pub use prefetch::{IndexRecorder, PrefetchCost, PrefetchMode, ServedModel};
 pub use schedule::{

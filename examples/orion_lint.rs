@@ -1,0 +1,93 @@
+//! `orion_lint` — run the dependence lints over the packaged
+//! application specs and print rustc-style reports.
+//!
+//! Usage: `cargo run --release --example orion_lint -- [options] [apps]`
+//!
+//! - no arguments: lint the five canonical applications (Table 2);
+//! - `--demo`: also lint the deliberately degraded variants
+//!   (`cp_sgd` unbuffered, `slr_sgd_unbuffered`) that trigger the
+//!   serial-loop lints O001–O003;
+//! - `sgd_mf lda …`: lint only the named loops;
+//! - `--deny-warnings`: exit nonzero if any report contains a warning
+//!   or error (the CI conformance gate);
+//! - `--list`: print the available loop names and exit.
+//!
+//! Diagnostic codes are catalogued in `docs/CHECKING.md`.
+
+use orion::apps::specs::{self, AppSpec};
+use orion::check::{has_warnings, lint_all, LintOptions};
+use orion::core::{plan_diagnostic, render_all};
+
+fn lint_app(app: &AppSpec) -> (String, bool) {
+    let plan = app.analyze();
+    let schedule = app.schedule(&plan);
+    let mut diags = vec![plan_diagnostic(&app.spec, &app.metas, &plan)];
+    let lints = lint_all(
+        &app.spec,
+        &app.metas,
+        &plan,
+        Some(&schedule),
+        &LintOptions::default(),
+    );
+    let noisy = has_warnings(&lints);
+    diags.extend(lints);
+    (render_all(&diags), noisy)
+}
+
+fn main() {
+    let mut deny_warnings = false;
+    let mut demo = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--demo" => demo = true,
+            "--list" => {
+                for app in specs::all() {
+                    println!("{}", app.name());
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: orion_lint [--deny-warnings] [--demo] [--list] [loop names...]");
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown option `{other}` (try --help)");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let apps: Vec<AppSpec> = if names.is_empty() {
+        if demo {
+            specs::all()
+        } else {
+            specs::canonical()
+        }
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                specs::by_name(n).unwrap_or_else(|| {
+                    eprintln!("error: unknown loop `{n}` (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut any_warnings = false;
+    for app in &apps {
+        let (report, noisy) = lint_app(app);
+        println!("== {} ==", app.name());
+        println!("{report}");
+        any_warnings |= noisy;
+    }
+
+    if deny_warnings && any_warnings {
+        eprintln!("error: warnings emitted with --deny-warnings");
+        std::process::exit(1);
+    }
+}

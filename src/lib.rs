@@ -23,6 +23,9 @@
 //! - [`runtime`] — schedules, the simulated executor, the real-thread
 //!   engine, prefetch models;
 //! - [`core`] — the user-facing [`core::Driver`] API;
+//! - [`check`] — dependence lints (`O001`–`O005`), the schedule
+//!   sanitizer (`O100`) and the rustc-style diagnostics pipeline (see
+//!   `docs/CHECKING.md`);
 //! - [`trace`] — phase-level span tracing, per-link byte accounting and
 //!   Chrome/Perfetto trace export (see `docs/OBSERVABILITY.md`);
 //! - [`ps`] / [`strads`] / [`dataflow`] — the Bösen, STRADS and
@@ -37,6 +40,7 @@
 
 pub use orion_analysis as analysis;
 pub use orion_apps as apps;
+pub use orion_check as check;
 pub use orion_core as core;
 pub use orion_data as data;
 pub use orion_dataflow as dataflow;

@@ -2,6 +2,12 @@
 //! checkpoint-every-N recovery must reproduce the fault-free run
 //! *bit-for-bit* — crashes cost virtual time, never correctness — and
 //! the fault handling must be visible in the trace artifacts.
+//!
+//! All runs here execute with the schedule sanitizer on (validation
+//! defaults on in test builds — asserted below): every completed and
+//! every *re-executed* pass has its time slots checked against the
+//! dependence oracle, so recovery can never sneak in a schedule that
+//! violates a dependence.
 
 use orion::apps::chaos::ChaosConfig;
 use orion::apps::sgd_mf::{
@@ -227,4 +233,15 @@ fn chaos_runs_are_reproducible() {
     assert_eq!(m1.weights, m2.weights);
     assert_eq!(s1.progress, s2.progress);
     assert_eq!(r1, r2);
+}
+
+/// Chaos runs are sanitized: validation defaults on in test builds, so
+/// re-executed passes after recovery go through the same slot-level
+/// race check as first-try passes.
+#[test]
+fn chaos_runs_execute_under_the_schedule_sanitizer() {
+    assert!(
+        orion::core::Driver::validate_by_default(),
+        "test builds must run the schedule sanitizer during chaos recovery"
+    );
 }

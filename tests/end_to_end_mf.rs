@@ -1,10 +1,16 @@
 //! End-to-end integration: the full pipeline (IR → analysis → schedule →
 //! simulated execution → baselines) on SGD matrix factorization.
+//!
+//! Every `train_orion` run here executes with the schedule sanitizer on
+//! (validation defaults on in test builds — asserted below), so each
+//! pass's time slots are checked against the access-collision oracle in
+//! virtual time: a dependence-violating schedule would abort the test
+//! with a rendered `O100` diagnostic.
 
 use orion::apps::sgd_mf::{
     orion_pass_threaded, train_orion, train_serial, MfConfig, MfModel, MfPsAdapter, MfRunConfig,
 };
-use orion::core::ClusterSpec;
+use orion::core::{ClusterSpec, Driver};
 use orion::data::{RatingsConfig, RatingsData};
 use orion::ps::{PsConfig, PsEngine};
 
@@ -175,4 +181,20 @@ fn fig9b_shape_holds() {
         l_ada < l_dp,
         "AdaRev ({l_ada}) must improve on vanilla data parallelism ({l_dp})"
     );
+}
+
+/// The runs above are sanitized: validation defaults on in test builds,
+/// so every pass's recorded time slots were checked against the
+/// dependence oracle. This assertion keeps that guarantee from silently
+/// rotting if the default ever changes.
+#[test]
+fn e2e_runs_execute_under_the_schedule_sanitizer() {
+    assert!(
+        Driver::validate_by_default(),
+        "test builds must run the schedule sanitizer (see Driver::set_validate)"
+    );
+    let mut driver = Driver::new(ClusterSpec::new(2, 2));
+    assert!(driver.validating());
+    driver.set_validate(false);
+    assert!(!driver.validating(), "opt-out must stick");
 }

@@ -1,0 +1,100 @@
+//! Golden-snapshot tests for the lint reports: the exact rustc-style
+//! output of `orion-check` over every packaged application spec is
+//! pinned byte-for-byte under `tests/golden/`. A diagnostic wording or
+//! code change must update the goldens deliberately (re-run with
+//! `GOLDEN_REGEN=1`), which keeps the stable codes O000–O005 stable in
+//! fact and not just by convention.
+
+use orion::apps::specs::{self, AppSpec};
+use orion::check::{has_warnings, lint_all, LintOptions};
+use orion::core::{plan_diagnostic, render_all};
+
+/// The report the `orion_lint` example prints for one app.
+fn report(app: &AppSpec) -> String {
+    let plan = app.analyze();
+    let schedule = app.schedule(&plan);
+    let mut diags = vec![plan_diagnostic(&app.spec, &app.metas, &plan)];
+    diags.extend(lint_all(
+        &app.spec,
+        &app.metas,
+        &plan,
+        Some(&schedule),
+        &LintOptions::default(),
+    ));
+    render_all(&diags)
+}
+
+fn assert_matches_golden(app: &AppSpec) {
+    let produced = report(app);
+    let path = format!(
+        "{}/tests/golden/lint_{}.txt",
+        env!("CARGO_MANIFEST_DIR"),
+        app.name()
+    );
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &produced).expect("regenerate golden file");
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (regenerate with GOLDEN_REGEN=1)"));
+    assert_eq!(
+        produced,
+        committed,
+        "lint output for `{}` drifted from {path}; if the wording change is \
+         intentional, re-run with GOLDEN_REGEN=1 and review the diff",
+        app.name()
+    );
+}
+
+#[test]
+fn canonical_apps_match_goldens_and_are_warning_free() {
+    for app in specs::canonical() {
+        assert_matches_golden(&app);
+        let plan = app.analyze();
+        let schedule = app.schedule(&plan);
+        let lints = lint_all(
+            &app.spec,
+            &app.metas,
+            &plan,
+            Some(&schedule),
+            &LintOptions::default(),
+        );
+        assert!(
+            !has_warnings(&lints),
+            "canonical app `{}` must lint clean (the --deny-warnings gate)",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn demo_apps_match_goldens_and_warn() {
+    for app in specs::demos() {
+        assert_matches_golden(&app);
+        let plan = app.analyze();
+        let schedule = app.schedule(&plan);
+        let lints = lint_all(
+            &app.spec,
+            &app.metas,
+            &plan,
+            Some(&schedule),
+            &LintOptions::default(),
+        );
+        assert!(
+            has_warnings(&lints),
+            "demo app `{}` exists to trigger warnings",
+            app.name()
+        );
+    }
+}
+
+/// The degraded demos exercise every serial-loop lint: O001 (unknown
+/// subscript), O002 (un-exempted write), O003 (blocked dependences).
+#[test]
+fn demo_goldens_cover_the_serial_lints() {
+    let cp = report(&specs::tensor_cp_unbuffered());
+    assert!(cp.contains("warning[O002]"), "{cp}");
+    assert!(cp.contains("warning[O003]"), "{cp}");
+    let slr = report(&specs::slr_unbuffered());
+    assert!(slr.contains("warning[O001]"), "{slr}");
+    assert!(slr.contains("warning[O002]"), "{slr}");
+}

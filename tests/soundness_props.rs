@@ -1,11 +1,12 @@
 //! Property-based soundness of the core pipeline: the dependence test,
 //! lexicographic normalization, strategy selection and schedule
-//! construction, checked against a brute-force access-collision oracle
-//! on randomly generated loop specs.
+//! construction, checked against the brute-force access-collision
+//! oracle from `orion-check` on randomly generated loop specs.
 
 use orion::analysis::{analyze, dependence_vectors, DepElem, DepVec, Strategy as ParStrategy};
+use orion::check::{check_schedule, AccessOracle, RaceChecker};
 use orion::ir::{ArrayMeta, ArrayRef, DistArrayId, LoopSpec, Subscript};
-use orion::runtime::build_schedule;
+use orion::runtime::{build_schedule, SlotRecord};
 use proptest::prelude::*;
 
 const ARRAY_DIMS: u64 = 8;
@@ -45,43 +46,11 @@ fn arb_spec() -> impl Strategy<Value = LoopSpec> {
     })
 }
 
-/// Addresses touched by one reference at iteration `p` (evaluating
-/// subscripts the way the runtime would).
-fn addresses(r: &ArrayRef, p: &[i64]) -> Vec<(i64, i64)> {
-    let eval = |s: &Subscript| -> Vec<i64> {
-        match s {
-            Subscript::LoopIndex { dim, offset } => vec![p[*dim] + offset],
-            Subscript::Constant(c) => vec![*c],
-            Subscript::Full => (0..ARRAY_DIMS as i64).collect(),
-            Subscript::Unknown { .. } => (0..ARRAY_DIMS as i64).collect(),
-        }
-    };
-    let xs = eval(&r.subscripts[0]);
-    let ys = eval(&r.subscripts[1]);
-    xs.iter()
-        .flat_map(|&x| ys.iter().map(move |&y| (x, y)))
-        .collect()
-}
-
-/// Oracle: do iterations `a` and `b` carry a dependence that the
-/// analysis must preserve? (Some access pair collides, at least one is a
-/// write; write–write pairs only count for ordered loops.)
-fn oracle_dependent(spec: &LoopSpec, a: &[i64], b: &[i64]) -> bool {
-    for ra in &spec.refs {
-        for rb in &spec.refs {
-            let both_read = ra.kind.is_read() && rb.kind.is_read();
-            let both_write = ra.kind.is_write() && rb.kind.is_write();
-            if both_read || (!spec.ordered && both_write) {
-                continue;
-            }
-            let aa = addresses(ra, a);
-            let ab = addresses(rb, b);
-            if aa.iter().any(|x| ab.contains(x)) {
-                return true;
-            }
-        }
-    }
-    false
+fn metas() -> [ArrayMeta; 2] {
+    [
+        ArrayMeta::dense(DistArrayId(0), "iter", vec![6, 6], 4),
+        ArrayMeta::dense(DistArrayId(1), "shared", vec![ARRAY_DIMS, ARRAY_DIMS], 4),
+    ]
 }
 
 /// Does some dependence vector cover distance `d` (or `-d`)?
@@ -105,6 +74,7 @@ proptest! {
     #[test]
     fn dependence_vectors_cover_all_collisions(spec in arb_spec()) {
         prop_assume!(spec.validate().is_ok());
+        let oracle = AccessOracle::new(&spec, &metas());
         let dvecs = dependence_vectors(&spec);
         for a0 in 0..6i64 {
             for a1 in 0..6i64 {
@@ -114,7 +84,7 @@ proptest! {
                         if a == b {
                             continue;
                         }
-                        if oracle_dependent(&spec, &a, &b) {
+                        if oracle.dependent(&a, &b) {
                             let d = [b0 - a0, b1 - a1];
                             prop_assert!(
                                 covered(&dvecs, &d),
@@ -138,44 +108,60 @@ proptest! {
 
     /// End-to-end schedule soundness: whatever strategy the analyzer
     /// picks, the schedule never runs two oracle-dependent iterations in
-    /// the same step on different workers.
+    /// the same step on different workers. This is the static face of
+    /// the runtime sanitizer — the same oracle `RaceChecker` consults.
     #[test]
     fn schedules_never_coschedule_dependent_iterations(spec in arb_spec()) {
         prop_assume!(spec.validate().is_ok());
-        let metas = [
-            ArrayMeta::dense(DistArrayId(0), "iter", vec![6, 6], 4),
-            ArrayMeta::dense(DistArrayId(1), "shared", vec![ARRAY_DIMS, ARRAY_DIMS], 4),
-        ];
+        let metas = metas();
         let plan = analyze(&spec, &metas, 4);
         let indices: Vec<Vec<i64>> = (0..6)
             .flat_map(|i| (0..6).map(move |j| vec![i, j]))
             .collect();
         let schedule = build_schedule(&plan.strategy, &indices, &spec.iter_dims, 4);
+        let oracle = AccessOracle::new(&spec, &metas);
+        if let Err(race) = check_schedule(&oracle, &indices, &schedule) {
+            prop_assert!(
+                false,
+                "dependent iterations co-scheduled (strategy {:?}): {race:?}",
+                plan.strategy
+            );
+        }
+    }
 
-        // Map every iteration to its (step, worker).
-        let mut slot = vec![(0u64, 0usize); indices.len()];
-        for st in &schedule.steps {
-            for e in st {
-                for &pos in &schedule.blocks[e.block] {
-                    slot[pos as usize] = (e.step, e.worker);
-                }
-            }
-        }
-        for (i, a) in indices.iter().enumerate() {
-            for (j, b) in indices.iter().enumerate().skip(i + 1) {
-                if !oracle_dependent(&spec, a, b) {
-                    continue;
-                }
-                let (sa, wa) = slot[i];
-                let (sb, wb) = slot[j];
-                prop_assert!(
-                    sa != sb || wa == wb,
-                    "dependent {a:?}/{b:?} co-scheduled at step {sa} on workers {wa}/{wb} \
-                     (strategy {:?})",
-                    plan.strategy
-                );
-            }
-        }
+    /// The runtime sanitizer agrees: replaying the schedule's slots as
+    /// executed passes through `RaceChecker` never trips on an
+    /// analyzer-derived plan.
+    #[test]
+    fn sanitizer_never_fires_on_analyzed_plans(spec in arb_spec()) {
+        prop_assume!(spec.validate().is_ok());
+        let metas = metas();
+        let plan = analyze(&spec, &metas, 4);
+        let indices: Vec<Vec<i64>> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| vec![i, j]))
+            .collect();
+        let schedule = build_schedule(&plan.strategy, &indices, &spec.iter_dims, 4);
+        let mut checker = RaceChecker::new(&spec, &metas, &indices);
+        let records: Vec<SlotRecord> = schedule
+            .steps
+            .iter()
+            .flatten()
+            .map(|e| SlotRecord {
+                epoch: 0,
+                step: e.step,
+                worker: e.worker,
+                block: e.block,
+                start_ns: e.step * 10,
+                end_ns: e.step * 10 + 10,
+            })
+            .collect();
+        let verdict = checker.check_epoch(&schedule.blocks, &records);
+        prop_assert!(
+            verdict.is_ok(),
+            "sanitizer tripped on analyzed plan {:?}: {}",
+            plan.strategy,
+            verdict.unwrap_err()
+        );
     }
 
     /// Ordered loops additionally respect lexicographic order between
@@ -184,11 +170,9 @@ proptest! {
     fn ordered_schedules_respect_lexicographic_order(spec in arb_spec()) {
         prop_assume!(spec.validate().is_ok());
         prop_assume!(spec.ordered);
-        let metas = [
-            ArrayMeta::dense(DistArrayId(0), "iter", vec![6, 6], 4),
-            ArrayMeta::dense(DistArrayId(1), "shared", vec![ARRAY_DIMS, ARRAY_DIMS], 4),
-        ];
+        let metas = metas();
         let plan = analyze(&spec, &metas, 3);
+        let oracle = AccessOracle::new(&spec, &metas);
         // Only grid/serial strategies make ordering claims; unimodular
         // wavefronts also do, via step barriers.
         let indices: Vec<Vec<i64>> = (0..6)
@@ -205,7 +189,7 @@ proptest! {
         }
         for (i, a) in indices.iter().enumerate() {
             for (j, b) in indices.iter().enumerate() {
-                if i == j || !oracle_dependent(&spec, a, b) {
+                if i == j || !oracle.dependent(a, b) {
                     continue;
                 }
                 // a lexicographically precedes b.
@@ -231,11 +215,7 @@ proptest! {
     #[test]
     fn strategy_claims_match_dependence_vectors(spec in arb_spec()) {
         prop_assume!(spec.validate().is_ok());
-        let metas = [
-            ArrayMeta::dense(DistArrayId(0), "iter", vec![6, 6], 4),
-            ArrayMeta::dense(DistArrayId(1), "shared", vec![ARRAY_DIMS, ARRAY_DIMS], 4),
-        ];
-        let plan = analyze(&spec, &metas, 4);
+        let plan = analyze(&spec, &metas(), 4);
         match &plan.strategy {
             ParStrategy::FullyParallel { .. } => {
                 prop_assert!(plan.dep_vectors.is_empty());
@@ -264,4 +244,53 @@ proptest! {
             ParStrategy::Serial => {}
         }
     }
+}
+
+/// A hand-built conflicting schedule is caught, naming the two accesses
+/// and the co-scheduled time slots (the deliberate-failure face of the
+/// sanitizer acceptance test).
+#[test]
+fn hand_built_conflicting_schedule_is_caught() {
+    // Every iteration writes row `i1 = 0` of the shared array, so a 1-D
+    // partition over `i0` co-schedules conflicting iterations.
+    let spec = LoopSpec::builder("conflict", DistArrayId(0), vec![4, 1])
+        .read_write(
+            DistArrayId(1),
+            vec![Subscript::loop_index(1), Subscript::Full],
+        )
+        .build()
+        .unwrap();
+    let metas = metas();
+    let indices: Vec<Vec<i64>> = (0..4).map(|i| vec![i, 0]).collect();
+    let schedule = build_schedule(&ParStrategy::OneD { dim: 0 }, &indices, &[4, 1], 2);
+    let oracle = AccessOracle::new(&spec, &metas);
+
+    let race = check_schedule(&oracle, &indices, &schedule).unwrap_err();
+    assert_ne!(race.worker_a, race.worker_b, "race must span two workers");
+    assert_eq!(race.index_a[1], race.index_b[1], "both write row 0");
+    assert!(race.access_a.contains("`shared`"), "{}", race.access_a);
+    assert!(race.access_b.contains("`shared`"), "{}", race.access_b);
+
+    // The runtime checker reports the same conflict with virtual
+    // timestamps once the slots are replayed as an executed epoch.
+    let mut checker = RaceChecker::new(&spec, &metas, &indices);
+    let records: Vec<SlotRecord> = schedule
+        .steps
+        .iter()
+        .flatten()
+        .map(|e| SlotRecord {
+            epoch: 2,
+            step: e.step,
+            worker: e.worker,
+            block: e.block,
+            start_ns: 100,
+            end_ns: 250,
+        })
+        .collect();
+    let violation = checker.check_epoch(&schedule.blocks, &records).unwrap_err();
+    let rendered = violation.to_diagnostic().render();
+    assert!(rendered.starts_with("error[O100]:"), "{rendered}");
+    assert!(rendered.contains("pass 2"), "{rendered}");
+    assert!(rendered.contains("100..250 ns"), "{rendered}");
+    assert!(rendered.contains("`shared`"), "{rendered}");
 }
