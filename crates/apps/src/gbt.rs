@@ -9,6 +9,8 @@
 //! sequential (each corrects the previous ensemble), matching the
 //! paper's classification of GBT as 1-D-parallelized.
 
+use std::sync::Arc;
+
 use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript};
 use orion_data::TabularData;
 
@@ -129,6 +131,141 @@ struct BinStat {
     count: u64,
 }
 
+/// Sentinel for "node is not a leaf this level".
+const NO_SLOT: usize = usize::MAX;
+
+/// Accumulates one feature's gradient histogram for one tree level —
+/// the body of the parallelized split-finding loop, shared verbatim by
+/// the simulated and threaded execution paths.
+#[allow(clippy::too_many_arguments)]
+fn feature_histogram(
+    f: usize,
+    n_samples: usize,
+    n_features: usize,
+    n_bins: usize,
+    features: &[f32],
+    slot_of_node: &[usize],
+    assign: &[usize],
+    grads: &[f64],
+    hist: &mut [BinStat],
+) {
+    for i in 0..n_samples {
+        let slot = slot_of_node[assign[i]];
+        if slot == NO_SLOT {
+            continue;
+        }
+        let bin = ((features[i * n_features + f] * n_bins as f32) as usize).min(n_bins - 1);
+        let s = &mut hist[slot * n_bins + bin];
+        s.sum_g += grads[i];
+        s.count += 1;
+    }
+}
+
+/// Picks the best split per leaf from the gathered histograms and grows
+/// the tree one level; returns whether any leaf split.
+fn grow_level(
+    tree: &mut Tree,
+    assign: &mut [usize],
+    leaves: &[usize],
+    hists: &[Vec<BinStat>],
+    data: &TabularData,
+    n_bins: usize,
+) -> bool {
+    let mut grew = false;
+    for (slot, &leaf) in leaves.iter().enumerate() {
+        let total: BinStat = {
+            let mut acc = BinStat::default();
+            // totals are feature-independent; take feature 0
+            for b in 0..n_bins {
+                let s = hists[0][slot * n_bins + b];
+                acc.sum_g += s.sum_g;
+                acc.count += s.count;
+            }
+            acc
+        };
+        if total.count < 8 {
+            continue;
+        }
+        let mut best: Option<(f64, usize, usize)> = None; // gain, feature, bin
+        for (f, hist) in hists.iter().enumerate() {
+            let mut left = BinStat::default();
+            for b in 0..n_bins - 1 {
+                let s = hist[slot * n_bins + b];
+                left.sum_g += s.sum_g;
+                left.count += s.count;
+                let right_g = total.sum_g - left.sum_g;
+                let right_n = total.count - left.count;
+                if left.count < 4 || right_n < 4 {
+                    continue;
+                }
+                let gain = left.sum_g * left.sum_g / left.count as f64
+                    + right_g * right_g / right_n as f64
+                    - total.sum_g * total.sum_g / total.count as f64;
+                if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-9) {
+                    best = Some((gain, f, b));
+                }
+            }
+        }
+        if let Some((_, f, b)) = best {
+            let threshold = (b + 1) as f32 / n_bins as f32;
+            let left = tree.nodes.len();
+            let right = left + 1;
+            tree.nodes.push(Node::Leaf { value: 0.0 });
+            tree.nodes.push(Node::Leaf { value: 0.0 });
+            tree.nodes[leaf] = Node::Split {
+                feature: f,
+                threshold,
+                left,
+                right,
+            };
+            for (i, a) in assign.iter_mut().enumerate() {
+                if *a == leaf {
+                    *a = if data.at(i, f) < threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+            grew = true;
+        }
+    }
+    grew
+}
+
+/// Sets leaf values to the shrunken mean residual of their samples.
+fn finalize_tree(tree: &mut Tree, assign: &[usize], grads: &[f64], learning_rate: f32) {
+    let mut sums: std::collections::HashMap<usize, (f64, u64)> = std::collections::HashMap::new();
+    for (i, &a) in assign.iter().enumerate() {
+        let e = sums.entry(a).or_insert((0.0, 0));
+        e.0 += grads[i];
+        e.1 += 1;
+    }
+    for (node, (g, c)) in &sums {
+        if let Node::Leaf { value } = &mut tree.nodes[*node] {
+            *value = learning_rate * (*g / *c as f64) as f32;
+        }
+    }
+}
+
+/// The leaf slots of the current level: a dense node → histogram-slot
+/// table (the innermost loop runs per (feature, sample), so the lookup
+/// must be a plain index, not a hash probe).
+fn leaf_slots(tree: &Tree) -> (Vec<usize>, Vec<usize>) {
+    let leaves: Vec<usize> = tree
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n, Node::Leaf { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let mut slot_of_node = vec![NO_SLOT; tree.nodes.len()];
+    for (s, &l) in leaves.iter().enumerate() {
+        slot_of_node[l] = s;
+    }
+    (leaves, slot_of_node)
+}
+
 /// Run configuration.
 #[derive(Debug, Clone)]
 pub struct GbtRunConfig {
@@ -220,23 +357,9 @@ fn train_orion_impl(
         tree.nodes.push(Node::Leaf { value: 0.0 });
         let mut assign: Vec<usize> = vec![0; n_samples]; // node of each sample
         for _depth in 0..model.cfg.max_depth {
-            let leaves: Vec<usize> = tree
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, n)| matches!(n, Node::Leaf { .. }))
-                .map(|(i, _)| i)
-                .collect();
+            let (leaves, slot_of_node) = leaf_slots(&tree);
             if leaves.is_empty() {
                 break;
-            }
-            // Dense node → histogram-slot table: the innermost loop runs
-            // per (feature, sample), so the lookup must be a plain index,
-            // not a hash probe.
-            const NO_SLOT: usize = usize::MAX;
-            let mut slot_of_node = vec![NO_SLOT; tree.nodes.len()];
-            for (s, &l) in leaves.iter().enumerate() {
-                slot_of_node[l] = s;
             }
 
             // The Orion-parallelized loop: per-feature histograms of
@@ -245,100 +368,30 @@ fn train_orion_impl(
                 vec![vec![BinStat::default(); leaves.len() * n_bins]; n_features];
             driver.run_pass(&compiled, &mut |_pos| feature_cost, &mut |_w, pos| {
                 let f = items[pos].1 as usize;
-                let hist = &mut hists[f];
-                for i in 0..n_samples {
-                    let slot = slot_of_node[assign[i]];
-                    if slot == NO_SLOT {
-                        continue;
-                    }
-                    let bin = ((data.at(i, f) * n_bins as f32) as usize).min(n_bins - 1);
-                    let s = &mut hist[slot * n_bins + bin];
-                    s.sum_g += grads[i];
-                    s.count += 1;
-                }
+                feature_histogram(
+                    f,
+                    n_samples,
+                    n_features,
+                    n_bins,
+                    &data.features,
+                    &slot_of_node,
+                    &assign,
+                    &grads,
+                    &mut hists[f],
+                );
             });
             // Gathering the histograms to the driver costs one exchange.
             let hist_bytes = (n_features * leaves.len() * n_bins * 12) as u64;
             driver.sync_exchange(hist_bytes / run.cluster.n_workers().max(1) as u64, 0);
 
             // Pick the best split per leaf (variance gain).
-            let mut grew = false;
-            for (slot, &leaf) in leaves.iter().enumerate() {
-                let total: BinStat = {
-                    let mut acc = BinStat::default();
-                    // totals are feature-independent; take feature 0
-                    for b in 0..n_bins {
-                        let s = hists[0][slot * n_bins + b];
-                        acc.sum_g += s.sum_g;
-                        acc.count += s.count;
-                    }
-                    acc
-                };
-                if total.count < 8 {
-                    continue;
-                }
-                let mut best: Option<(f64, usize, usize)> = None; // gain, feature, bin
-                for (f, hist) in hists.iter().enumerate() {
-                    let mut left = BinStat::default();
-                    for b in 0..n_bins - 1 {
-                        let s = hist[slot * n_bins + b];
-                        left.sum_g += s.sum_g;
-                        left.count += s.count;
-                        let right_g = total.sum_g - left.sum_g;
-                        let right_n = total.count - left.count;
-                        if left.count < 4 || right_n < 4 {
-                            continue;
-                        }
-                        let gain = left.sum_g * left.sum_g / left.count as f64
-                            + right_g * right_g / right_n as f64
-                            - total.sum_g * total.sum_g / total.count as f64;
-                        if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-9) {
-                            best = Some((gain, f, b));
-                        }
-                    }
-                }
-                if let Some((_, f, b)) = best {
-                    let threshold = (b + 1) as f32 / n_bins as f32;
-                    let left = tree.nodes.len();
-                    let right = left + 1;
-                    tree.nodes.push(Node::Leaf { value: 0.0 });
-                    tree.nodes.push(Node::Leaf { value: 0.0 });
-                    tree.nodes[leaf] = Node::Split {
-                        feature: f,
-                        threshold,
-                        left,
-                        right,
-                    };
-                    for (i, a) in assign.iter_mut().enumerate() {
-                        if *a == leaf {
-                            *a = if data.at(i, f) < threshold {
-                                left
-                            } else {
-                                right
-                            };
-                        }
-                    }
-                    grew = true;
-                }
-            }
-            if !grew {
+            if !grow_level(&mut tree, &mut assign, &leaves, &hists, data, n_bins) {
                 break;
             }
         }
 
         // Leaf values: shrunken mean residual of the samples they hold.
-        let mut sums: std::collections::HashMap<usize, (f64, u64)> =
-            std::collections::HashMap::new();
-        for i in 0..n_samples {
-            let e = sums.entry(assign[i]).or_insert((0.0, 0));
-            e.0 += grads[i];
-            e.1 += 1;
-        }
-        for (node, (g, c)) in &sums {
-            if let Node::Leaf { value } = &mut tree.nodes[*node] {
-                *value = model.cfg.learning_rate * (*g / *c as f64) as f32;
-            }
-        }
+        finalize_tree(&mut tree, &assign, &grads, model.cfg.learning_rate);
 
         // Update predictions and record the round.
         for (p, x) in preds.iter_mut().zip(data.features.chunks_exact(n_features)) {
@@ -349,6 +402,103 @@ fn train_orion_impl(
     }
     let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/gbt", &compiled));
     (model, driver.finish(), artifacts)
+}
+
+/// Trains the ensemble on the real worker pool: each per-level
+/// split-finding pass fans the features out across `threads` OS
+/// threads, each worker accumulating histograms for its features into
+/// worker-local scratch that the driver scatters back. Split selection
+/// is deterministic on the gathered histograms, so the ensemble is
+/// identical to [`train_orion`]'s.
+///
+/// # Panics
+///
+/// Panics if a worker thread dies.
+pub fn train_threaded(data: &TabularData, cfg: GbtConfig, threads: usize) -> (GbtModel, RunStats) {
+    let n_features = data.config.n_features;
+    let n_samples = data.config.n_samples;
+    let n_bins = cfg.n_bins;
+
+    let mut driver = Driver::new(ClusterSpec::new(1, threads));
+    driver.set_threads(threads);
+    let feat_arr: DistArray<u32> =
+        DistArray::dense_from_fn("features", vec![n_features as u64], |i| i[0] as u32);
+    let items: Vec<(Vec<i64>, u32)> = feat_arr.iter().map(|(i, &v)| (i, v)).collect();
+    let feats_id = driver.register(&feat_arr);
+    let grad_arr: DistArray<f32> = DistArray::dense("gradients", vec![n_samples as u64]);
+    let grads_id = driver.register(&grad_arr);
+    let hist_arr: DistArray<f32> =
+        DistArray::dense("histograms", vec![n_features as u64, (2 * n_bins) as u64]);
+    let hist_id = driver.register(&hist_arr);
+    let spec = LoopSpec::builder("gbt_split_finding", feats_id, vec![n_features as u64])
+        .read(grads_id, vec![Subscript::Full])
+        .write(hist_id, vec![Subscript::loop_index(0), Subscript::Full])
+        .build()
+        .expect("static GBT spec is valid");
+    let compiled = driver
+        .parallel_for(spec, &items)
+        .expect("GBT split loop parallelizes");
+    let plan = driver.compile_threaded(&compiled);
+
+    let feats: Arc<Vec<u32>> = Arc::new(items.iter().map(|(_, v)| *v).collect());
+    let x: Arc<Vec<f32>> = Arc::new(data.features.clone());
+    let mut model = GbtModel {
+        base: data.targets.iter().sum::<f32>() / n_samples as f32,
+        trees: Vec::new(),
+        cfg,
+    };
+    let mut preds = vec![model.base; n_samples];
+
+    for round in 0..model.cfg.n_trees {
+        let grads: Arc<Vec<f64>> = Arc::new(
+            (0..n_samples)
+                .map(|i| (data.targets[i] - preds[i]) as f64)
+                .collect(),
+        );
+        let mut tree = Tree::default();
+        tree.nodes.push(Node::Leaf { value: 0.0 });
+        let mut assign: Vec<usize> = vec![0; n_samples];
+        for _depth in 0..model.cfg.max_depth {
+            let (leaves, slot_of_node) = leaf_slots(&tree);
+            if leaves.is_empty() {
+                break;
+            }
+            let hist_len = leaves.len() * n_bins;
+            // The tree state is round-local, so each level's body
+            // captures fresh snapshots; the pool itself persists.
+            let slots = Arc::new(slot_of_node);
+            let assigned = Arc::new(assign.clone());
+            let (g2, x2) = (Arc::clone(&grads), Arc::clone(&x));
+            let body = Arc::new(move |&f: &u32, sc: &mut Vec<(u32, Vec<BinStat>)>| {
+                let mut hist = vec![BinStat::default(); hist_len];
+                feature_histogram(
+                    f as usize, n_samples, n_features, n_bins, &x2, &slots, &assigned, &g2,
+                    &mut hist,
+                );
+                sc.push((f, hist));
+            });
+            let scratch: Vec<Vec<(u32, Vec<BinStat>)>> = vec![Vec::new(); plan.n_workers()];
+            let out = driver.run_pass_threaded_one_d(&plan, &feats, scratch, &body);
+            let mut hists: Vec<Vec<BinStat>> = vec![vec![BinStat::default(); hist_len]; n_features];
+            for sc in out.scratch {
+                for (f, hist) in sc {
+                    hists[f as usize] = hist;
+                }
+            }
+            let hist_bytes = (n_features * leaves.len() * n_bins * 12) as u64;
+            driver.sync_exchange(hist_bytes / threads.max(1) as u64, 0);
+            if !grow_level(&mut tree, &mut assign, &leaves, &hists, data, n_bins) {
+                break;
+            }
+        }
+        finalize_tree(&mut tree, &assign, &grads, model.cfg.learning_rate);
+        for (p, xr) in preds.iter_mut().zip(data.features.chunks_exact(n_features)) {
+            *p += tree.predict(xr);
+        }
+        model.trees.push(tree);
+        driver.record_progress(round as u64, model.mse(data));
+    }
+    (model, driver.finish())
 }
 
 /// Serial training: same algorithm on one worker.
@@ -396,6 +546,28 @@ mod tests {
         };
         let (mp, _) = train_orion(&d, GbtConfig::new(5), &run);
         assert_eq!(ms.mse(&d), mp.mse(&d), "ensembles must be identical");
+    }
+
+    #[test]
+    fn threaded_pass_equals_simulated_pass() {
+        let d = data();
+        let threads = 3;
+        let run = GbtRunConfig {
+            cluster: ClusterSpec::new(1, threads),
+        };
+        let (sim, _) = train_orion(&d, GbtConfig::new(5), &run);
+        let (thr, _) = train_threaded(&d, GbtConfig::new(5), threads);
+        assert_eq!(sim.trees.len(), thr.trees.len());
+        assert_eq!(sim.mse(&d), thr.mse(&d), "ensembles must be identical");
+        let f = d.config.n_features;
+        for i in 0..d.config.n_samples {
+            let xr = &d.features[i * f..(i + 1) * f];
+            assert_eq!(
+                sim.predict(xr).to_bits(),
+                thr.predict(xr).to_bits(),
+                "prediction {i} diverged"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! Sampling decisions are seeded per `(pass, cell, occurrence)`, so any
 //! serializable schedule produces exactly reproducible chains.
 
+use std::sync::Arc;
+
 use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Subscript};
 use orion_data::CorpusData;
 use orion_ps::{PsApp, PsView, UpdateLog};
@@ -296,6 +298,196 @@ fn train_orion_impl(
         driver.record_progress(pass, model.neg_log_likelihood(corpus));
     }
     let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/lda", &compiled));
+    (model, driver.finish(), artifacts)
+}
+
+/// Scratch a pool worker carries through one threaded LDA pass: its
+/// local topic summary plus the assignments of its cells in execution
+/// order, consumed through `cursor`.
+struct LdaThreadScratch {
+    ts: Vec<i64>,
+    z: Vec<Vec<u16>>,
+    cursor: usize,
+}
+
+/// Trains LDA on the real worker pool: same schedule, same sampling
+/// decisions, and bit-identical count tables as [`train_orion`] on a
+/// matching cluster, but executed by OS threads with pipelined rotation
+/// of the word–topic partitions.
+pub fn train_threaded(
+    corpus: &CorpusData,
+    cfg: LdaConfig,
+    threads: usize,
+    passes: u64,
+    ordered: bool,
+) -> (LdaModel, RunStats) {
+    let (model, stats, _) = train_threaded_impl(corpus, cfg, threads, passes, ordered, false);
+    (model, stats)
+}
+
+/// [`train_threaded`] with span tracing on.
+pub fn train_threaded_traced(
+    corpus: &CorpusData,
+    cfg: LdaConfig,
+    threads: usize,
+    passes: u64,
+    ordered: bool,
+) -> (LdaModel, RunStats, TraceArtifacts) {
+    let (model, stats, artifacts) =
+        train_threaded_impl(corpus, cfg, threads, passes, ordered, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_threaded_impl(
+    corpus: &CorpusData,
+    cfg: LdaConfig,
+    threads: usize,
+    passes: u64,
+    ordered: bool,
+    traced: bool,
+) -> (LdaModel, RunStats, Option<TraceArtifacts>) {
+    let items = corpus.items();
+    let dims = corpus.tokens.shape().dims().to_vec();
+    let mut model = LdaModel::init(corpus, cfg);
+    let k = model.cfg.n_topics;
+
+    let mut driver = Driver::new(ClusterSpec::new(1, threads));
+    driver.set_threads(threads);
+    let tok_id = driver.register(&corpus.tokens);
+    let dt_id = driver.register(&model.dt);
+    let wt_id = driver.register(&model.wt);
+    let ts_arr: DistArray<i64> = DistArray::dense("topic_sum", vec![k as u64]);
+    let ts_id = driver.register(&ts_arr);
+    driver.set_served_reads_per_iter(0.25);
+    let spec = lda_spec(tok_id, dt_id, wt_id, ts_id, dims, ordered);
+    let compiled = driver
+        .parallel_for(spec, &items)
+        .expect("LDA loop parallelizes");
+    if traced {
+        driver.enable_tracing(span_capacity(&compiled.schedule, passes));
+    }
+    let plan = driver.compile_threaded(&compiled);
+    let sched = &compiled.schedule;
+    let sp = sched
+        .space_partition
+        .as_ref()
+        .expect("2-D LDA has a space partition");
+    let tp = sched
+        .time_partition
+        .as_ref()
+        .expect("2-D LDA has a time partition");
+
+    let positions = plan.worker_positions();
+    // Flat (doc, word, cell position) records; the position seeds the
+    // sampler and is carried so sharded cells stay addressable.
+    let cells: Arc<Vec<(i64, i64, u32)>> = Arc::new(
+        items
+            .iter()
+            .enumerate()
+            .map(|(pos, (idx, _))| (idx[0], idx[1], pos as u32))
+            .collect(),
+    );
+    // The analyzer is free to pick either loop dimension as space: the
+    // array subscripted by the space dimension is worker-local, the
+    // other rotates. Map `dt` (docs, loop dim 0) and `wt` (words, loop
+    // dim 1) accordingly.
+    let space_is_docs = sp.dim == 0;
+    let (mut space_parts, mut time_parts) = if space_is_docs {
+        (
+            model.dt.split_along(0, &sp.ranges),
+            model.wt.split_along(0, &tp.ranges),
+        )
+    } else {
+        (
+            model.wt.split_along(0, &sp.ranges),
+            model.dt.split_along(0, &tp.ranges),
+        )
+    };
+    let cfg_arc = Arc::new(model.cfg.clone());
+    let vocab = model.vocab;
+
+    for pass in 0..passes {
+        let snapshot = model.ts.clone();
+        // Shard the assignments: each worker takes ownership of its
+        // cells' z vectors in execution order and walks them by cursor.
+        let mut scratch = Vec::with_capacity(plan.n_workers());
+        for ps in &positions {
+            let z: Vec<Vec<u16>> = ps
+                .iter()
+                .map(|&p| std::mem::take(&mut model.z[p as usize]))
+                .collect();
+            scratch.push(LdaThreadScratch {
+                ts: snapshot.clone(),
+                z,
+                cursor: 0,
+            });
+        }
+        let cfg2 = Arc::clone(&cfg_arc);
+        let body = Arc::new(
+            move |&(d, w, pos): &(i64, i64, u32),
+                  ap: &mut DistArray<u32>,
+                  bp: &mut DistArray<u32>,
+                  sc: &mut LdaThreadScratch| {
+                let cur = sc.cursor;
+                sc.cursor += 1;
+                let LdaThreadScratch { ts, z, .. } = sc;
+                let (dt_row, wt_row) = if space_is_docs {
+                    (ap.row_slice_mut(d), bp.row_slice_mut(w))
+                } else {
+                    (bp.row_slice_mut(d), ap.row_slice_mut(w))
+                };
+                gibbs_cell(
+                    &cfg2,
+                    vocab,
+                    dt_row,
+                    wt_row,
+                    ts,
+                    &mut z[cur],
+                    pass,
+                    pos as usize,
+                );
+            },
+        );
+        let out = driver.run_pass_threaded(&plan, &cells, space_parts, time_parts, scratch, &body);
+        space_parts = out.space;
+        time_parts = out.time;
+        // Return the assignments and merge the buffered summary deltas
+        // in worker order, exactly like the simulated pass.
+        for (w, sc) in out.scratch.into_iter().enumerate() {
+            for (&p, zcell) in positions[w].iter().zip(sc.z) {
+                model.z[p as usize] = zcell;
+            }
+            for (t, snap) in snapshot.iter().enumerate().take(k) {
+                model.ts[t] += sc.ts[t] - snap;
+            }
+        }
+        let (dt_parts, wt_parts) = if space_is_docs {
+            (&space_parts, &time_parts)
+        } else {
+            (&time_parts, &space_parts)
+        };
+        let snap = LdaModel {
+            dt: DistArray::merge_along(0, dt_parts.clone()),
+            wt: DistArray::merge_along(0, wt_parts.clone()),
+            ts: model.ts.clone(),
+            z: Vec::new(),
+            cfg: model.cfg.clone(),
+            vocab,
+        };
+        driver.record_progress(pass, snap.neg_log_likelihood(corpus));
+    }
+    let (dt_parts, wt_parts) = if space_is_docs {
+        (space_parts, time_parts)
+    } else {
+        (time_parts, space_parts)
+    };
+    model.dt = DistArray::merge_along(0, dt_parts);
+    model.wt = DistArray::merge_along(0, wt_parts);
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "threaded/lda", &compiled));
     (model, driver.finish(), artifacts)
 }
 
@@ -756,6 +948,33 @@ mod tests {
         let (_, stats) = train_orion_1d(&c, LdaConfig::new(4), &run);
         assert_eq!(stats.progress.len(), 1);
         assert!(stats.total_bytes > 0, "buffer flush must be communicated");
+    }
+
+    #[test]
+    fn threaded_pass_equals_simulated_pass() {
+        let c = corpus();
+        let (threads, passes) = (3, 3);
+        for ordered in [false, true] {
+            let run = LdaRunConfig {
+                cluster: ClusterSpec::new(1, threads),
+                passes,
+                ordered,
+            };
+            let (sim, _) = train_orion(&c, LdaConfig::new(4), &run);
+            let (thr, _) = train_threaded(&c, LdaConfig::new(4), threads, passes, ordered);
+            assert_eq!(sim.z, thr.z, "assignments diverged (ordered={ordered})");
+            assert_eq!(sim.ts, thr.ts, "topic totals diverged (ordered={ordered})");
+            for d in 0..c.config.n_docs as i64 {
+                assert_eq!(sim.dt.row_slice(d), thr.dt.row_slice(d), "doc {d} diverged");
+            }
+            for w in 0..c.config.vocab as i64 {
+                assert_eq!(
+                    sim.wt.row_slice(w),
+                    thr.wt.row_slice(w),
+                    "word {w} diverged"
+                );
+            }
+        }
     }
 
     #[test]

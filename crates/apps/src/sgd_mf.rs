@@ -13,11 +13,12 @@
 //! parallelism ([`MfPsAdapter`]), and TensorFlow-style mini-batch
 //! dataflow ([`MfDataflowAdapter`]).
 
+use std::sync::Arc;
+
 use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript};
 use orion_data::RatingsData;
 use orion_dsm::Element;
 use orion_ps::{PsApp, PsView, UpdateLog};
-use orion_runtime::run_grid_pass_threaded;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -382,18 +383,88 @@ pub fn orion_pass_threaded(
     cluster: &ClusterSpec,
     ordered: bool,
 ) -> MfModel {
+    let threads = cluster.n_workers();
+    let (model, _, _) =
+        train_threaded_impl(data, model, threads, cluster.clone(), 1, ordered, false);
+    model
+}
+
+/// Trains for `passes` passes on the real-core execution path: a
+/// persistent pool of `threads` workers, space partitions of `W`
+/// pinned per worker, partitions of `H` rotated zero-copy through
+/// channels (Fig. 8 pipelining). Bit-identical to [`train_orion`] on a
+/// `ClusterSpec::new(1, threads)` cluster.
+///
+/// # Panics
+///
+/// Panics in adaptive mode (accumulators are not partitioned) and if a
+/// worker thread dies.
+pub fn train_threaded(
+    data: &RatingsData,
+    cfg: MfConfig,
+    threads: usize,
+    passes: u64,
+    ordered: bool,
+) -> (MfModel, RunStats) {
+    let dims = data.ratings.shape().dims().to_vec();
+    let model = MfModel::new(dims[0], dims[1], cfg);
+    let cluster = ClusterSpec::new(1, threads);
+    let (model, stats, _) =
+        train_threaded_impl(data, model, threads, cluster, passes, ordered, false);
+    (model, stats)
+}
+
+/// [`train_threaded`] with span tracing on: the measured wall-clock
+/// compute and rotation phases of every worker land in the trace as
+/// `Compute`/`Rotation` spans.
+pub fn train_threaded_traced(
+    data: &RatingsData,
+    cfg: MfConfig,
+    threads: usize,
+    passes: u64,
+    ordered: bool,
+) -> (MfModel, RunStats, TraceArtifacts) {
+    let dims = data.ratings.shape().dims().to_vec();
+    let model = MfModel::new(dims[0], dims[1], cfg);
+    let cluster = ClusterSpec::new(1, threads);
+    let (model, stats, artifacts) =
+        train_threaded_impl(data, model, threads, cluster, passes, ordered, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+/// Shared engine of the threaded MF runners: takes the (already
+/// initialized) model so single-pass callers can thread their own
+/// state through.
+fn train_threaded_impl(
+    data: &RatingsData,
+    model: MfModel,
+    threads: usize,
+    cluster: ClusterSpec,
+    passes: u64,
+    ordered: bool,
+    traced: bool,
+) -> (MfModel, RunStats, Option<TraceArtifacts>) {
     assert!(
         !model.cfg.adaptive,
         "threaded pass supports the plain update"
     );
     let items = data.items();
     let dims = data.ratings.shape().dims().to_vec();
-    let mut driver = Driver::new(cluster.clone());
+    let mut driver = Driver::new(cluster);
+    driver.set_threads(threads);
     let z_id = driver.register(&data.ratings);
     let w_id = driver.register(&model.w);
     let h_id = driver.register(&model.h);
     let spec = mf_spec(z_id, w_id, h_id, dims, ordered);
     let compiled = driver.parallel_for(spec, &items).expect("valid spec");
+    if traced {
+        driver.enable_tracing(span_capacity(&compiled.schedule, passes));
+    }
+    let plan = driver.compile_threaded(&compiled);
     let sched = &compiled.schedule;
     let sp = sched
         .space_partition
@@ -407,19 +478,54 @@ pub fn orion_pass_threaded(
     let step = model.cfg.step_size;
     let cfg = model.cfg.clone();
     let (wz2, hz2) = (model.wz2, model.hz2);
-    let w_parts = model.w.split_along(0, &sp.ranges);
-    let h_parts = model.h.split_along(0, &tp.ranges);
-    let (w_parts, h_parts) =
-        run_grid_pass_threaded(sched, &items, w_parts, h_parts, |idx, v, wp, hp| {
-            mf_update(wp.row_slice_mut(idx[0]), hp.row_slice_mut(idx[1]), *v, step);
-        });
-    MfModel {
+    let mut w_parts = model.w.split_along(0, &sp.ranges);
+    let mut h_parts = model.h.split_along(0, &tp.ranges);
+    // Flat (user, item, rating) triples shared with every worker: the
+    // hot loop reads one contiguous record, no per-item index Vec.
+    let triples: Arc<Vec<(i64, i64, f32)>> =
+        Arc::new(items.iter().map(|(i, v)| (i[0], i[1], *v)).collect());
+    let body = Arc::new(
+        move |&(u, i, v): &(i64, i64, f32),
+              wp: &mut DistArray<f32>,
+              hp: &mut DistArray<f32>,
+              _: &mut ()| {
+            mf_update(wp.row_slice_mut(u), hp.row_slice_mut(i), v, step);
+        },
+    );
+    let n_workers = plan.n_workers();
+    for pass in 0..passes {
+        let out = driver.run_pass_threaded(
+            &plan,
+            &triples,
+            w_parts,
+            h_parts,
+            vec![(); n_workers],
+            &body,
+        );
+        w_parts = out.space;
+        h_parts = out.time;
+        if passes > 1 {
+            // Merge clones for the loss readout; partitions stay split
+            // for the next pass.
+            let snap = MfModel {
+                w: DistArray::merge_along(0, w_parts.clone()),
+                h: DistArray::merge_along(0, h_parts.clone()),
+                wz2: Vec::new(),
+                hz2: Vec::new(),
+                cfg: cfg.clone(),
+            };
+            driver.record_progress(pass, snap.loss(&items));
+        }
+    }
+    let model = MfModel {
         w: DistArray::merge_along(0, w_parts),
         h: DistArray::merge_along(0, h_parts),
         wz2,
         hz2,
         cfg,
-    }
+    };
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "threaded/sgd_mf", &compiled));
+    (model, driver.finish(), artifacts)
 }
 
 /// Adapter running SGD MF under the Bösen-style parameter server

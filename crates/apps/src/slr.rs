@@ -16,6 +16,7 @@ use orion_core::{
     RunStats, Strategy, Subscript,
 };
 use orion_data::SparseData;
+use std::sync::Arc;
 
 use crate::chaos::{run_chaos_loop, ChaosConfig, ChaosReport};
 use crate::common::{cost, sigmoid, span_capacity, TraceArtifacts};
@@ -361,6 +362,120 @@ fn apply_buffer(model: &mut SlrModel, buf: &mut DistArrayBuffer<f32>) {
     }
 }
 
+/// Trains on the real-core execution path: the buffered 1-D
+/// data-parallel schedule runs on a persistent pool of `threads` OS
+/// threads, each worker filling its own write buffer against a shared
+/// weight snapshot. Bit-identical to [`train_orion`] on a
+/// `ClusterSpec::new(1, threads)` cluster — buffers accumulate the same
+/// deltas in the same order and apply in worker order.
+///
+/// # Panics
+///
+/// Panics if a worker thread dies.
+pub fn train_threaded(
+    data: &SparseData,
+    cfg: SlrConfig,
+    threads: usize,
+    passes: u64,
+) -> (SlrModel, RunStats) {
+    let (model, stats, _) = train_threaded_impl(data, cfg, threads, passes, false);
+    (model, stats)
+}
+
+/// [`train_threaded`] with span tracing on: every worker's measured
+/// wall-clock compute phases land in the trace as `Compute` spans.
+pub fn train_threaded_traced(
+    data: &SparseData,
+    cfg: SlrConfig,
+    threads: usize,
+    passes: u64,
+) -> (SlrModel, RunStats, TraceArtifacts) {
+    let (model, stats, artifacts) = train_threaded_impl(data, cfg, threads, passes, true);
+    (
+        model,
+        stats,
+        artifacts.expect("traced run yields artifacts"),
+    )
+}
+
+fn train_threaded_impl(
+    data: &SparseData,
+    cfg: SlrConfig,
+    threads: usize,
+    passes: u64,
+    traced: bool,
+) -> (SlrModel, RunStats, Option<TraceArtifacts>) {
+    let n_features = data.config.n_features;
+    let mut model = SlrModel::new(n_features, cfg);
+    let samples_arr: DistArray<f32> = DistArray::sparse_from(
+        "samples",
+        vec![data.samples.len() as u64],
+        data.samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (vec![i as i64], s.label as f32)),
+    );
+    let items: Vec<(Vec<i64>, f32)> = samples_arr.iter().map(|(i, &v)| (i, v)).collect();
+
+    let mut driver = Driver::new(ClusterSpec::new(1, threads));
+    driver.set_threads(threads);
+    let samples_id = driver.register(&samples_arr);
+    let weights_id = driver.register(&model.weights);
+    driver.set_served_reads_per_iter(data.mean_nnz());
+    let spec = LoopSpec::builder("slr_sgd", samples_id, vec![data.samples.len() as u64])
+        .read(weights_id, vec![Subscript::unknown()])
+        .write(weights_id, vec![Subscript::unknown()])
+        .buffer_writes(weights_id)
+        .build()
+        .expect("static SLR spec is valid");
+    let compiled = driver
+        .parallel_for(spec, &items)
+        .expect("SLR loop parallelizes with buffers");
+    if traced {
+        driver.enable_tracing(span_capacity(&compiled.schedule, passes));
+    }
+    let plan = driver.compile_threaded(&compiled);
+    let n_workers = plan.n_workers();
+
+    // Samples shared immutably with every worker; the schedule's item
+    // positions are sample indices.
+    let samples = Arc::new(data.samples.clone());
+    let step = model.cfg.step_size;
+    for pass in 0..passes {
+        let buffers: Vec<DistArrayBuffer<f32>> = (0..n_workers)
+            .map(|_| DistArrayBuffer::additive(model.weights.shape().clone()))
+            .collect();
+        // Per-pass weight snapshot: workers read the pass-start weights
+        // (buffered writes are invisible until the flush), exactly like
+        // the simulated engine.
+        let weights = Arc::new(model.weights.clone());
+        let body = {
+            let weights = Arc::clone(&weights);
+            Arc::new(
+                move |sample: &orion_data::SparseSample, buf: &mut DistArrayBuffer<f32>| {
+                    let margin = SlrModel::margin_with(&sample.features, |f| {
+                        weights.get_flat_or_default(f as u64) + buf_read(buf, f)
+                    });
+                    let coef = logistic_grad_coef(sample.label, margin);
+                    for &f in &sample.features {
+                        buf.write(&[f as i64], -step * coef);
+                    }
+                },
+            )
+        };
+        let out = driver.run_pass_threaded_one_d(&plan, &samples, buffers, &body);
+        let mut buffers = out.scratch;
+        let up: u64 = buffers.iter().map(DistArrayBuffer::payload_bytes).sum();
+        driver.sync_exchange(up / n_workers as u64, up / n_workers as u64);
+        for buf in &mut buffers {
+            apply_buffer(&mut model, buf);
+        }
+        driver.record_progress(pass, model.loss(data));
+    }
+    let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "threaded/slr", &compiled));
+    (model, driver.finish(), artifacts)
+}
+
 /// Trains serially: immediate weight updates, one worker.
 pub fn train_serial(data: &SparseData, cfg: SlrConfig, passes: u64) -> (SlrModel, RunStats) {
     let mut model = SlrModel::new(data.config.n_features, cfg);
@@ -443,6 +558,27 @@ mod tests {
         assert!(lf < l0, "loss should fall: {l0} -> {lf}");
         assert!(lf < 0.65, "final loss {lf} too high");
         let _ = model;
+    }
+
+    #[test]
+    fn threaded_pass_equals_simulated_pass() {
+        let d = data();
+        let (threads, passes) = (3, 4);
+        let run = SlrRunConfig {
+            cluster: ClusterSpec::new(1, threads),
+            passes,
+            prefetch_override: None,
+        };
+        let (sim, sim_stats) = train_orion(&d, SlrConfig::new(), &run);
+        let (thr, thr_stats) = train_threaded(&d, SlrConfig::new(), threads, passes);
+        for f in 0..d.config.n_features as u64 {
+            assert_eq!(
+                sim.weights.get_flat_or_default(f).to_bits(),
+                thr.weights.get_flat_or_default(f).to_bits(),
+                "weight {f} diverged"
+            );
+        }
+        assert_eq!(sim_stats.final_metric(), thr_stats.final_metric());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! staleness of `S` (hot rows pay most), the same trade data parallelism
 //! makes globally in Fig. 9b — here confined to one small factor.
 
+use std::sync::Arc;
+
 use orion_core::{
     ClusterSpec, DistArray, DistArrayBuffer, Driver, LoopSpec, RunStats, Strategy, Subscript,
 };
@@ -102,24 +104,27 @@ fn cp_update(model: &mut CpModel, idx: &[i64], x: f32, s_sink: Option<&mut DistA
     let (i, j, k) = (idx[0], idx[1], idx[2]);
     let step = model.cfg.step_size;
     let r = model.cfg.rank;
-    let pred = model.predict(i, j, k);
-    let g = step * 2.0 * (x - pred);
-    // Each rank component only reads the pre-update values of its own
-    // component, so capturing them per-`c` keeps the three gradients a
-    // simultaneous update without snapshotting whole rows.
-    let u = model.u.row_slice_mut(i);
-    let v = model.v.row_slice_mut(j);
     match s_sink {
         Some(buf) => {
-            let s = model.s.row_slice(k);
-            for c in 0..r {
-                let (u0, v0, s0) = (u[c], v[c], s[c]);
-                u[c] = u0 + g * v0 * s0;
-                v[c] = v0 + g * u0 * s0;
-                buf.write(&[k, c as i64], g * u0 * v0);
-            }
+            cp_update_rows(
+                model.u.row_slice_mut(i),
+                model.v.row_slice_mut(j),
+                model.s.row_slice(k),
+                k,
+                x,
+                step,
+                buf,
+            );
         }
         None => {
+            let pred = model.predict(i, j, k);
+            let g = step * 2.0 * (x - pred);
+            // Each rank component only reads the pre-update values of
+            // its own component, so capturing them per-`c` keeps the
+            // three gradients a simultaneous update without
+            // snapshotting whole rows.
+            let u = model.u.row_slice_mut(i);
+            let v = model.v.row_slice_mut(j);
             let s = model.s.row_slice_mut(k);
             for c in 0..r {
                 let (u0, v0, s0) = (u[c], v[c], s[c]);
@@ -128,6 +133,30 @@ fn cp_update(model: &mut CpModel, idx: &[i64], x: f32, s_sink: Option<&mut DistA
                 s[c] = s0 + g * u0 * v0;
             }
         }
+    }
+}
+
+/// The buffered SGD step on raw factor rows — shared by the simulated
+/// and threaded execution paths so both run the *same float operations
+/// in the same order* (the bit-identity contract of the threaded
+/// engine).
+fn cp_update_rows(
+    u: &mut [f32],
+    v: &mut [f32],
+    s: &[f32],
+    k: i64,
+    x: f32,
+    step: f32,
+    buf: &mut DistArrayBuffer<f32>,
+) {
+    let r = u.len();
+    let pred: f32 = (0..r).map(|c| u[c] * v[c] * s[c]).sum();
+    let g = step * 2.0 * (x - pred);
+    for c in 0..r {
+        let (u0, v0, s0) = (u[c], v[c], s[c]);
+        u[c] = u0 + g * v0 * s0;
+        v[c] = v0 + g * u0 * s0;
+        buf.write(&[k, c as i64], g * u0 * v0);
     }
 }
 
@@ -263,6 +292,129 @@ fn train_orion_impl(
     (model, driver.finish(), artifacts)
 }
 
+/// Trains buffered CP on the real worker pool: the unordered 2-D
+/// (users, items) schedule runs on `threads` OS threads with pipelined
+/// rotation; the context factor is a shared pass-start snapshot whose
+/// gradients collect in per-worker buffers applied at pass boundaries.
+/// Bit-identical to [`train_orion`] with `buffer_s: true` on a
+/// `ClusterSpec::new(1, threads)` cluster.
+///
+/// # Panics
+///
+/// Panics if a worker thread dies.
+pub fn train_threaded(
+    data: &TensorData,
+    cfg: CpConfig,
+    threads: usize,
+    passes: u64,
+) -> (CpModel, RunStats) {
+    let items = data.items();
+    let dims = data.entries.shape().dims().to_vec();
+    let mut model = CpModel::new(&dims, cfg);
+
+    let mut driver = Driver::new(ClusterSpec::new(1, threads));
+    driver.set_threads(threads);
+    let t_id = driver.register(&data.entries);
+    let u_id = driver.register(&model.u);
+    let v_id = driver.register(&model.v);
+    let s_id = driver.register(&model.s);
+    driver.set_served_reads_per_iter(model.cfg.rank as f64);
+    let spec = cp_spec(t_id, u_id, v_id, s_id, dims, true);
+    let compiled = driver.parallel_for(spec, &items).expect("compiles");
+    debug_assert!(matches!(compiled.strategy(), Strategy::TwoD { .. }));
+    let plan = driver.compile_threaded(&compiled);
+    let sched = &compiled.schedule;
+    let sp = sched
+        .space_partition
+        .as_ref()
+        .expect("buffered CP has a space partition");
+    let tp = sched
+        .time_partition
+        .as_ref()
+        .expect("buffered CP has a time partition");
+
+    // The analyzer parallelizes over loop dims {0, 1} (the buffered
+    // context dim carries no dependence); either may be space.
+    let space_is_users = sp.dim == 0;
+    let (mut space_parts, mut time_parts) = if space_is_users {
+        (
+            model.u.split_along(0, &sp.ranges),
+            model.v.split_along(0, &tp.ranges),
+        )
+    } else {
+        (
+            model.v.split_along(0, &sp.ranges),
+            model.u.split_along(0, &tp.ranges),
+        )
+    };
+    let entries: Arc<Vec<(i64, i64, i64, f32)>> = Arc::new(
+        items
+            .iter()
+            .map(|(idx, x)| (idx[0], idx[1], idx[2], *x))
+            .collect(),
+    );
+    let step = model.cfg.step_size;
+    let n_workers = plan.n_workers();
+
+    for pass in 0..passes {
+        let scratch: Vec<DistArrayBuffer<f32>> = (0..n_workers)
+            .map(|_| DistArrayBuffer::additive(model.s.shape().clone()))
+            .collect();
+        let s_snap = Arc::new(model.s.clone());
+        let body = Arc::new(
+            move |&(i, j, k, x): &(i64, i64, i64, f32),
+                  ap: &mut DistArray<f32>,
+                  bp: &mut DistArray<f32>,
+                  buf: &mut DistArrayBuffer<f32>| {
+                let (u_row, v_row) = if space_is_users {
+                    (ap.row_slice_mut(i), bp.row_slice_mut(j))
+                } else {
+                    (bp.row_slice_mut(i), ap.row_slice_mut(j))
+                };
+                cp_update_rows(u_row, v_row, s_snap.row_slice(k), k, x, step, buf);
+            },
+        );
+        let out =
+            driver.run_pass_threaded(&plan, &entries, space_parts, time_parts, scratch, &body);
+        space_parts = out.space;
+        time_parts = out.time;
+        let up: u64 = out.scratch.iter().map(DistArrayBuffer::payload_bytes).sum();
+        driver.sync_exchange(up / n_workers.max(1) as u64, up / n_workers.max(1) as u64);
+        for mut buf in out.scratch {
+            buf.apply_to(&mut model.s, |elem, delta| *elem += delta);
+        }
+        let snap = CpModel {
+            u: DistArray::merge_along(
+                0,
+                if space_is_users {
+                    space_parts.clone()
+                } else {
+                    time_parts.clone()
+                },
+            ),
+            v: DistArray::merge_along(
+                0,
+                if space_is_users {
+                    time_parts.clone()
+                } else {
+                    space_parts.clone()
+                },
+            ),
+            s: model.s.clone(),
+            cfg: model.cfg.clone(),
+        };
+        driver.record_progress(pass, snap.loss(&items));
+    }
+    let (u_parts, v_parts) = if space_is_users {
+        (space_parts, time_parts)
+    } else {
+        (time_parts, space_parts)
+    };
+    model.u = DistArray::merge_along(0, u_parts);
+    model.v = DistArray::merge_along(0, v_parts);
+    (model, driver.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +538,34 @@ mod tests {
             tp.as_secs_f64() < ts.as_secs_f64() * 0.6,
             "parallel {tp} should clearly beat serial {ts} at scale"
         );
+    }
+
+    #[test]
+    fn threaded_pass_equals_simulated_pass() {
+        let d = data();
+        let (threads, passes) = (3, 4);
+        let run = CpRunConfig {
+            cluster: ClusterSpec::new(1, threads),
+            passes,
+            buffer_s: true,
+        };
+        let (sim, _) = train_orion(&d, CpConfig::new(4), &run);
+        let (thr, _) = train_threaded(&d, CpConfig::new(4), threads, passes);
+        let dims = d.entries.shape().dims().to_vec();
+        for (name, a, b, n) in [
+            ("U", &sim.u, &thr.u, dims[0]),
+            ("V", &sim.v, &thr.v, dims[1]),
+            ("S", &sim.s, &thr.s, dims[2]),
+        ] {
+            for row in 0..n as i64 {
+                let (ra, rb) = (a.row_slice(row), b.row_slice(row));
+                assert_eq!(
+                    ra.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    rb.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{name} row {row} diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -365,6 +365,18 @@ impl RaceChecker {
         }
     }
 
+    /// Statically verifies `schedule` before any pass runs: no step may
+    /// co-schedule two dependent iterations on different workers. The
+    /// threaded execution path uses this — it has no virtual-time slot
+    /// log, so the schedule itself is sanitized once per compiled loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Race`] found.
+    pub fn check_static(&self, schedule: &Schedule) -> Result<(), Box<Race>> {
+        check_schedule(&self.oracle, &self.indices, schedule)
+    }
+
     /// Checks the slots recorded during one (or more) executed passes
     /// against `blocks`, the block table of the schedule that actually
     /// ran (slot records address blocks by id). Slots are concurrent

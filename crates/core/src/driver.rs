@@ -14,8 +14,12 @@ use orion_analysis::{analyze, ParallelPlan, Strategy};
 use orion_check::{full_report, RaceChecker};
 use orion_dsm::{DistArray, Element};
 use orion_ir::{ArrayMeta, DistArrayId, LoopSpec};
+use std::sync::Arc;
+
 use orion_runtime::{
-    build_schedule, comm_model_with_spec, LoopCommModel, PassStats, Schedule, SimExecutor,
+    build_schedule, comm_model_with_spec, default_threads, run_grid_pass_pooled,
+    run_one_d_pass_pooled, GridPassOutput, LoopCommModel, OneDPassOutput, PassStats, Schedule,
+    SimExecutor, ThreadPhase, ThreadSpan, ThreadedPlan, WorkerPool,
 };
 use orion_sim::{ClusterSpec, FaultPlan, RunStats, VirtualTime};
 use orion_trace::{LinkBytes, LoadStats, OwnedSession, RunReport, SpanCat, Transfer};
@@ -123,6 +127,12 @@ pub struct Driver {
     validate: bool,
     /// Per-loop schedule sanitizers (`orion-check`), keyed by loop name.
     checkers: HashMap<String, RaceChecker>,
+    /// Thread count for the real-core execution path (`None` = host
+    /// parallelism).
+    threads: Option<usize>,
+    /// Persistent worker pool, created lazily on the first threaded pass
+    /// and reused across passes and epochs.
+    pool: Option<WorkerPool>,
 }
 
 impl Driver {
@@ -139,6 +149,8 @@ impl Driver {
             recovery: RecoveryStats::default(),
             validate: Self::validate_by_default(),
             checkers: HashMap::new(),
+            threads: None,
+            pool: None,
         }
     }
 
@@ -285,6 +297,155 @@ impl Driver {
                 panic!("schedule sanitizer tripped:\n{violation}");
             }
         }
+    }
+
+    /// Pins the thread count of the real-core execution path (default:
+    /// the host's available parallelism). Takes effect on the next
+    /// threaded pass; an existing smaller pool is replaced.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = Some(n.max(1));
+    }
+
+    /// Effective thread count of the real-core execution path.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_threads)
+    }
+
+    /// The persistent worker pool, if a threaded pass has run.
+    pub fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
+    }
+
+    /// Compiles `compiled`'s schedule for the threaded engine and — with
+    /// validation on — statically sanitizes it first: the threaded path
+    /// has no virtual-time slot log, so the O100 race check runs on the
+    /// schedule itself, once per loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a rendered `O100` diagnostic if the schedule
+    /// co-schedules two dependent iterations.
+    pub fn compile_threaded(&self, compiled: &CompiledLoop) -> Arc<ThreadedPlan> {
+        if let Some(checker) = self.checkers.get(&compiled.spec.name) {
+            if let Err(race) = checker.check_static(&compiled.schedule) {
+                panic!(
+                    "schedule sanitizer tripped:\nerror[O100]: schedule race in loop `{}` \
+                     at step {}: worker {} iteration {:?} ({}) conflicts with worker {} \
+                     iteration {:?} ({})",
+                    compiled.spec.name,
+                    race.step,
+                    race.worker_a,
+                    race.index_a,
+                    race.access_a,
+                    race.worker_b,
+                    race.index_b,
+                    race.access_b,
+                );
+            }
+        }
+        Arc::new(ThreadedPlan::compile(&compiled.schedule))
+    }
+
+    /// Ensures the persistent pool covers `n_workers` threads, creating
+    /// or growing it as needed (a poisoned pool is also replaced).
+    fn ensure_pool(&mut self, n_workers: usize) {
+        let stale = self
+            .pool
+            .as_ref()
+            .is_none_or(|p| p.size() < n_workers || p.is_poisoned());
+        if stale {
+            self.pool = Some(WorkerPool::new(self.threads().max(n_workers)));
+        }
+    }
+
+    /// Folds a threaded pass's measured wall-clock phases into the
+    /// simulated timeline: each worker's compute/rotation spans land in
+    /// the trace at the current barrier, and every clock advances by the
+    /// pass's wall time, so threaded passes serialize on the virtual
+    /// timeline like simulated ones.
+    fn absorb_thread_spans(&mut self, spans: &[Vec<ThreadSpan>], wall_ns: u64) {
+        let base = self.executor.clocks.barrier();
+        for (w, worker_spans) in spans.iter().enumerate() {
+            let machine = self.executor.cluster.machine_of(w);
+            for s in worker_spans {
+                let cat = match s.phase {
+                    ThreadPhase::Compute => SpanCat::Compute,
+                    ThreadPhase::Rotation => SpanCat::Rotation,
+                };
+                self.executor.trace.record(
+                    cat,
+                    machine,
+                    w,
+                    base.as_nanos() + s.start_ns,
+                    base.as_nanos() + s.end_ns,
+                    0,
+                    0,
+                );
+            }
+        }
+        let end = base + VirtualTime::from_nanos(wall_ns);
+        for w in 0..self.executor.cluster.n_workers() {
+            self.executor.clocks.wait_until(w, end);
+        }
+    }
+
+    /// Executes one pass of a grid (2-D) schedule on real cores: space
+    /// partitions pinned per worker, time partitions rotated zero-copy
+    /// through channels (paper Fig. 8). Results are bit-identical to
+    /// [`Driver::run_pass`] over the same schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if partition counts mismatch `plan` or a worker dies
+    /// mid-pass (with the worker's panic message).
+    pub fn run_pass_threaded<T, A, B, S, F>(
+        &mut self,
+        plan: &Arc<ThreadedPlan>,
+        items: &Arc<Vec<T>>,
+        space: Vec<DistArray<A>>,
+        time: Vec<DistArray<B>>,
+        scratch: Vec<S>,
+        body: &Arc<F>,
+    ) -> GridPassOutput<A, B, S>
+    where
+        T: Send + Sync + 'static,
+        A: Element,
+        B: Element,
+        S: Send + 'static,
+        F: Fn(&T, &mut DistArray<A>, &mut DistArray<B>, &mut S) + Send + Sync + 'static,
+    {
+        self.ensure_pool(plan.n_workers());
+        let pool = self.pool.as_ref().expect("pool just ensured");
+        let out = run_grid_pass_pooled(pool, plan, items, space, time, scratch, body);
+        self.absorb_thread_spans(&out.spans, out.wall_ns);
+        out
+    }
+
+    /// Executes one pass of a 1-D / fully-parallel schedule on real
+    /// cores; each worker's scratch carries its partition of the model
+    /// state (or a write buffer for buffered loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch count mismatches `plan` or a worker dies
+    /// mid-pass (with the worker's panic message).
+    pub fn run_pass_threaded_one_d<T, S, F>(
+        &mut self,
+        plan: &Arc<ThreadedPlan>,
+        items: &Arc<Vec<T>>,
+        scratch: Vec<S>,
+        body: &Arc<F>,
+    ) -> OneDPassOutput<S>
+    where
+        T: Send + Sync + 'static,
+        S: Send + 'static,
+        F: Fn(&T, &mut S) + Send + Sync + 'static,
+    {
+        self.ensure_pool(plan.n_workers());
+        let pool = self.pool.as_ref().expect("pool just ensured");
+        let out = run_one_d_pass_pooled(pool, plan, items, scratch, body);
+        self.absorb_thread_spans(&out.spans, out.wall_ns);
+        out
     }
 
     /// Models a data-parallel buffer flush: every worker ships `up_bytes`

@@ -54,8 +54,9 @@ pub use orion_ir::{
     SpecError, Subscript,
 };
 pub use orion_runtime::{
-    build_schedule, run_grid_pass_threaded, run_one_d_pass_threaded, IndexRecorder, PassStats,
-    PrefetchMode, Schedule,
+    build_schedule, default_threads, run_grid_pass_pooled, run_one_d_pass_pooled, GridPassOutput,
+    IndexRecorder, OneDPassOutput, PassStats, PrefetchMode, Schedule, ThreadPhase, ThreadSpan,
+    ThreadedPlan, WorkerPool,
 };
 pub use orion_sim::{
     ClusterSpec, CrashEvent, FaultPlan, LinkFault, PlanParseError, ProgressPoint, RunStats,

@@ -11,9 +11,10 @@
 //!   order while advancing virtual clocks and the simulated network
 //!   (rotated-partition pipelining of Fig. 8, served-array prefetch
 //!   round trips of §4.4, barriers and point-to-point waits);
-//! - [`run_grid_pass_threaded`] / [`run_one_d_pass_threaded`] execute the
-//!   same schedules on real OS threads with partition ownership and
-//!   channel-based rotation, proving the schedules' concurrency safety;
+//! - [`run_grid_pass_pooled`] / [`run_one_d_pass_pooled`] execute the
+//!   same schedules on a persistent [`WorkerPool`] of real OS threads
+//!   with partition ownership and zero-copy channel-based rotation —
+//!   the repo's real multi-core execution path;
 //! - [`comm_model_from_plan`] derives the communication model from the
 //!   analyzer's array placements.
 
@@ -22,15 +23,20 @@
 
 mod executor;
 mod model;
+mod pool;
 mod prefetch;
 mod schedule;
 mod threaded;
 
 pub use executor::{LoopCommModel, PassStats, SimExecutor, SlotLog, SlotRecord};
 pub use model::{comm_model_from_plan, comm_model_with_spec};
+pub use pool::{default_threads, Job, WorkerPool};
 pub use prefetch::{IndexRecorder, PrefetchCost, PrefetchMode, ServedModel};
 pub use schedule::{
     build_schedule, build_schedule_with, AwaitedTransfer, CompiledBlocks, Exec, Schedule,
     ScheduleOptions, SyncMode, PIPELINE_DEPTH,
 };
-pub use threaded::{run_grid_pass_threaded, run_one_d_pass_threaded};
+pub use threaded::{
+    run_grid_pass_pooled, run_one_d_pass_pooled, GridPassOutput, OneDPassOutput, ThreadPhase,
+    ThreadSpan, ThreadedPlan,
+};

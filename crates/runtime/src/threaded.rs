@@ -1,116 +1,265 @@
-//! Real multi-threaded execution of compiled schedules.
+//! Real multi-core execution of compiled schedules on a persistent
+//! [`WorkerPool`].
 //!
 //! The simulated executor proves *what* the distributed computation
-//! computes and models *when*; this engine proves the schedules are safe
-//! to run with true concurrency: workers become OS threads, the space
-//! partition of each parameter array is owned by its worker, and rotated
-//! time partitions travel between threads through channels, exactly like
-//! DistArray partitions travel between Orion executors (Fig. 8).
+//! computes and models *when*; this engine runs the same schedules with
+//! true concurrency: pool workers play the role of Orion executors, the
+//! space partition of each parameter array is owned by its worker, and
+//! rotated time partitions *move* between threads through channels —
+//! zero-copy, exactly like DistArray partitions travel between Orion
+//! executors (paper Fig. 8).
+//!
+//! Pipelined rotation: a worker sends the time partition it just
+//! finished with downstream *before* starting its next block, and the
+//! unbounded parcel channel double-buffers the partition at the
+//! receiver while it is still computing. With the schedule's pipeline
+//! depth of [`crate::schedule::PIPELINE_DEPTH`], every worker already
+//! holds its next partition locally when it finishes a block, so
+//! rotation overlaps compute instead of serializing it.
 //!
 //! Because every schedule produced by the analyzer is serializable, a
 //! threaded pass produces *bit-identical* results to the simulated
-//! single-threaded pass (asserted in the integration tests).
+//! single-threaded pass (asserted in app tests and the conformance
+//! proptests).
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use orion_dsm::{DistArray, Element};
 
-use crate::schedule::Schedule;
+use crate::pool::WorkerPool;
+use crate::schedule::{Exec, Schedule};
 
-/// Paired per-worker parcel channel endpoints.
-type ParcelChannels<B> = (Vec<Sender<Parcel<B>>>, Vec<Receiver<Parcel<B>>>);
+/// How long a blocked parcel/result wait sleeps between checks of the
+/// pool's poison flag. Long enough to be free on the happy path, short
+/// enough that a peer panic surfaces promptly.
+const POISON_POLL: Duration = Duration::from_millis(50);
 
 /// A rotated time partition in flight between workers.
 type Parcel<B> = (usize, DistArray<B>);
 
-/// What one worker thread returns: its id, its space partition, the
-/// parcels it kept (tail of the rotation), and its residual queue.
-type WorkerResult<A, B> = (
-    usize,
-    DistArray<A>,
-    Vec<Parcel<B>>,
-    std::collections::VecDeque<Parcel<B>>,
-);
+/// What a worker executes (compute) or waits on (rotation) during a
+/// threaded pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadPhase {
+    /// Running a block's iterations.
+    Compute,
+    /// Blocked receiving a rotated partition from upstream.
+    Rotation,
+}
 
-/// Executes one pass of a 2-D (grid) schedule on real threads.
+/// One timed phase of a worker's pass, in wall-clock nanoseconds
+/// relative to the pass start (shared across workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadSpan {
+    /// What the worker was doing.
+    pub phase: ThreadPhase,
+    /// Offset of the phase start from the pass start.
+    pub start_ns: u64,
+    /// Offset of the phase end from the pass start.
+    pub end_ns: u64,
+}
+
+/// A schedule compiled for the threaded engine: per-worker execution
+/// lists, the rotation topology (initial owners and forwarding edges),
+/// and the shared block table. Built once per loop and reused across
+/// passes and epochs behind an [`Arc`].
+#[derive(Debug, Clone)]
+pub struct ThreadedPlan {
+    n_workers: usize,
+    n_time: usize,
+    blocks: crate::schedule::CompiledBlocks,
+    /// Execution list of each worker, in step order.
+    per_worker: Vec<Vec<Exec>>,
+    /// `forward[w]` = `(step, dst)` pairs, sorted by step: after
+    /// finishing its step-`step` block, worker `w` sends the partition
+    /// it used to worker `dst`.
+    forward: Vec<Vec<(u64, usize)>>,
+    /// Time partitions each worker holds at pass start, in use order.
+    initial: Vec<Vec<usize>>,
+}
+
+impl ThreadedPlan {
+    /// Compiles `schedule` into the form the threaded engine executes.
+    /// Rotation edges whose source and destination coincide (single
+    /// worker owning the whole ring) become local re-enqueues: the
+    /// partition never leaves the thread, so the exec does not await a
+    /// channel.
+    pub fn compile(schedule: &Schedule) -> Self {
+        let n_workers = schedule.n_workers;
+        let n_time = schedule.n_time_partitions;
+        let rotated = schedule.time_partition.is_some();
+        let mut per_worker: Vec<Vec<Exec>> = vec![Vec::new(); n_workers];
+        let mut forward: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n_workers];
+        let mut initial: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+        for step in &schedule.steps {
+            for e in step {
+                let mut exec = *e;
+                if rotated {
+                    match e.awaited {
+                        None => initial[e.worker].push(e.block % n_time),
+                        Some(a) => {
+                            if a.from_worker == e.worker {
+                                exec.awaited = None;
+                            }
+                            forward[a.from_worker].push((a.sent_after_step, e.worker));
+                        }
+                    }
+                }
+                per_worker[e.worker].push(exec);
+            }
+        }
+        for f in &mut forward {
+            f.sort_unstable();
+        }
+        ThreadedPlan {
+            n_workers,
+            n_time,
+            blocks: schedule.blocks.clone(),
+            per_worker,
+            forward,
+            initial,
+        }
+    }
+
+    /// Workers the plan schedules (and the pool size it needs).
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Time partitions rotated by the plan.
+    pub fn n_time_partitions(&self) -> usize {
+        self.n_time
+    }
+
+    /// Item positions each worker touches, in execution order. Lets
+    /// callers shard per-item state (e.g. LDA topic assignments) into
+    /// per-worker scratch that the pass body consumes sequentially.
+    pub fn worker_positions(&self) -> Vec<Vec<u32>> {
+        self.per_worker
+            .iter()
+            .map(|execs| {
+                execs
+                    .iter()
+                    .flat_map(|e| self.blocks.items(e.block).iter().copied())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Total scheduled items.
+    pub fn total_items(&self) -> usize {
+        self.blocks.total_items()
+    }
+}
+
+/// Everything a grid pass hands back: space partitions (worker order),
+/// time partitions (partition order), per-worker scratch (worker
+/// order), per-worker timed phases, and the pass's wall-clock time.
+#[derive(Debug)]
+pub struct GridPassOutput<A: Element, B: Element, S> {
+    /// Space partitions after the pass, one per worker.
+    pub space: Vec<DistArray<A>>,
+    /// Rotated time partitions after the pass, in partition order.
+    pub time: Vec<DistArray<B>>,
+    /// Per-worker scratch state after the pass.
+    pub scratch: Vec<S>,
+    /// Timed compute/rotation phases per worker.
+    pub spans: Vec<Vec<ThreadSpan>>,
+    /// Wall-clock duration of the pass in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Everything a 1-D pass hands back: per-worker scratch (which carries
+/// the space partitions for partition-owning passes), spans, and
+/// wall-clock time.
+#[derive(Debug)]
+pub struct OneDPassOutput<S> {
+    /// Per-worker scratch state after the pass.
+    pub scratch: Vec<S>,
+    /// Timed compute phases per worker.
+    pub spans: Vec<Vec<ThreadSpan>>,
+    /// Wall-clock duration of the pass in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Executes one pass of a 2-D (grid) schedule on the pool.
 ///
-/// - `items`: the iteration items the schedule was built over.
+/// - `items`: the iteration items the schedule was built over, shared
+///   immutably with every worker.
 /// - `space_parts`: one partition of the space-aligned array per worker
 ///   (from [`DistArray::split_along`] with the schedule's
-///   `space_partition` ranges).
-/// - `time_parts`: one partition of the rotated array per time partition.
-/// - `body`: the loop body; it sees the iteration index/value and the
-///   worker's current space and time partitions.
-///
-/// Returns the space and time partitions after the pass (time partitions
-/// in index order).
+///   `space_partition` ranges); moved in, moved back out.
+/// - `time_parts`: one partition of the rotated array per time
+///   partition; moved through channels during rotation, never cloned.
+/// - `scratch`: arbitrary per-worker mutable state (buffers, RNG
+///   shards, counters) threaded through the pass.
+/// - `body`: the loop body, applied to each item against the worker's
+///   current space partition, the rotated partition, and its scratch.
 ///
 /// # Panics
 ///
-/// Panics if the partition counts do not match the schedule, or if a
-/// worker thread panics.
-pub fn run_grid_pass_threaded<TI, A, B, F>(
-    schedule: &Schedule,
-    items: &[(Vec<i64>, TI)],
+/// Panics if partition counts do not match the plan, if the pool is
+/// smaller than the plan's worker count, or — with the panicking
+/// worker's message — if a worker dies mid-pass.
+pub fn run_grid_pass_pooled<T, A, B, S, F>(
+    pool: &WorkerPool,
+    plan: &Arc<ThreadedPlan>,
+    items: &Arc<Vec<T>>,
     space_parts: Vec<DistArray<A>>,
     time_parts: Vec<DistArray<B>>,
-    body: F,
-) -> (Vec<DistArray<A>>, Vec<DistArray<B>>)
+    scratch: Vec<S>,
+    body: &Arc<F>,
+) -> GridPassOutput<A, B, S>
 where
-    TI: Sync,
+    T: Send + Sync + 'static,
     A: Element,
     B: Element,
-    F: Fn(&[i64], &TI, &mut DistArray<A>, &mut DistArray<B>) + Sync,
+    S: Send + 'static,
+    F: Fn(&T, &mut DistArray<A>, &mut DistArray<B>, &mut S) + Send + Sync + 'static,
 {
-    let n_workers = schedule.n_workers;
-    let n_time = schedule.n_time_partitions;
+    let n_workers = plan.n_workers;
+    let n_time = plan.n_time;
+    assert!(
+        pool.size() >= n_workers,
+        "pool has {} workers but the plan needs {n_workers}",
+        pool.size()
+    );
     assert_eq!(
         space_parts.len(),
         n_workers,
         "one space partition per worker"
     );
+    assert_eq!(scratch.len(), n_workers, "one scratch slot per worker");
     assert_eq!(
         time_parts.len(),
         n_time,
         "one array partition per time partition"
     );
 
-    // Initial owner of each time partition: the worker of its first
-    // non-awaited execution; forwarding destinations from the awaited
-    // edges of later executions.
-    let mut initial: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_workers];
-    // forward[(worker, step)] = destination worker for the partition used
-    // at that step.
-    let mut forward: std::collections::HashMap<(usize, u64), usize> =
-        std::collections::HashMap::new();
-    for step in &schedule.steps {
-        for e in step {
-            let tp = e.block % n_time;
-            match e.awaited {
-                None => initial[e.worker].push_back(tp),
-                Some(a) => {
-                    forward.insert((a.from_worker, a.sent_after_step), e.worker);
-                }
-            }
-        }
-    }
+    // Parcel channel per worker; each worker's sender table has its own
+    // slot empty (rotation edges never target their sender), so a pass
+    // abandoned on poison drops every foreign sender it holds.
+    type Endpoints<B> = (Vec<Sender<Parcel<B>>>, Vec<Receiver<Parcel<B>>>);
+    let (senders, receivers): Endpoints<B> = (0..n_workers).map(|_| channel()).unzip();
+    let sender_tables: Vec<Vec<Option<Sender<Parcel<B>>>>> = (0..n_workers)
+        .map(|w| {
+            senders
+                .iter()
+                .enumerate()
+                .map(|(dst, s)| (dst != w).then(|| s.clone()))
+                .collect()
+        })
+        .collect();
+    drop(senders);
 
-    // Per-worker execution lists in step order.
-    let mut per_worker: Vec<Vec<crate::schedule::Exec>> = vec![Vec::new(); n_workers];
-    for step in &schedule.steps {
-        for e in step {
-            per_worker[e.worker].push(*e);
-        }
-    }
-
-    // One channel per worker for incoming parcels.
-    let (senders, receivers): ParcelChannels<B> = (0..n_workers).map(|_| channel()).unzip();
-
-    // Hand each worker its initial time partitions.
+    // Seed each worker's local queue with its initial time partitions.
     let mut time_slot: Vec<Option<DistArray<B>>> = time_parts.into_iter().map(Some).collect();
     let mut local_queues: Vec<VecDeque<Parcel<B>>> = vec![VecDeque::new(); n_workers];
-    for (w, init) in initial.iter().enumerate() {
+    for (w, init) in plan.initial.iter().enumerate() {
         for &tp in init {
             let part = time_slot[tp].take().expect("each partition starts once");
             local_queues[w].push_back((tp, part));
@@ -121,119 +270,246 @@ where
         "every time partition must have an initial owner"
     );
 
-    let body = &body;
-    let forward = &forward;
-    let blocks = &schedule.blocks;
+    type GridResult<A, B, S> = (
+        usize,
+        DistArray<A>,
+        Vec<Parcel<B>>,
+        VecDeque<Parcel<B>>,
+        S,
+        Vec<ThreadSpan>,
+    );
+    let (result_tx, result_rx) = channel::<GridResult<A, B, S>>();
+    let poison = pool.poison_flag();
+    let start = Instant::now();
 
-    let mut out_space: Vec<Option<DistArray<A>>> = Vec::new();
-    let mut out_time: Vec<Option<DistArray<B>>> = (0..n_time).map(|_| None).collect();
+    let worker_inputs = space_parts
+        .into_iter()
+        .zip(local_queues)
+        .zip(scratch)
+        .zip(receivers)
+        .zip(sender_tables)
+        .enumerate();
+    for (w, ((((mut space, mut queue), mut sc), rx), mut senders)) in worker_inputs {
+        let plan = Arc::clone(plan);
+        let items = Arc::clone(items);
+        let body = Arc::clone(body);
+        let result_tx = result_tx.clone();
+        let poison = Arc::clone(&poison);
+        let job = Box::new(move || {
+            let mut kept: Vec<Parcel<B>> = Vec::new();
+            let mut spans: Vec<ThreadSpan> = Vec::new();
+            let mut forwards = plan.forward[w].iter();
+            let mut next_forward = forwards.next();
+            for e in &plan.per_worker[w] {
+                if e.awaited.is_some() {
+                    let wait_from = start.elapsed().as_nanos() as u64;
+                    match recv_parcel(&rx, &poison) {
+                        Some(parcel) => queue.push_back(parcel),
+                        None => return, // peer died; pass abandoned
+                    }
+                    spans.push(ThreadSpan {
+                        phase: ThreadPhase::Rotation,
+                        start_ns: wait_from,
+                        end_ns: start.elapsed().as_nanos() as u64,
+                    });
+                }
+                let (tp, mut part) = queue.pop_front().expect("schedule keeps queues fed");
+                debug_assert_eq!(tp, e.block % plan.n_time, "queue order must match schedule");
+                let block_from = start.elapsed().as_nanos() as u64;
+                for &pos in plan.blocks.items(e.block) {
+                    body(&items[pos as usize], &mut space, &mut part, &mut sc);
+                }
+                spans.push(ThreadSpan {
+                    phase: ThreadPhase::Compute,
+                    start_ns: block_from,
+                    end_ns: start.elapsed().as_nanos() as u64,
+                });
+                // Fig. 8: the partition leaves for its next worker
+                // before this worker starts its own next block.
+                match next_forward {
+                    Some(&(step, dst)) if step == e.step => {
+                        next_forward = forwards.next();
+                        if dst == w {
+                            // Single-owner ring: re-enqueue locally.
+                            queue.push_back((tp, part));
+                        } else {
+                            let tx = senders[dst].as_ref().expect("rotation edges cross workers");
+                            if tx.send((tp, part)).is_err() {
+                                return; // downstream died; pass abandoned
+                            }
+                        }
+                    }
+                    _ => kept.push((tp, part)),
+                }
+            }
+            // Release foreign senders before reporting so channel
+            // disconnects propagate even if the result is never read.
+            senders.clear();
+            drop(rx);
+            let _ = result_tx.send((w, space, kept, queue, sc, spans));
+        });
+        if let Err(_job) = pool.submit(w, job) {
+            break; // poison; the collection loop reports the panic
+        }
+    }
+    drop(result_tx);
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let worker_inputs = space_parts
-            .into_iter()
-            .zip(local_queues)
-            .zip(per_worker)
-            .zip(receivers)
-            .enumerate();
-        for (w, (((mut space, mut queue), execs), rx)) in worker_inputs {
-            let senders = senders.clone();
-            handles.push(scope.spawn(move || {
-                let mut kept: Vec<Parcel<B>> = Vec::new();
-                for e in execs {
-                    if e.awaited.is_some() {
-                        let parcel = rx.recv().expect("predecessor sends before finishing");
-                        queue.push_back(parcel);
-                    }
-                    let (tp, mut part) = queue.pop_front().expect("schedule keeps queues fed");
-                    debug_assert_eq!(tp, e.block % n_time, "queue order must match schedule");
-                    for &pos in blocks.items(e.block) {
-                        let (idx, val) = &items[pos as usize];
-                        body(idx, val, &mut space, &mut part);
-                    }
-                    match forward.get(&(w, e.step)) {
-                        Some(&dst) => senders[dst]
-                            .send((tp, part))
-                            .expect("receiver outlives the pass"),
-                        None => kept.push((tp, part)),
+    let mut results: Vec<GridResult<A, B, S>> = Vec::with_capacity(n_workers);
+    while results.len() < n_workers {
+        match result_rx.recv_timeout(POISON_POLL) {
+            Ok(r) => results.push(r),
+            Err(err) => {
+                if let Some(msg) = pool.panic_message() {
+                    panic!("{msg}");
+                }
+                if err == RecvTimeoutError::Disconnected {
+                    // Result senders vanished before the panic was
+                    // recorded; give the pool worker a beat to finish
+                    // unwinding, then report.
+                    std::thread::sleep(POISON_POLL);
+                    match pool.panic_message() {
+                        Some(msg) => panic!("{msg}"),
+                        None => panic!("threaded pass lost workers without a recorded panic"),
                     }
                 }
-                // Parcels sent to us but never executed (tail of the
-                // rotation) stay with us.
-                drop(rx);
-                (w, space, kept, queue)
-            }));
-        }
-        drop(senders);
-
-        let mut results: Vec<WorkerResult<A, B>> = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect();
-        results.sort_by_key(|r| r.0);
-        for (_, space, kept, queue) in results {
-            out_space.push(Some(space));
-            for (tp, part) in kept.into_iter().chain(queue) {
-                assert!(out_time[tp].is_none(), "time partition {tp} duplicated");
-                out_time[tp] = Some(part);
             }
         }
-    });
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
 
-    // Any parcel still in a channel at scope end would be a logic error;
-    // the queues above must have drained everything.
-    let space_out: Vec<DistArray<A>> = out_space.into_iter().map(Option::unwrap).collect();
-    let time_out: Vec<DistArray<B>> = out_time
+    results.sort_by_key(|r| r.0);
+    let mut out_space = Vec::with_capacity(n_workers);
+    let mut out_scratch = Vec::with_capacity(n_workers);
+    let mut out_spans = Vec::with_capacity(n_workers);
+    let mut out_time: Vec<Option<DistArray<B>>> = (0..n_time).map(|_| None).collect();
+    for (_, space, kept, queue, sc, spans) in results {
+        out_space.push(space);
+        out_scratch.push(sc);
+        out_spans.push(spans);
+        for (tp, part) in kept.into_iter().chain(queue) {
+            assert!(out_time[tp].is_none(), "time partition {tp} duplicated");
+            out_time[tp] = Some(part);
+        }
+    }
+    let time = out_time
         .into_iter()
         .enumerate()
         .map(|(tp, p)| p.unwrap_or_else(|| panic!("time partition {tp} lost")))
         .collect();
-    (space_out, time_out)
+    GridPassOutput {
+        space: out_space,
+        time,
+        scratch: out_scratch,
+        spans: out_spans,
+        wall_ns,
+    }
 }
 
-/// Executes one pass of a 1-D schedule on real threads: each worker owns
-/// its space partition of array `A`; there is no rotated array.
+/// Executes one pass of a 1-D (or fully-parallel) schedule on the
+/// pool: no rotated array, each worker runs its items against its own
+/// scratch (which typically carries its space partition).
 ///
 /// # Panics
 ///
-/// Panics if partition counts mismatch or a worker thread panics.
-pub fn run_one_d_pass_threaded<TI, A, F>(
-    schedule: &Schedule,
-    items: &[(Vec<i64>, TI)],
-    space_parts: Vec<DistArray<A>>,
-    body: F,
-) -> Vec<DistArray<A>>
+/// Panics if the scratch count does not match the plan, if the pool is
+/// too small, or — with the panicking worker's message — if a worker
+/// dies mid-pass.
+pub fn run_one_d_pass_pooled<T, S, F>(
+    pool: &WorkerPool,
+    plan: &Arc<ThreadedPlan>,
+    items: &Arc<Vec<T>>,
+    scratch: Vec<S>,
+    body: &Arc<F>,
+) -> OneDPassOutput<S>
 where
-    TI: Sync,
-    A: Element,
-    F: Fn(&[i64], &TI, &mut DistArray<A>) + Sync,
+    T: Send + Sync + 'static,
+    S: Send + 'static,
+    F: Fn(&T, &mut S) + Send + Sync + 'static,
 {
-    assert_eq!(
-        space_parts.len(),
-        schedule.n_workers,
-        "one space partition per worker"
+    let n_workers = plan.n_workers;
+    assert!(
+        pool.size() >= n_workers,
+        "pool has {} workers but the plan needs {n_workers}",
+        pool.size()
     );
-    let blocks = &schedule.blocks;
-    let body = &body;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = space_parts
-            .into_iter()
-            .enumerate()
-            .map(|(w, mut space)| {
-                scope.spawn(move || {
-                    for &pos in blocks.items(w) {
-                        let (idx, val) = &items[pos as usize];
-                        body(idx, val, &mut space);
+    assert_eq!(scratch.len(), n_workers, "one scratch slot per worker");
+    type OneDResult<S> = (usize, S, Vec<ThreadSpan>);
+    let (result_tx, result_rx) = channel::<OneDResult<S>>();
+    let start = Instant::now();
+    for (w, mut sc) in scratch.into_iter().enumerate() {
+        let plan = Arc::clone(plan);
+        let items = Arc::clone(items);
+        let body = Arc::clone(body);
+        let result_tx = result_tx.clone();
+        let job = Box::new(move || {
+            let mut spans = Vec::new();
+            for e in &plan.per_worker[w] {
+                let block_from = start.elapsed().as_nanos() as u64;
+                for &pos in plan.blocks.items(e.block) {
+                    body(&items[pos as usize], &mut sc);
+                }
+                spans.push(ThreadSpan {
+                    phase: ThreadPhase::Compute,
+                    start_ns: block_from,
+                    end_ns: start.elapsed().as_nanos() as u64,
+                });
+            }
+            let _ = result_tx.send((w, sc, spans));
+        });
+        if let Err(_job) = pool.submit(w, job) {
+            break;
+        }
+    }
+    drop(result_tx);
+
+    let mut results: Vec<OneDResult<S>> = Vec::with_capacity(n_workers);
+    while results.len() < n_workers {
+        match result_rx.recv_timeout(POISON_POLL) {
+            Ok(r) => results.push(r),
+            Err(err) => {
+                if let Some(msg) = pool.panic_message() {
+                    panic!("{msg}");
+                }
+                if err == RecvTimeoutError::Disconnected {
+                    std::thread::sleep(POISON_POLL);
+                    match pool.panic_message() {
+                        Some(msg) => panic!("{msg}"),
+                        None => panic!("threaded pass lost workers without a recorded panic"),
                     }
-                    space
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
+                }
+            }
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    results.sort_by_key(|r| r.0);
+    let mut out_scratch = Vec::with_capacity(n_workers);
+    let mut out_spans = Vec::with_capacity(n_workers);
+    for (_, sc, spans) in results {
+        out_scratch.push(sc);
+        out_spans.push(spans);
+    }
+    OneDPassOutput {
+        scratch: out_scratch,
+        spans: out_spans,
+        wall_ns,
+    }
+}
+
+/// Blocking parcel receive that bails out (returning `None`) when the
+/// pool is poisoned or the upstream sender vanished, so a peer panic
+/// can never deadlock the rotation ring.
+fn recv_parcel<B: Element>(rx: &Receiver<Parcel<B>>, poison: &AtomicBool) -> Option<Parcel<B>> {
+    loop {
+        match rx.recv_timeout(POISON_POLL) {
+            Ok(parcel) => return Some(parcel),
+            Err(RecvTimeoutError::Timeout) => {
+                if poison.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,70 +524,101 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn grid_pass_touches_every_item_against_owning_partitions() {
-        let items = grid_items(8, 8);
-        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+    /// Pool + plan + shared items for one grid schedule.
+    type GridSetup = (
+        WorkerPool,
+        Arc<ThreadedPlan>,
+        Arc<Vec<(Vec<i64>, f32)>>,
+        Schedule,
+    );
+
+    fn setup(
+        items: Vec<(Vec<i64>, f32)>,
+        extents: &[u64],
+        n_workers: usize,
+        ordered: bool,
+    ) -> GridSetup {
         let strat = Strategy::TwoD {
             space: 0,
             time: 1,
-            ordered: false,
+            ordered,
         };
-        let sched = build_schedule(&strat, &indices, &[8, 8], 4);
+        let indices: Vec<&[i64]> = items.iter().map(|(i, _)| i.as_slice()).collect();
+        let sched = build_schedule(&strat, &indices, extents, n_workers);
+        let plan = Arc::new(ThreadedPlan::compile(&sched));
+        (WorkerPool::new(n_workers), plan, Arc::new(items), sched)
+    }
 
+    #[test]
+    fn grid_pass_touches_every_item_against_owning_partitions() {
+        let (pool, plan, items, sched) = setup(grid_items(8, 8), &[8, 8], 4, false);
         // Space array: one counter per row; time array: one per column.
         let w: DistArray<u32> = DistArray::dense("w", vec![8, 1]);
         let h: DistArray<u32> = DistArray::dense("h", vec![8, 1]);
         let sp = sched.space_partition.as_ref().unwrap();
         let tp = sched.time_partition.as_ref().unwrap();
-        let w_parts = w.split_along(0, &sp.ranges);
-        let h_parts = h.split_along(0, &tp.ranges);
-
-        let (w_parts, h_parts) =
-            run_grid_pass_threaded(&sched, &items, w_parts, h_parts, |idx, _v, wp, hp| {
+        let body = Arc::new(
+            |(idx, _v): &(Vec<i64>, f32),
+             wp: &mut DistArray<u32>,
+             hp: &mut DistArray<u32>,
+             _: &mut ()| {
                 wp.update(&[idx[0], 0], |c| *c += 1);
                 hp.update(&[idx[1], 0], |c| *c += 1);
-            });
-        let w = DistArray::merge_along(0, w_parts);
-        let h = DistArray::merge_along(0, h_parts);
+            },
+        );
+        let out = run_grid_pass_pooled(
+            &pool,
+            &plan,
+            &items,
+            w.split_along(0, &sp.ranges),
+            h.split_along(0, &tp.ranges),
+            vec![(); 4],
+            &body,
+        );
+        let w = DistArray::merge_along(0, out.space);
+        let h = DistArray::merge_along(0, out.time);
         for r in 0..8 {
             assert_eq!(w.get(&[r, 0]), Some(&8));
             assert_eq!(h.get(&[r, 0]), Some(&8));
         }
+        assert_eq!(out.spans.len(), 4);
+        assert!(out.spans.iter().all(|s| !s.is_empty()));
+        assert!(out.wall_ns > 0);
     }
 
     #[test]
     fn grid_pass_matches_sequential_execution() {
         // Accumulate an order-independent function (sum of value*row) so
         // results must match a serial pass exactly.
-        let items = grid_items(10, 10);
-        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
-        let strat = Strategy::TwoD {
-            space: 0,
-            time: 1,
-            ordered: false,
-        };
-        let sched = build_schedule(&strat, &indices, &[10, 10], 5);
+        let (pool, plan, items, sched) = setup(grid_items(10, 10), &[10, 10], 5, false);
         let w: DistArray<f32> = DistArray::dense("w", vec![10, 1]);
         let h: DistArray<f32> = DistArray::dense("h", vec![10, 1]);
         let sp = sched.space_partition.clone().unwrap();
         let tp = sched.time_partition.clone().unwrap();
-        let (w_parts, h_parts) = run_grid_pass_threaded(
-            &sched,
-            &items,
-            w.clone().split_along(0, &sp.ranges),
-            h.clone().split_along(0, &tp.ranges),
-            |idx, v, wp, hp| {
+        let body = Arc::new(
+            |(idx, v): &(Vec<i64>, f32),
+             wp: &mut DistArray<f32>,
+             hp: &mut DistArray<f32>,
+             _: &mut ()| {
                 wp.update(&[idx[0], 0], |c| *c += v);
                 hp.update(&[idx[1], 0], |c| *c += v * 2.0);
             },
         );
-        let tw = DistArray::merge_along(0, w_parts);
-        let th = DistArray::merge_along(0, h_parts);
+        let out = run_grid_pass_pooled(
+            &pool,
+            &plan,
+            &items,
+            w.clone().split_along(0, &sp.ranges),
+            h.clone().split_along(0, &tp.ranges),
+            vec![(); 5],
+            &body,
+        );
+        let tw = DistArray::merge_along(0, out.space);
+        let th = DistArray::merge_along(0, out.time);
 
         let mut sw = w;
         let mut sh = h;
-        for (idx, v) in &items {
+        for (idx, v) in items.iter() {
             sw.update(&[idx[0], 0], |c| *c += v);
             sh.update(&[idx[1], 0], |c| *c += v * 2.0);
         }
@@ -321,50 +628,115 @@ mod tests {
 
     #[test]
     fn ordered_grid_pass_also_runs() {
-        let items = grid_items(6, 6);
-        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
-        let strat = Strategy::TwoD {
-            space: 0,
-            time: 1,
-            ordered: true,
-        };
-        let sched = build_schedule(&strat, &indices, &[6, 6], 3);
+        let (pool, plan, items, sched) = setup(grid_items(6, 6), &[6, 6], 3, true);
         let w: DistArray<u32> = DistArray::dense("w", vec![6, 1]);
         let h: DistArray<u32> = DistArray::dense("h", vec![6, 1]);
         let sp = sched.space_partition.clone().unwrap();
         let tp = sched.time_partition.clone().unwrap();
-        let (wp, hp) = run_grid_pass_threaded(
-            &sched,
-            &items,
-            w.split_along(0, &sp.ranges),
-            h.split_along(0, &tp.ranges),
-            |idx, _v, wp, hp| {
+        let body = Arc::new(
+            |(idx, _v): &(Vec<i64>, f32),
+             wp: &mut DistArray<u32>,
+             hp: &mut DistArray<u32>,
+             _: &mut ()| {
                 wp.update(&[idx[0], 0], |c| *c += 1);
                 hp.update(&[idx[1], 0], |c| *c += 1);
             },
         );
-        let w = DistArray::merge_along(0, wp);
-        let h = DistArray::merge_along(0, hp);
+        let out = run_grid_pass_pooled(
+            &pool,
+            &plan,
+            &items,
+            w.split_along(0, &sp.ranges),
+            h.split_along(0, &tp.ranges),
+            vec![(); 3],
+            &body,
+        );
+        let w = DistArray::merge_along(0, out.space);
+        let h = DistArray::merge_along(0, out.time);
         assert!(w.iter().all(|(_, &c)| c == 6));
         assert!(h.iter().all(|(_, &c)| c == 6));
     }
 
     #[test]
-    fn one_d_pass_threaded_counts() {
+    fn one_d_pass_pooled_counts() {
         let items = grid_items(8, 4);
-        let indices: Vec<Vec<i64>> = items.iter().map(|(i, _)| i.clone()).collect();
+        let indices: Vec<&[i64]> = items.iter().map(|(i, _)| i.as_slice()).collect();
         let sched = build_schedule(&Strategy::OneD { dim: 0 }, &indices, &[8, 4], 4);
+        let plan = Arc::new(ThreadedPlan::compile(&sched));
+        let pool = WorkerPool::new(plan.n_workers());
+        let items = Arc::new(items);
         let w: DistArray<u32> = DistArray::dense("w", vec![8, 1]);
         let sp = sched.space_partition.clone().unwrap();
-        let parts = run_one_d_pass_threaded(
-            &sched,
-            &items,
-            w.split_along(0, &sp.ranges),
-            |idx, _v, wp| {
+        let body = Arc::new(|(idx, _v): &(Vec<i64>, f32), wp: &mut DistArray<u32>| {
+            wp.update(&[idx[0], 0], |c| *c += 1);
+        });
+        let out = run_one_d_pass_pooled(&pool, &plan, &items, w.split_along(0, &sp.ranges), &body);
+        let w = DistArray::merge_along(0, out.scratch);
+        assert!(w.iter().all(|(_, &c)| c == 4));
+    }
+
+    #[test]
+    fn pool_is_reused_across_passes_and_epochs() {
+        let (pool, plan, items, sched) = setup(grid_items(8, 8), &[8, 8], 4, false);
+        let sp = sched.space_partition.clone().unwrap();
+        let tp = sched.time_partition.clone().unwrap();
+        let body = Arc::new(
+            |(idx, _v): &(Vec<i64>, f32),
+             wp: &mut DistArray<u32>,
+             hp: &mut DistArray<u32>,
+             _: &mut ()| {
                 wp.update(&[idx[0], 0], |c| *c += 1);
+                hp.update(&[idx[1], 0], |c| *c += 1);
             },
         );
-        let w = DistArray::merge_along(0, parts);
-        assert!(w.iter().all(|(_, &c)| c == 4));
+        let mut w_parts = DistArray::<u32>::dense("w", vec![8, 1]).split_along(0, &sp.ranges);
+        let mut h_parts = DistArray::<u32>::dense("h", vec![8, 1]).split_along(0, &tp.ranges);
+        for _ in 0..3 {
+            let out =
+                run_grid_pass_pooled(&pool, &plan, &items, w_parts, h_parts, vec![(); 4], &body);
+            w_parts = out.space;
+            h_parts = out.time;
+        }
+        let w = DistArray::merge_along(0, w_parts);
+        assert!(w.iter().all(|(_, &c)| c == 24));
+        assert!(!pool.is_poisoned());
+    }
+
+    #[test]
+    fn worker_panic_mid_pass_propagates_with_a_message() {
+        let (pool, plan, items, sched) = setup(grid_items(8, 8), &[8, 8], 4, false);
+        let sp = sched.space_partition.clone().unwrap();
+        let tp = sched.time_partition.clone().unwrap();
+        let body = Arc::new(
+            |(idx, _v): &(Vec<i64>, f32),
+             _wp: &mut DistArray<u32>,
+             _hp: &mut DistArray<u32>,
+             _: &mut ()| {
+                assert!(idx[0] != 5, "poisoned row reached the loop body");
+            },
+        );
+        let w: DistArray<u32> = DistArray::dense("w", vec![8, 1]);
+        let h: DistArray<u32> = DistArray::dense("h", vec![8, 1]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_grid_pass_pooled(
+                &pool,
+                &plan,
+                &items,
+                w.split_along(0, &sp.ranges),
+                h.split_along(0, &tp.ranges),
+                vec![(); 4],
+                &body,
+            )
+        }));
+        let payload = result.expect_err("pass must propagate the worker panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("panicked") && msg.contains("poisoned row"),
+            "unhelpful propagated message: {msg}"
+        );
+        assert!(pool.is_poisoned());
     }
 }

@@ -12,9 +12,9 @@
 use orion::apps::chaos::ChaosConfig;
 use orion::apps::sgd_mf::{
     train_orion, train_orion_chaos, train_orion_chaos_traced, train_orion_traced, train_serial,
-    MfConfig, MfPsAdapter, MfRunConfig,
+    train_threaded, train_threaded_traced, MfConfig, MfPsAdapter, MfRunConfig,
 };
-use orion::core::{clean_checkpoints, ClusterSpec, FaultPlan};
+use orion::core::{clean_checkpoints, default_threads, ClusterSpec, FaultPlan};
 use orion::data::{RatingsConfig, RatingsData};
 use orion::ps::{PsConfig, PsEngine};
 use orion::trace::write_perfetto;
@@ -25,6 +25,23 @@ fn trace_arg() -> Option<std::path::PathBuf> {
     while let Some(a) = args.next() {
         if a == "--trace" {
             return args.next().map(Into::into);
+        }
+    }
+    None
+}
+
+/// `--threads N` from argv: worker threads for the real multi-core run
+/// (default: available parallelism).
+fn threads_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return Some(
+                args.next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads takes a positive integer"),
+            );
         }
     }
     None
@@ -104,7 +121,7 @@ fn main() {
     // The data-parallel baseline gets its own tuned (smaller) step size,
     // the largest that stays stable under conflicting updates.
     let mut ps = PsEngine::new(
-        MfPsAdapter::new(&data, cfg),
+        MfPsAdapter::new(&data, cfg.clone()),
         PsConfig::vanilla(cluster, 0.02),
     );
     if trace_path.is_some() {
@@ -144,11 +161,40 @@ fn main() {
         orion_stats.progress.last().unwrap().time,
     );
 
-    if let (Some(path), Some(artifacts), Some(ps_session)) = (trace_path, orion_trace, ps_trace) {
+    // ---- The real multi-core execution path: the same schedule on a
+    // persistent pool of OS threads, bit-identical to the simulated
+    // engine, with Compute/Rotation spans from the actual threads. ----
+    let threads = threads_arg().unwrap_or_else(default_threads);
+    let wall_start = std::time::Instant::now();
+    let (thr_stats, thr_trace) = if trace_path.is_some() {
+        let (_, stats, artifacts) = train_threaded_traced(&data, cfg, threads, passes, false);
+        (stats, Some(artifacts))
+    } else {
+        let (_, stats) = train_threaded(&data, cfg, threads, passes, false);
+        (stats, None)
+    };
+    let wall = wall_start.elapsed();
+    println!(
+        "threaded engine ({threads} worker thread(s)): real wall-clock {:.1} ms \
+         for {passes} passes, final loss {:.1}",
+        wall.as_secs_f64() * 1e3,
+        thr_stats.final_metric().unwrap(),
+    );
+
+    if let (Some(path), Some(artifacts), Some(ps_session), Some(thr)) =
+        (trace_path, orion_trace, ps_trace, thr_trace)
+    {
         let file = std::fs::File::create(&path).expect("create trace file");
         let mut w = std::io::BufWriter::new(file);
-        write_perfetto(&mut w, &[artifacts.session.view(), ps_session.view()])
-            .expect("write trace");
+        write_perfetto(
+            &mut w,
+            &[
+                artifacts.session.view(),
+                ps_session.view(),
+                thr.session.view(),
+            ],
+        )
+        .expect("write trace");
         let report_path = format!("{}.report.json", path.display());
         std::fs::write(&report_path, artifacts.report.to_json()).expect("write report");
         println!("\n{}", artifacts.report.render());

@@ -11,9 +11,10 @@
 
 use orion::apps::chaos::ChaosConfig;
 use orion::apps::slr::{
-    train_orion, train_orion_chaos, train_orion_traced, SlrConfig, SlrRunConfig,
+    train_orion, train_orion_chaos, train_orion_traced, train_threaded, train_threaded_traced,
+    SlrConfig, SlrRunConfig,
 };
-use orion::core::{clean_checkpoints, ClusterSpec, FaultPlan, PrefetchMode};
+use orion::core::{clean_checkpoints, default_threads, ClusterSpec, FaultPlan, PrefetchMode};
 use orion::data::{SparseConfig, SparseData};
 use orion::trace::write_perfetto;
 
@@ -23,6 +24,23 @@ fn trace_arg() -> Option<std::path::PathBuf> {
     while let Some(a) = args.next() {
         if a == "--trace" {
             return args.next().map(Into::into);
+        }
+    }
+    None
+}
+
+/// `--threads N` from argv: worker threads for the real multi-core run
+/// (default: available parallelism).
+fn threads_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return Some(
+                args.next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads takes a positive integer"),
+            );
         }
     }
     None
@@ -109,6 +127,30 @@ fn main() {
         let secs = stats.progress.last().unwrap().time.as_secs_f64() / passes as f64;
         rows.push((label, secs, stats.final_metric().unwrap()));
     }
+
+    // ---- The real multi-core execution path: the buffered 1-D pass on
+    // a persistent pool of OS threads, bit-identical to the simulated
+    // engine. ----
+    let threads = threads_arg().unwrap_or_else(default_threads);
+    let thr_cfg = SlrConfig {
+        step_size: 0.002,
+        adaptive: false,
+    };
+    let wall_start = std::time::Instant::now();
+    let thr_stats = if trace_path.is_some() {
+        let (_, stats, artifacts) = train_threaded_traced(&data, thr_cfg, threads, passes);
+        sessions.push(artifacts.session);
+        stats
+    } else {
+        train_threaded(&data, thr_cfg, threads, passes).1
+    };
+    let wall = wall_start.elapsed();
+    println!(
+        "\nthreaded engine ({threads} worker thread(s)): real wall-clock {:.1} ms \
+         for {passes} passes, final loss {:.4}",
+        wall.as_secs_f64() * 1e3,
+        thr_stats.final_metric().unwrap(),
+    );
 
     if let Some(path) = &trace_path {
         let file = std::fs::File::create(path).expect("create trace file");
