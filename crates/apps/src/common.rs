@@ -1,6 +1,13 @@
 //! Shared helpers for the ML applications.
 
-use orion_core::{Driver, OwnedSession, RunReport, Schedule};
+use orion_core::{Driver, Float, OwnedSession, RunReport, Schedule};
+
+// The dtype-generic inner-loop helpers shared by the applications. These
+// live in the kernel layer (`orion_dsm::kernels`) so every app — and
+// both execution engines — runs the same generic code path at the
+// element type it stores: f64 gradients never narrow through an f32
+// helper signature.
+pub use orion_core::kernels::{cp_update_rows, dot, feature_histogram, gather_sum, BinStat};
 
 /// Trace artifacts of one traced run: the session for Perfetto export
 /// and the compact run report (see `docs/OBSERVABILITY.md`).
@@ -62,13 +69,14 @@ pub mod cost {
     const _: () = assert!(ORION_OVERHEAD > 1.0);
 }
 
-/// Numerically stable logistic sigmoid.
-pub fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
+/// Numerically stable logistic sigmoid, generic over the element dtype
+/// (f32 callers keep f32 arithmetic, f64 callers never narrow).
+pub fn sigmoid<T: Float>(x: T) -> T {
+    if x >= T::ZERO {
+        T::ONE / (T::ONE + (-x).exp())
     } else {
         let e = x.exp();
-        e / (1.0 + e)
+        e / (T::ONE + e)
     }
 }
 

@@ -11,7 +11,9 @@
 
 use std::sync::Arc;
 
-use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript};
+use orion_core::{
+    kernels, ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript,
+};
 use orion_data::TabularData;
 
 use crate::common::{cost, span_capacity, TraceArtifacts};
@@ -124,42 +126,13 @@ impl GbtModel {
     }
 }
 
-/// Per-(node, bin) gradient statistics of one feature.
-#[derive(Debug, Clone, Copy, Default)]
-struct BinStat {
-    sum_g: f64,
-    count: u64,
-}
+/// Per-(node, bin) gradient statistics of one feature. Gradients are
+/// f64, so the kernel's gradient dtype matches — no silent narrowing
+/// through the f32 feature array.
+type BinStat = kernels::BinStat<f64>;
 
 /// Sentinel for "node is not a leaf this level".
 const NO_SLOT: usize = usize::MAX;
-
-/// Accumulates one feature's gradient histogram for one tree level —
-/// the body of the parallelized split-finding loop, shared verbatim by
-/// the simulated and threaded execution paths.
-#[allow(clippy::too_many_arguments)]
-fn feature_histogram(
-    f: usize,
-    n_samples: usize,
-    n_features: usize,
-    n_bins: usize,
-    features: &[f32],
-    slot_of_node: &[usize],
-    assign: &[usize],
-    grads: &[f64],
-    hist: &mut [BinStat],
-) {
-    for i in 0..n_samples {
-        let slot = slot_of_node[assign[i]];
-        if slot == NO_SLOT {
-            continue;
-        }
-        let bin = ((features[i * n_features + f] * n_bins as f32) as usize).min(n_bins - 1);
-        let s = &mut hist[slot * n_bins + bin];
-        s.sum_g += grads[i];
-        s.count += 1;
-    }
-}
 
 /// Picks the best split per leaf from the gathered histograms and grows
 /// the tree one level; returns whether any leaf split.
@@ -178,7 +151,7 @@ fn grow_level(
             // totals are feature-independent; take feature 0
             for b in 0..n_bins {
                 let s = hists[0][slot * n_bins + b];
-                acc.sum_g += s.sum_g;
+                acc.sum += s.sum;
                 acc.count += s.count;
             }
             acc
@@ -191,16 +164,16 @@ fn grow_level(
             let mut left = BinStat::default();
             for b in 0..n_bins - 1 {
                 let s = hist[slot * n_bins + b];
-                left.sum_g += s.sum_g;
+                left.sum += s.sum;
                 left.count += s.count;
-                let right_g = total.sum_g - left.sum_g;
+                let right_g = total.sum - left.sum;
                 let right_n = total.count - left.count;
                 if left.count < 4 || right_n < 4 {
                     continue;
                 }
-                let gain = left.sum_g * left.sum_g / left.count as f64
+                let gain = left.sum * left.sum / left.count as f64
                     + right_g * right_g / right_n as f64
-                    - total.sum_g * total.sum_g / total.count as f64;
+                    - total.sum * total.sum / total.count as f64;
                 if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-9) {
                     best = Some((gain, f, b));
                 }
@@ -368,7 +341,7 @@ fn train_orion_impl(
                 vec![vec![BinStat::default(); leaves.len() * n_bins]; n_features];
             driver.run_pass(&compiled, &mut |_pos| feature_cost, &mut |_w, pos| {
                 let f = items[pos].1 as usize;
-                feature_histogram(
+                kernels::feature_histogram(
                     f,
                     n_samples,
                     n_features,
@@ -377,6 +350,7 @@ fn train_orion_impl(
                     &slot_of_node,
                     &assign,
                     &grads,
+                    NO_SLOT,
                     &mut hists[f],
                 );
             });
@@ -471,9 +445,9 @@ pub fn train_threaded(data: &TabularData, cfg: GbtConfig, threads: usize) -> (Gb
             let (g2, x2) = (Arc::clone(&grads), Arc::clone(&x));
             let body = Arc::new(move |&f: &u32, sc: &mut Vec<(u32, Vec<BinStat>)>| {
                 let mut hist = vec![BinStat::default(); hist_len];
-                feature_histogram(
+                kernels::feature_histogram(
                     f as usize, n_samples, n_features, n_bins, &x2, &slots, &assigned, &g2,
-                    &mut hist,
+                    NO_SLOT, &mut hist,
                 );
                 sc.push((f, hist));
             });

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Subscript};
 use orion_data::CorpusData;
+use orion_dsm::kernels;
 use orion_ps::{PsApp, PsView, UpdateLog};
 
 use crate::common::{cost, mix64, span_capacity, TraceArtifacts};
@@ -154,13 +155,9 @@ pub fn gibbs_cell(
         dt_row[old] -= 1;
         wt_row[old] -= 1;
         ts[old] -= 1;
-        let mut total = 0.0f64;
-        for t in 0..k {
-            let w = (dt_row[t] as f64 + alpha) * (wt_row[t] as f64 + beta)
-                / ((ts[t].max(0) as f64) + vbeta);
-            total += w;
-            weights[t] = total;
-        }
+        // The count-histogram weight loop, vectorized behind the kernel
+        // dispatch (bit-identical to the fused form for every input).
+        let total = kernels::topic_cdf(dt_row, wt_row, ts, alpha, beta, vbeta, &mut weights);
         let u = (mix64(pass.wrapping_mul(0x9E37_79B9) ^ (cell_pos as u64) << 24 ^ occ as u64)
             as f64
             / u64::MAX as f64)

@@ -15,9 +15,11 @@
 
 use std::sync::Arc;
 
-use orion_core::{ClusterSpec, DistArray, Driver, LoopSpec, RunStats, Strategy, Subscript};
+use orion_core::{
+    ClusterSpec, DistArray, Driver, LoopSpec, MathMode, RunStats, Strategy, Subscript,
+};
 use orion_data::RatingsData;
-use orion_dsm::Element;
+use orion_dsm::{kernels, Element};
 use orion_ps::{PsApp, PsView, UpdateLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +41,12 @@ pub struct MfConfig {
     pub adaptive: bool,
     /// Initialization seed.
     pub seed: u64,
+    /// Floating-point reduction policy for the inner dot products.
+    /// `Exact` (the default) keeps bit-identity with the serial seed;
+    /// `FastMath` opts into vectorized multi-accumulator reductions
+    /// (deterministic, differently associated — validated by the
+    /// convergence-equivalence tests).
+    pub math: MathMode,
 }
 
 impl MfConfig {
@@ -49,7 +57,14 @@ impl MfConfig {
             step_size: 0.05,
             adaptive: false,
             seed: 7,
+            math: MathMode::Exact,
         }
+    }
+
+    /// Opts this run into [`MathMode::FastMath`] reductions.
+    pub fn fast_math(mut self) -> Self {
+        self.math = MathMode::FastMath;
+        self
     }
 }
 
@@ -90,7 +105,7 @@ impl MfModel {
 
     /// Squared prediction error of one rating under the current factors.
     pub fn sq_err(&self, u: i64, i: i64, v: f32) -> f64 {
-        let p = dot(self.w.row_slice(u), self.h.row_slice(i));
+        let p = kernels::dot(self.w.row_slice(u), self.h.row_slice(i), self.cfg.math);
         ((v - p) as f64).powi(2)
     }
 
@@ -106,7 +121,13 @@ impl MfModel {
     /// squared error.
     pub fn sgd_update(&mut self, u: i64, i: i64, v: f32) -> f64 {
         let step = self.effective_step(u, i, v);
-        mf_update(self.w.row_slice_mut(u), self.h.row_slice_mut(i), v, step)
+        kernels::mf_row_update(
+            self.w.row_slice_mut(u),
+            self.h.row_slice_mut(i),
+            v,
+            step,
+            self.cfg.math,
+        )
     }
 
     /// The (possibly adaptive) step for one rating, updating the
@@ -115,7 +136,7 @@ impl MfModel {
         if !self.cfg.adaptive {
             return self.cfg.step_size;
         }
-        let diff = v - dot(self.w.row_slice(u), self.h.row_slice(i));
+        let diff = v - kernels::dot(self.w.row_slice(u), self.h.row_slice(i), self.cfg.math);
         let g2 = (diff * diff).min(1e6);
         self.wz2[u as usize] += g2;
         self.hz2[i as usize] += g2;
@@ -127,24 +148,19 @@ impl MfModel {
     }
 }
 
-/// Dot product of two equal-length rows.
+/// Dot product of two equal-length rows, in exact (seed-bit-identical)
+/// reduction order. Mode-aware callers go through
+/// [`orion_dsm::kernels::dot`] directly.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b, MathMode::Exact)
 }
 
 /// The core SGD MF update on raw rows: `W_row -= step * grad_w`,
 /// `H_row -= step * grad_h` (Alg. 1). Returns the pre-update squared
-/// error. Shared by every engine (serial, simulated, threaded, PS).
+/// error. Shared by every engine (serial, simulated, threaded, PS);
+/// delegates to [`orion_dsm::kernels::mf_row_update`] in exact mode.
 pub fn mf_update(w_row: &mut [f32], h_row: &mut [f32], v: f32, step: f32) -> f64 {
-    let pred = dot(w_row, h_row);
-    let diff = v - pred;
-    for (wx, hx) in w_row.iter_mut().zip(h_row.iter_mut()) {
-        let (w0, h0) = (*wx, *hx);
-        // W_grad = -2 diff H; H_grad = -2 diff W.
-        *wx = w0 + step * 2.0 * diff * h0;
-        *hx = h0 + step * 2.0 * diff * w0;
-    }
-    (diff as f64).powi(2)
+    kernels::mf_row_update(w_row, h_row, v, step, MathMode::Exact)
 }
 
 /// How a run is labeled, sized and ordered.
@@ -208,6 +224,7 @@ fn train_orion_impl(
     let mut model = MfModel::new(dims[0], dims[1], cfg);
 
     let mut driver = Driver::new(run.cluster.clone());
+    driver.set_math_mode(model.cfg.math);
     let z_id = driver.register(&data.ratings);
     let w_id = driver.register(&model.w);
     let h_id = driver.register(&model.h);
@@ -456,6 +473,7 @@ fn train_threaded_impl(
     let dims = data.ratings.shape().dims().to_vec();
     let mut driver = Driver::new(cluster);
     driver.set_threads(threads);
+    driver.set_math_mode(model.cfg.math);
     let z_id = driver.register(&data.ratings);
     let w_id = driver.register(&model.w);
     let h_id = driver.register(&model.h);
@@ -476,6 +494,7 @@ fn train_threaded_impl(
         .expect("2-D schedule has a time partition");
 
     let step = model.cfg.step_size;
+    let mode = driver.math_mode();
     let cfg = model.cfg.clone();
     let (wz2, hz2) = (model.wz2, model.hz2);
     let mut w_parts = model.w.split_along(0, &sp.ranges);
@@ -489,7 +508,7 @@ fn train_threaded_impl(
               wp: &mut DistArray<f32>,
               hp: &mut DistArray<f32>,
               _: &mut ()| {
-            mf_update(wp.row_slice_mut(u), hp.row_slice_mut(i), v, step);
+            kernels::mf_row_update(wp.row_slice_mut(u), hp.row_slice_mut(i), v, step, mode);
         },
     );
     let n_workers = plan.n_workers();

@@ -12,10 +12,11 @@
 //! running the loop body against an [`IndexRecorder`].
 
 use orion_core::{
-    ClusterSpec, DistArray, DistArrayBuffer, Driver, IndexRecorder, LoopSpec, PrefetchMode,
-    RunStats, Strategy, Subscript,
+    ClusterSpec, DistArray, DistArrayBuffer, Driver, IndexRecorder, LoopSpec, MathMode,
+    PrefetchMode, RunStats, Strategy, Subscript,
 };
 use orion_data::SparseData;
+use orion_dsm::kernels;
 use std::sync::Arc;
 
 use crate::chaos::{run_chaos_loop, ChaosConfig, ChaosReport};
@@ -30,6 +31,10 @@ pub struct SlrConfig {
     /// AdaGrad-style adaptive step in the buffer-apply UDF (the
     /// "SLR AdaRev" variant of Table 2).
     pub adaptive: bool,
+    /// Floating-point reduction policy for the margin gather-sums.
+    /// `Exact` (the default) keeps bit-identity with the serial seed;
+    /// `FastMath` opts into vectorized multi-accumulator reductions.
+    pub math: MathMode,
 }
 
 impl SlrConfig {
@@ -38,7 +43,14 @@ impl SlrConfig {
         SlrConfig {
             step_size: 0.1,
             adaptive: false,
+            math: MathMode::Exact,
         }
+    }
+
+    /// Opts this run into [`MathMode::FastMath`] reductions.
+    pub fn fast_math(mut self) -> Self {
+        self.math = MathMode::FastMath;
+        self
     }
 }
 
@@ -69,9 +81,10 @@ impl SlrModel {
         }
     }
 
-    /// Margin of one sample under a weight lookup function.
-    fn margin_with(features: &[u32], get: impl Fn(u32) -> f32) -> f32 {
-        features.iter().map(|&f| get(f)).sum()
+    /// Margin of one sample under a weight lookup function: a gathered
+    /// sum over the sample's active features, reduced per `mode`.
+    fn margin_with(features: &[u32], get: impl FnMut(u32) -> f32, mode: MathMode) -> f32 {
+        kernels::gather_sum(features, get, mode)
     }
 
     /// Mean logistic loss over the dataset.
@@ -82,7 +95,11 @@ impl SlrModel {
     pub fn loss(&self, data: &SparseData) -> f64 {
         let mut total = 0.0f64;
         for s in &data.samples {
-            let m = Self::margin_with(&s.features, |f| self.weights.get_flat_or_default(f as u64));
+            let m = Self::margin_with(
+                &s.features,
+                |f| self.weights.get_flat_or_default(f as u64),
+                self.cfg.math,
+            );
             let ym = s.label as f32 * m;
             // log(1 + exp(-ym)), stable.
             total += if ym > 30.0 {
@@ -157,6 +174,8 @@ fn train_orion_impl(
     let items: Vec<(Vec<i64>, f32)> = samples_arr.iter().map(|(i, &v)| (i, v)).collect();
 
     let mut driver = Driver::new(run.cluster.clone());
+    driver.set_math_mode(model.cfg.math);
+    let mode = driver.math_mode();
     let samples_id = driver.register(&samples_arr);
     let weights_id = driver.register(&model.weights);
     driver.set_served_reads_per_iter(data.mean_nnz());
@@ -204,9 +223,11 @@ fn train_orion_impl(
                 let sample = &data.samples[pos];
                 let buf = &mut buffers[w];
                 // Worker view: shared snapshot + its own buffered writes.
-                let margin = SlrModel::margin_with(&sample.features, |f| {
-                    weights.get_flat_or_default(f as u64) + buf_read(buf, f)
-                });
+                let margin = SlrModel::margin_with(
+                    &sample.features,
+                    |f| weights.get_flat_or_default(f as u64) + buf_read(buf, f),
+                    mode,
+                );
                 let coef = logistic_grad_coef(sample.label, margin);
                 for &f in &sample.features {
                     buf.write(&[f as i64], -step * coef);
@@ -258,6 +279,8 @@ pub fn train_orion_chaos(
     let items: Vec<(Vec<i64>, f32)> = samples_arr.iter().map(|(i, &v)| (i, v)).collect();
 
     let mut driver = Driver::new(run.cluster.clone());
+    driver.set_math_mode(model.cfg.math);
+    let mode = driver.math_mode();
     let samples_id = driver.register(&samples_arr);
     let weights_id = driver.register(&model.weights);
     driver.set_served_reads_per_iter(data.mean_nnz());
@@ -304,9 +327,11 @@ pub fn train_orion_chaos(
                     driver.run_pass_checked(&compiled, &mut |pos| iter_cost[pos], &mut |w, pos| {
                         let sample = &data.samples[pos];
                         let buf = &mut buffers[w];
-                        let margin = SlrModel::margin_with(&sample.features, |f| {
-                            weights.get_flat_or_default(f as u64) + buf_read(buf, f)
-                        });
+                        let margin = SlrModel::margin_with(
+                            &sample.features,
+                            |f| weights.get_flat_or_default(f as u64) + buf_read(buf, f),
+                            mode,
+                        );
                         let coef = logistic_grad_coef(sample.label, margin);
                         for &f in &sample.features {
                             buf.write(&[f as i64], -step * coef);
@@ -419,6 +444,8 @@ fn train_threaded_impl(
 
     let mut driver = Driver::new(ClusterSpec::new(1, threads));
     driver.set_threads(threads);
+    driver.set_math_mode(model.cfg.math);
+    let mode = driver.math_mode();
     let samples_id = driver.register(&samples_arr);
     let weights_id = driver.register(&model.weights);
     driver.set_served_reads_per_iter(data.mean_nnz());
@@ -453,9 +480,11 @@ fn train_threaded_impl(
             let weights = Arc::clone(&weights);
             Arc::new(
                 move |sample: &orion_data::SparseSample, buf: &mut DistArrayBuffer<f32>| {
-                    let margin = SlrModel::margin_with(&sample.features, |f| {
-                        weights.get_flat_or_default(f as u64) + buf_read(buf, f)
-                    });
+                    let margin = SlrModel::margin_with(
+                        &sample.features,
+                        |f| weights.get_flat_or_default(f as u64) + buf_read(buf, f),
+                        mode,
+                    );
                     let coef = logistic_grad_coef(sample.label, margin);
                     for &f in &sample.features {
                         buf.write(&[f as i64], -step * coef);
@@ -480,6 +509,8 @@ fn train_threaded_impl(
 pub fn train_serial(data: &SparseData, cfg: SlrConfig, passes: u64) -> (SlrModel, RunStats) {
     let mut model = SlrModel::new(data.config.n_features, cfg);
     let mut driver = Driver::new(ClusterSpec::serial());
+    driver.set_math_mode(model.cfg.math);
+    let mode = driver.math_mode();
     let samples_arr: DistArray<f32> = DistArray::sparse_from(
         "samples",
         vec![data.samples.len() as u64],
@@ -513,9 +544,11 @@ pub fn train_serial(data: &SparseData, cfg: SlrConfig, passes: u64) -> (SlrModel
             let step = model.cfg.step_size;
             driver.run_pass(&compiled, &mut |pos| iter_cost[pos], &mut |_w, pos| {
                 let sample = &data.samples[pos];
-                let margin = SlrModel::margin_with(&sample.features, |f| {
-                    weights.get_flat_or_default(f as u64)
-                });
+                let margin = SlrModel::margin_with(
+                    &sample.features,
+                    |f| weights.get_flat_or_default(f as u64),
+                    mode,
+                );
                 let coef = logistic_grad_coef(sample.label, margin);
                 for &f in &sample.features {
                     weights.update_flat(f as u64, |w| *w -= step * coef);

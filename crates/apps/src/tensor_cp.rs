@@ -21,7 +21,8 @@
 use std::sync::Arc;
 
 use orion_core::{
-    ClusterSpec, DistArray, DistArrayBuffer, Driver, LoopSpec, RunStats, Strategy, Subscript,
+    kernels, ClusterSpec, DistArray, DistArrayBuffer, Driver, LoopSpec, MathMode, RunStats,
+    Strategy, Subscript,
 };
 use orion_data::TensorData;
 
@@ -81,12 +82,12 @@ impl CpModel {
 
     /// Model prediction for one index.
     pub fn predict(&self, i: i64, j: i64, k: i64) -> f32 {
-        let (u, v, s) = (
+        kernels::cp_predict(
             self.u.row_slice(i),
             self.v.row_slice(j),
             self.s.row_slice(k),
-        );
-        (0..self.cfg.rank).map(|c| u[c] * v[c] * s[c]).sum()
+            MathMode::Exact,
+        )
     }
 
     /// Squared loss over the observed entries.
@@ -149,15 +150,9 @@ fn cp_update_rows(
     step: f32,
     buf: &mut DistArrayBuffer<f32>,
 ) {
-    let r = u.len();
-    let pred: f32 = (0..r).map(|c| u[c] * v[c] * s[c]).sum();
+    let pred = kernels::cp_predict(u, v, s, MathMode::Exact);
     let g = step * 2.0 * (x - pred);
-    for c in 0..r {
-        let (u0, v0, s0) = (u[c], v[c], s[c]);
-        u[c] = u0 + g * v0 * s0;
-        v[c] = v0 + g * u0 * s0;
-        buf.write(&[k, c as i64], g * u0 * v0);
-    }
+    kernels::cp_update_rows(u, v, s, g, |c, delta| buf.write(&[k, c as i64], delta));
 }
 
 /// Builds the spec; `buffer_s` exempts the context factor's writes.

@@ -27,6 +27,7 @@ fn main() {
     let cfg = SlrConfig {
         step_size: 0.002,
         adaptive: false,
+        ..SlrConfig::new()
     };
 
     let mut rows = Vec::new();

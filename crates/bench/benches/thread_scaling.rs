@@ -24,7 +24,7 @@ use orion_apps::slr::{self, SlrConfig, SlrRunConfig};
 use orion_bench::{banner, results_dir};
 use orion_core::ClusterSpec;
 use orion_data::{RatingsConfig, RatingsData, SparseConfig, SparseData, SparseSample};
-use orion_dsm::DistArray;
+use orion_dsm::{kernels, DistArray};
 use orion_runtime::{
     build_schedule, run_grid_pass_pooled, run_one_d_pass_pooled, ThreadedPlan, WorkerPool,
 };
@@ -40,6 +40,24 @@ fn smoke() -> bool {
     std::env::var("ORION_THREADS_SMOKE").is_ok()
 }
 
+/// Which kernel variants the timed body runs — the scalar-vs-SIMD
+/// columns. `Dispatch` is what the app's own code path selects in this
+/// build (the main sweep); the other three force a variant so one
+/// binary measures every column.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kernels {
+    /// The app's dispatcher-built body (`sgd_mf::mf_update` etc.).
+    Dispatch,
+    /// Serial reference kernels: a default build under `MathMode::Exact`.
+    Scalar,
+    /// Lane order-preserving kernels, serial reductions: a
+    /// `--features simd` build under `MathMode::Exact`.
+    Simd,
+    /// Lane kernels including reassociated reductions: a `fast-math`
+    /// build under `MathMode::FastMath`.
+    FastMath,
+}
+
 /// One measured point.
 struct Point {
     threads: usize,
@@ -47,7 +65,14 @@ struct Point {
 }
 
 /// Times `passes` pooled SGD MF grid passes (after one warmup pass).
-fn mf_pass_wall(data: &RatingsData, rank: u64, threads: usize, passes: u64, stall: bool) -> f64 {
+fn mf_pass_wall(
+    data: &RatingsData,
+    rank: u64,
+    threads: usize,
+    passes: u64,
+    stall: bool,
+    kcfg: Kernels,
+) -> f64 {
     let items = data.items();
     let dims = data.ratings.shape().dims().to_vec();
     let strat = Strategy::TwoD {
@@ -80,7 +105,22 @@ fn mf_pass_wall(data: &RatingsData, rank: u64, threads: usize, passes: u64, stal
                     std::thread::sleep(STALL);
                 }
             }
-            sgd_mf::mf_update(wp.row_slice_mut(u), hp.row_slice_mut(i), v, 0.05);
+            if kcfg == Kernels::Dispatch {
+                sgd_mf::mf_update(wp.row_slice_mut(u), hp.row_slice_mut(i), v, 0.05);
+                return;
+            }
+            let (w, h) = (wp.row_slice_mut(u), hp.row_slice_mut(i));
+            let pred = if kcfg == Kernels::FastMath {
+                kernels::dot_lanes(w, h)
+            } else {
+                kernels::dot_serial(w, h)
+            };
+            let coef = 0.05f32 * 2.0 * (v - pred);
+            if kcfg == Kernels::Scalar {
+                kernels::mf_update_rows_serial(w, h, coef);
+            } else {
+                kernels::mf_update_rows_lanes(w, h, coef);
+            }
         },
     );
     let mut w_parts = w.split_along(0, &sp.ranges);
@@ -108,7 +148,13 @@ fn mf_pass_wall(data: &RatingsData, rank: u64, threads: usize, passes: u64, stal
 }
 
 /// Times `passes` pooled SLR 1-D passes (after one warmup pass).
-fn slr_pass_wall(data: &SparseData, threads: usize, passes: u64, stall: bool) -> f64 {
+fn slr_pass_wall(
+    data: &SparseData,
+    threads: usize,
+    passes: u64,
+    stall: bool,
+    kcfg: Kernels,
+) -> f64 {
     let n = data.samples.len();
     let strat = Strategy::OneD { dim: 0 };
     let idx: Vec<Vec<i64>> = (0..n as i64).map(|i| vec![i]).collect();
@@ -125,10 +171,13 @@ fn slr_pass_wall(data: &SparseData, threads: usize, passes: u64, stall: bool) ->
                 std::thread::sleep(STALL);
             }
         }
-        let mut margin = 0.0f32;
-        for &f in &s.features {
-            margin += weights[f as usize];
-        }
+        let margin = if kcfg == Kernels::FastMath {
+            kernels::gather_sum_lanes(&s.features, |f| weights[f as usize])
+        } else {
+            // The SLR margin is a pure reduction: scalar, simd, and the
+            // dispatcher under Exact all run the serial order.
+            kernels::gather_sum_serial(&s.features, |f| weights[f as usize])
+        };
         *acc += slr::logistic_grad_coef(s.label, margin);
     });
     let mut elapsed = 0.0f64;
@@ -267,7 +316,7 @@ fn main() {
     for (workload, stall) in [("compute", false), ("overlap", true)] {
         let mut pts = Vec::new();
         for &t in &THREADS {
-            let ms = mf_pass_wall(&ratings, 16, t, mf_passes, stall);
+            let ms = mf_pass_wall(&ratings, 16, t, mf_passes, stall, Kernels::Dispatch);
             pts.push(Point {
                 threads: t,
                 wall_ms: ms,
@@ -281,7 +330,7 @@ fn main() {
         });
         let mut pts = Vec::new();
         for &t in &THREADS {
-            let ms = slr_pass_wall(&sparse, t, slr_passes, stall);
+            let ms = slr_pass_wall(&sparse, t, slr_passes, stall, Kernels::Dispatch);
             pts.push(Point {
                 threads: t,
                 wall_ms: ms,
@@ -313,6 +362,57 @@ fn main() {
         }
     }
 
+    // Scalar-vs-SIMD columns: the compute workload re-timed with each
+    // kernel variant forced, so one binary measures what the feature
+    // matrix (default / `simd` / `fast-math` + FastMath) would run.
+    // SGD MF uses rank 64, where the per-rating dot is long enough for
+    // lane kernels to matter.
+    println!(
+        "\n{:<8} {:>8} {:>11} {:>11} {:>13} {:>7} {:>7}",
+        "app", "threads", "scalar ms", "simd ms", "fastmath ms", "simd", "fm"
+    );
+    let mut kernel_rows: Vec<String> = Vec::new();
+    for &t in &THREADS {
+        let sc = mf_pass_wall(&ratings, 64, t, mf_passes, false, Kernels::Scalar);
+        let si = mf_pass_wall(&ratings, 64, t, mf_passes, false, Kernels::Simd);
+        let fm = mf_pass_wall(&ratings, 64, t, mf_passes, false, Kernels::FastMath);
+        println!(
+            "{:<8} {:>8} {:>11.2} {:>11.2} {:>13.2} {:>6.2}x {:>6.2}x",
+            "sgd_mf",
+            t,
+            sc,
+            si,
+            fm,
+            sc / si,
+            sc / fm
+        );
+        kernel_rows.push(format!(
+            "{{\"app\":\"sgd_mf\",\"threads\":{t},\"scalar_ms\":{sc:.3},\"simd_ms\":{si:.3},\
+             \"fastmath_ms\":{fm:.3},\"simd_speedup\":{:.3},\"fastmath_speedup\":{:.3}}}",
+            sc / si,
+            sc / fm
+        ));
+    }
+    for &t in &THREADS {
+        let sc = slr_pass_wall(&sparse, t, slr_passes, false, Kernels::Scalar);
+        let fm = slr_pass_wall(&sparse, t, slr_passes, false, Kernels::FastMath);
+        println!(
+            "{:<8} {:>8} {:>11.2} {:>11} {:>13.2} {:>7} {:>6.2}x",
+            "slr",
+            t,
+            sc,
+            "-",
+            fm,
+            "-",
+            sc / fm
+        );
+        kernel_rows.push(format!(
+            "{{\"app\":\"slr\",\"threads\":{t},\"scalar_ms\":{sc:.3},\
+             \"fastmath_ms\":{fm:.3},\"fastmath_speedup\":{:.3}}}",
+            sc / fm
+        ));
+    }
+
     // Headline: the workload whose scaling the host can actually show.
     // A single-core host cannot speed up pure compute, but genuinely
     // overlaps the stall workload's waits across worker threads.
@@ -328,13 +428,14 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"thread_scaling\",\n  \"host_parallelism\": {host},\n  \"smoke\": {smoke},\n  \"stall_every_items\": {STALL_EVERY},\n  \"stall_us\": {},\n  \"series\": [\n    {}\n  ],\n  \"headline\": {{\"app\":\"sgd_mf\",\"workload\":\"{headline_workload}\",\"speedup_at_4\":{at4:.3},\"bit_identical\":{}}}\n}}\n",
+        "{{\n  \"bench\": \"thread_scaling\",\n  \"host_parallelism\": {host},\n  \"smoke\": {smoke},\n  \"stall_every_items\": {STALL_EVERY},\n  \"stall_us\": {},\n  \"series\": [\n    {}\n  ],\n  \"kernel_columns\": [\n    {}\n  ],\n  \"headline\": {{\"app\":\"sgd_mf\",\"workload\":\"{headline_workload}\",\"speedup_at_4\":{at4:.3},\"bit_identical\":{}}}\n}}\n",
         STALL.as_micros(),
         series
             .iter()
             .map(Series::to_json)
             .collect::<Vec<_>>()
             .join(",\n    "),
+        kernel_rows.join(",\n    "),
         headline.bit_identical
     );
     let path = results_dir().join("BENCH_threads.json");

@@ -47,11 +47,106 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     println!("  [csv written to {}]", path.display());
 }
 
-/// Writes a [`RunReport`] as JSON under `results/` next to the CSVs
-/// (e.g. `BENCH_trace.json`) and prints its rendered summary — the
-/// phase/traffic companion to a figure's raw series (see
-/// `docs/OBSERVABILITY.md` for the schema).
-pub fn write_report(name: &str, report: &RunReport) {
+/// A persistable benchmark report: a JSON payload plus a human-readable
+/// rendering. [`RunReport`] implements it for trace reports; benches
+/// with bespoke schemas (the scalar-vs-SIMD kernel table, say) implement
+/// it on their own types and share [`write_report`].
+pub trait Report {
+    /// The JSON payload persisted under `results/`.
+    fn to_json(&self) -> String;
+    /// The rendered summary printed alongside the file.
+    fn render(&self) -> String;
+}
+
+impl Report for RunReport {
+    fn to_json(&self) -> String {
+        RunReport::to_json(self)
+    }
+
+    fn render(&self) -> String {
+        RunReport::render(self)
+    }
+}
+
+/// One scalar-vs-SIMD kernel measurement: per-operation nanoseconds of
+/// the serial reference and the explicit-width lane variant.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name (`dense_dot`, `row_update`, …).
+    pub name: &'static str,
+    /// Operations per timed closure call (the per-op divisor).
+    pub ops: u64,
+    /// Median per-op nanoseconds of the serial variant.
+    pub scalar_ns: f64,
+    /// Median per-op nanoseconds of the lane variant.
+    pub simd_ns: f64,
+}
+
+impl KernelRow {
+    /// Scalar time over SIMD time.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns / self.simd_ns
+    }
+}
+
+/// The scalar-vs-SIMD kernel comparison table (`BENCH_simd.json`). Both
+/// variants are always compiled, so any build measures both; the flags
+/// record which one the *dispatchers* select in this build.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Whether this build dispatches order-preserving kernels to lanes.
+    pub simd_enabled: bool,
+    /// Whether this build can honor `MathMode::FastMath`.
+    pub fast_math_available: bool,
+    /// The measured kernels.
+    pub rows: Vec<KernelRow>,
+}
+
+impl Report for KernelReport {
+    fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\n  \"bench\": \"kernel_simd\",\n  \"simd_enabled\": {},\n  \
+             \"fast_math_available\": {},\n  \"kernels\": [\n",
+            self.simd_enabled, self.fast_math_available
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ops\": {}, \"scalar_ns\": {:.3}, \
+                 \"simd_ns\": {:.3}, \"speedup\": {:.3}}}{}\n",
+                r.name,
+                r.ops,
+                r.scalar_ns,
+                r.simd_ns,
+                r.speedup(),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    fn render(&self) -> String {
+        let mut out = format!(
+            "scalar vs SIMD kernels (simd_enabled={}, fast_math_available={})\n{:<24} {:>12} {:>12} {:>9}\n",
+            self.simd_enabled, self.fast_math_available, "kernel", "scalar ns/op", "simd ns/op", "speedup"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>12.2} {:>12.2} {:>8.2}x\n",
+                r.name,
+                r.scalar_ns,
+                r.simd_ns,
+                r.speedup()
+            ));
+        }
+        out
+    }
+}
+
+/// Writes a [`Report`] as JSON under `results/` next to the CSVs
+/// (e.g. `BENCH_trace.json`, `BENCH_simd.json`) and prints its rendered
+/// summary (see `docs/OBSERVABILITY.md` for the trace schema).
+pub fn write_report<R: Report>(name: &str, report: &R) {
     let path = results_dir().join(name);
     std::fs::write(&path, report.to_json()).expect("write run report");
     println!("\n{}", report.render());

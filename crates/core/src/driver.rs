@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use orion_analysis::{analyze, ParallelPlan, Strategy};
 use orion_check::{full_report, RaceChecker};
-use orion_dsm::{DistArray, Element};
+use orion_dsm::{Device, DistArray, Element, MathMode};
 use orion_ir::{ArrayMeta, DistArrayId, LoopSpec};
 use std::sync::Arc;
 
@@ -133,6 +133,10 @@ pub struct Driver {
     /// Persistent worker pool, created lazily on the first threaded pass
     /// and reused across passes and epochs.
     pool: Option<WorkerPool>,
+    /// Floating-point reduction policy loop bodies should honor
+    /// (`Exact` keeps seed bit-identity; `FastMath` permits vectorized
+    /// reassociation when the `fast-math` feature is compiled in).
+    math_mode: MathMode,
 }
 
 impl Driver {
@@ -151,7 +155,26 @@ impl Driver {
             checkers: HashMap::new(),
             threads: None,
             pool: None,
+            math_mode: MathMode::default(),
         }
+    }
+
+    /// Selects the floating-point reduction policy for passes run
+    /// through this driver. [`MathMode::Exact`] (the default) keeps
+    /// every reduction bit-identical to the serial seed;
+    /// [`MathMode::FastMath`] opts reassociating reductions (dot
+    /// products, gathered sums) into multi-accumulator vectorized
+    /// forms — still deterministic, but associated differently. The
+    /// mode only takes effect when the `fast-math` cargo feature is
+    /// compiled in; otherwise kernels silently stay exact.
+    pub fn set_math_mode(&mut self, mode: MathMode) {
+        self.math_mode = mode;
+    }
+
+    /// The floating-point reduction policy loop bodies should pass to
+    /// `orion_dsm::kernels` reductions.
+    pub fn math_mode(&self) -> MathMode {
+        self.math_mode
     }
 
     /// Whether drivers sanitize schedules by default: on in debug
@@ -398,21 +421,22 @@ impl Driver {
     ///
     /// Panics if partition counts mismatch `plan` or a worker dies
     /// mid-pass (with the worker's panic message).
-    pub fn run_pass_threaded<T, A, B, S, F>(
+    pub fn run_pass_threaded<T, A, B, S, F, D>(
         &mut self,
         plan: &Arc<ThreadedPlan>,
         items: &Arc<Vec<T>>,
-        space: Vec<DistArray<A>>,
-        time: Vec<DistArray<B>>,
+        space: Vec<DistArray<A, D>>,
+        time: Vec<DistArray<B, D>>,
         scratch: Vec<S>,
         body: &Arc<F>,
-    ) -> GridPassOutput<A, B, S>
+    ) -> GridPassOutput<A, B, S, D>
     where
         T: Send + Sync + 'static,
         A: Element,
         B: Element,
         S: Send + 'static,
-        F: Fn(&T, &mut DistArray<A>, &mut DistArray<B>, &mut S) + Send + Sync + 'static,
+        D: Device,
+        F: Fn(&T, &mut DistArray<A, D>, &mut DistArray<B, D>, &mut S) + Send + Sync + 'static,
     {
         self.ensure_pool(plan.n_workers());
         let pool = self.pool.as_ref().expect("pool just ensured");

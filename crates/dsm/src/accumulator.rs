@@ -5,13 +5,18 @@
 //! driver aggregates all instances with a commutative–associative
 //! operator (e.g. the training-loss `err` of Fig. 5).
 
-/// A distributed accumulator with one slot per worker.
+use crate::device::{CpuDevice, DenseStorage, Device};
+use crate::element::Element;
+
+/// A distributed accumulator with one slot per worker. The slot array
+/// lives in the device's dense storage so per-worker reductions can run
+/// where the rest of the model state lives.
 ///
 /// # Examples
 ///
 /// ```
 /// use orion_dsm::Accumulator;
-/// let mut err = Accumulator::new("err", 0.0f64, 4);
+/// let mut err: Accumulator<f64> = Accumulator::new("err", 0.0f64, 4);
 /// *err.slot_mut(0) += 1.5;
 /// *err.slot_mut(3) += 2.5;
 /// assert_eq!(err.aggregate(|a, b| a + b), 4.0);
@@ -19,13 +24,13 @@
 /// assert_eq!(err.aggregate(|a, b| a + b), 0.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Accumulator<T> {
+pub struct Accumulator<T: Element, D: Device = CpuDevice> {
     name: String,
     init: T,
-    slots: Vec<T>,
+    slots: D::Dense<T>,
 }
 
-impl<T: Clone> Accumulator<T> {
+impl<T: Element, D: Device> Accumulator<T, D> {
     /// Creates an accumulator named `name` with `n_workers` slots, each
     /// initialized to `init`.
     ///
@@ -36,7 +41,7 @@ impl<T: Clone> Accumulator<T> {
         assert!(n_workers > 0, "an accumulator needs at least one worker");
         Accumulator {
             name: name.into(),
-            slots: vec![init.clone(); n_workers],
+            slots: D::upload(vec![init.clone(); n_workers]),
             init,
         }
     }
@@ -58,7 +63,7 @@ impl<T: Clone> Accumulator<T> {
     ///
     /// Panics if `worker` is out of range.
     pub fn slot_mut(&mut self, worker: usize) -> &mut T {
-        &mut self.slots[worker]
+        &mut self.slots.as_mut_slice()[worker]
     }
 
     /// Read access to one worker's instance.
@@ -67,14 +72,14 @@ impl<T: Clone> Accumulator<T> {
     ///
     /// Panics if `worker` is out of range.
     pub fn slot(&self, worker: usize) -> &T {
-        &self.slots[worker]
+        &self.slots.as_slice()[worker]
     }
 
     /// Folds all worker instances with the user-provided commutative and
     /// associative operator (`Orion.get_aggregated_value`).
     pub fn aggregate(&self, mut op: impl FnMut(T, T) -> T) -> T {
         let mut acc = self.init.clone();
-        for s in &self.slots {
+        for s in self.slots.as_slice() {
             acc = op(acc, s.clone());
         }
         acc
@@ -83,7 +88,7 @@ impl<T: Clone> Accumulator<T> {
     /// Resets every instance to the initial value
     /// (`Orion.reset_accumulator`).
     pub fn reset(&mut self) {
-        for s in &mut self.slots {
+        for s in self.slots.as_mut_slice() {
             *s = self.init.clone();
         }
     }
@@ -95,7 +100,7 @@ mod tests {
 
     #[test]
     fn per_worker_state_persists() {
-        let mut a = Accumulator::new("tokens", 0u64, 3);
+        let mut a: Accumulator<u64> = Accumulator::new("tokens", 0u64, 3);
         *a.slot_mut(1) += 10;
         *a.slot_mut(1) += 5;
         assert_eq!(*a.slot(1), 15);
@@ -105,7 +110,7 @@ mod tests {
 
     #[test]
     fn aggregate_with_non_sum_op() {
-        let mut a = Accumulator::new("max_err", f64::NEG_INFINITY, 4);
+        let mut a: Accumulator<f64> = Accumulator::new("max_err", f64::NEG_INFINITY, 4);
         *a.slot_mut(0) = 3.0;
         *a.slot_mut(2) = 9.0;
         assert_eq!(a.aggregate(f64::max), 9.0);
@@ -113,7 +118,7 @@ mod tests {
 
     #[test]
     fn reset_restores_init() {
-        let mut a = Accumulator::new("err", 1.0f32, 2);
+        let mut a: Accumulator<f32> = Accumulator::new("err", 1.0f32, 2);
         *a.slot_mut(0) = 100.0;
         a.reset();
         assert_eq!(a.aggregate(|x, y| x + y), 3.0); // init + 1 + 1
@@ -122,13 +127,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn out_of_range_slot_panics() {
-        let mut a = Accumulator::new("err", 0i32, 2);
+        let mut a: Accumulator<i32> = Accumulator::new("err", 0i32, 2);
         let _ = a.slot_mut(2);
     }
 
     #[test]
     fn name_is_kept() {
-        let a = Accumulator::new("loss", 0.0f64, 1);
+        let a: Accumulator<f64> = Accumulator::new("loss", 0.0f64, 1);
         assert_eq!(a.name(), "loss");
     }
 }

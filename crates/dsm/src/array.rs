@@ -7,21 +7,25 @@ use rand::Rng;
 
 use orion_ir::{ArrayMeta, Density, Dim, DistArrayId};
 
+use crate::device::{CpuDevice, DenseStorage, Device};
 use crate::element::Element;
 use crate::index::Shape;
 use crate::sparse::{SparseIter, SparseStore};
 
 /// Backing storage of a DistArray (paper §3.1: "A DistArray can contain
 /// elements of any serializable type and may be either dense or sparse").
+/// The buffers live behind the [`Device`] parameter; on the default
+/// [`CpuDevice`], `Dense` holds a plain `Vec<T>` so existing pattern
+/// matches keep compiling.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Storage<T> {
+pub enum Storage<T: Element, D: Device = CpuDevice> {
     /// Row-major dense values, one per index position.
-    Dense(Vec<T>),
+    Dense(D::Dense<T>),
     /// Explicitly materialized elements keyed by local flat index, held
     /// in frozen sorted-pair form (see [`SparseStore`]). Iteration is
     /// ascending by flat key, which the simulated runtime relies on for
     /// reproducible schedules.
-    Sparse(SparseStore<T>),
+    Sparse(SparseStore<T, D>),
 }
 
 /// An N-dimensional dense or sparse array, addressable by global index.
@@ -48,18 +52,18 @@ pub enum Storage<T> {
 /// assert_eq!(w.get_flat(flat), Some(&5.0));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct DistArray<T> {
+pub struct DistArray<T: Element, D: Device = CpuDevice> {
     name: String,
     shape: Shape,
     origin: Vec<i64>,
-    storage: Storage<T>,
+    storage: Storage<T, D>,
 }
 
-impl<T: Element> DistArray<T> {
+impl<T: Element, D: Device> DistArray<T, D> {
     /// Creates a dense array of default-valued elements.
     pub fn dense(name: impl Into<String>, dims: Vec<u64>) -> Self {
         let shape = Shape::new(dims);
-        let data = vec![T::default(); shape.volume() as usize];
+        let data = D::alloc(shape.volume() as usize);
         DistArray {
             name: name.into(),
             origin: vec![0; shape.ndims()],
@@ -84,7 +88,7 @@ impl<T: Element> DistArray<T> {
             name: name.into(),
             origin: vec![0; shape.ndims()],
             shape,
-            storage: Storage::Dense(values),
+            storage: Storage::Dense(D::upload(values)),
         }
     }
 
@@ -96,14 +100,14 @@ impl<T: Element> DistArray<T> {
         mut f: impl FnMut(&[i64]) -> T,
     ) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.volume())
+        let data: Vec<T> = (0..shape.volume())
             .map(|flat| f(&shape.unflatten(flat)))
             .collect();
         DistArray {
             name: name.into(),
             origin: vec![0; shape.ndims()],
             shape,
-            storage: Storage::Dense(data),
+            storage: Storage::Dense(D::upload(data)),
         }
     }
 
@@ -216,8 +220,33 @@ impl<T: Element> DistArray<T> {
     }
 
     /// The backing storage (read-only; used by checkpointing).
-    pub fn storage(&self) -> &Storage<T> {
+    pub fn storage(&self) -> &Storage<T, D> {
         &self.storage
+    }
+
+    /// The whole dense payload as one contiguous row-major slice — the
+    /// entry point for kernel dispatch over full arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sparse arrays.
+    pub fn dense_values(&self) -> &[T] {
+        match &self.storage {
+            Storage::Dense(v) => v.as_slice(),
+            Storage::Sparse(_) => panic!("dense_values on sparse array `{}`", self.name),
+        }
+    }
+
+    /// Mutable variant of [`DistArray::dense_values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for sparse arrays.
+    pub fn dense_values_mut(&mut self) -> &mut [T] {
+        match &mut self.storage {
+            Storage::Dense(v) => v.as_mut_slice(),
+            Storage::Sparse(_) => panic!("dense_values_mut on sparse array `{}`", self.name),
+        }
     }
 
     /// True for dense storage.
@@ -279,7 +308,7 @@ impl<T: Element> DistArray<T> {
     #[inline]
     pub fn get_flat(&self, flat: u64) -> Option<&T> {
         match &self.storage {
-            Storage::Dense(v) => v.get(flat as usize),
+            Storage::Dense(v) => v.as_slice().get(flat as usize),
             Storage::Sparse(s) => s.get(flat),
         }
     }
@@ -293,7 +322,7 @@ impl<T: Element> DistArray<T> {
     #[inline]
     pub fn get_flat_or_default(&self, flat: u64) -> T {
         match &self.storage {
-            Storage::Dense(v) => v[flat as usize].clone(),
+            Storage::Dense(v) => v.as_slice()[flat as usize].clone(),
             Storage::Sparse(s) => {
                 assert!(
                     flat < self.shape.volume(),
@@ -313,7 +342,7 @@ impl<T: Element> DistArray<T> {
     #[inline]
     pub fn set_flat(&mut self, flat: u64, value: T) {
         match &mut self.storage {
-            Storage::Dense(v) => v[flat as usize] = value,
+            Storage::Dense(v) => v.as_mut_slice()[flat as usize] = value,
             Storage::Sparse(s) => {
                 assert!(
                     flat < self.shape.volume(),
@@ -334,7 +363,7 @@ impl<T: Element> DistArray<T> {
     #[inline]
     pub fn update_flat(&mut self, flat: u64, f: impl FnOnce(&mut T)) {
         match &mut self.storage {
-            Storage::Dense(v) => f(&mut v[flat as usize]),
+            Storage::Dense(v) => f(&mut v.as_mut_slice()[flat as usize]),
             Storage::Sparse(s) => {
                 assert!(
                     flat < self.shape.volume(),
@@ -415,7 +444,7 @@ impl<T: Element> DistArray<T> {
     pub fn row_slice(&self, row: i64) -> &[T] {
         let (start, len) = self.row_bounds(row);
         match &self.storage {
-            Storage::Dense(v) => &v[start..start + len],
+            Storage::Dense(v) => &v.as_slice()[start..start + len],
             Storage::Sparse(_) => panic!("row_slice on sparse array `{}`", self.name),
         }
     }
@@ -428,7 +457,7 @@ impl<T: Element> DistArray<T> {
     pub fn row_slice_mut(&mut self, row: i64) -> &mut [T] {
         let (start, len) = self.row_bounds(row);
         match &mut self.storage {
-            Storage::Dense(v) => &mut v[start..start + len],
+            Storage::Dense(v) => &mut v.as_mut_slice()[start..start + len],
             Storage::Sparse(_) => panic!("row_slice_mut on sparse array `{}`", self.name),
         }
     }
@@ -459,7 +488,7 @@ impl<T: Element> DistArray<T> {
     /// [`Shape::coord_of`] when coordinates are needed.
     pub fn iter_flat(&self) -> FlatIter<'_, T> {
         match &self.storage {
-            Storage::Dense(v) => FlatIter::Dense(v.iter().enumerate()),
+            Storage::Dense(v) => FlatIter::Dense(v.as_slice().iter().enumerate()),
             Storage::Sparse(s) => FlatIter::Sparse(s.iter()),
         }
     }
@@ -476,7 +505,7 @@ impl<T: Element> DistArray<T> {
     /// transformation with `map_values = true`).
     pub fn map_values(&mut self, mut f: impl FnMut(&mut T)) {
         match &mut self.storage {
-            Storage::Dense(v) => v.iter_mut().for_each(&mut f),
+            Storage::Dense(v) => v.as_mut_slice().iter_mut().for_each(&mut f),
             Storage::Sparse(s) => s.values_mut().for_each(&mut f),
         }
     }
@@ -552,7 +581,7 @@ impl<T: Element> DistArray<T> {
             }
             Storage::Dense(v) => {
                 let mut out = vec![T::default(); v.len()];
-                for (flat, val) in v.iter().enumerate() {
+                for (flat, val) in v.as_slice().iter().enumerate() {
                     let idx = self.shape.unflatten(flat as u64);
                     let new_flat = self
                         .shape
@@ -560,7 +589,7 @@ impl<T: Element> DistArray<T> {
                         .expect("permutation stays in bounds");
                     out[new_flat as usize] = val.clone();
                 }
-                *v = out;
+                *v = D::upload(out);
             }
         }
     }
@@ -578,7 +607,7 @@ impl<T: Element> DistArray<T> {
     ///
     /// Panics if the ranges do not exactly tile the dimension, or the
     /// array is already a partition.
-    pub fn split_along(self, dim: Dim, ranges: &[Range<u64>]) -> Vec<DistArray<T>> {
+    pub fn split_along(self, dim: Dim, ranges: &[Range<u64>]) -> Vec<DistArray<T, D>> {
         assert!(
             self.origin.iter().all(|&o| o == 0),
             "cannot split a partition of `{}`",
@@ -606,8 +635,9 @@ impl<T: Element> DistArray<T> {
         let block = extent * s_dim;
         let n_outer = shape.volume() / block;
 
-        let part_storages: Vec<Storage<T>> = match storage {
+        let part_storages: Vec<Storage<T, D>> = match storage {
             Storage::Dense(values) => {
+                let values = values.into_vec();
                 let mut out: Vec<Vec<T>> = ranges
                     .iter()
                     .map(|r| Vec::with_capacity((n_outer * (r.end - r.start) * s_dim) as usize))
@@ -620,7 +650,9 @@ impl<T: Element> DistArray<T> {
                         part.extend_from_slice(&values[lo..hi]);
                     }
                 }
-                out.into_iter().map(Storage::Dense).collect()
+                out.into_iter()
+                    .map(|p| Storage::Dense(D::upload(p)))
+                    .collect()
             }
             Storage::Sparse(store) => {
                 let mut out: Vec<Vec<(u64, T)>> = ranges.iter().map(|_| Vec::new()).collect();
@@ -667,7 +699,7 @@ impl<T: Element> DistArray<T> {
     ///
     /// Panics when `parts` is empty or shapes are inconsistent with a
     /// tiling along `dim`.
-    pub fn merge_along(dim: Dim, parts: Vec<DistArray<T>>) -> DistArray<T> {
+    pub fn merge_along(dim: Dim, parts: Vec<DistArray<T, D>>) -> DistArray<T, D> {
         assert!(!parts.is_empty(), "cannot merge zero partitions");
         let mut dims = parts[0].shape.dims().to_vec();
         for part in &parts[1..] {
@@ -703,10 +735,10 @@ impl<T: Element> DistArray<T> {
                     let Storage::Dense(pv) = &part.storage else {
                         unreachable!()
                     };
-                    values.extend_from_slice(&pv[lo..lo + part_block]);
+                    values.extend_from_slice(&pv.as_slice()[lo..lo + part_block]);
                 }
             }
-            Storage::Dense(values)
+            Storage::Dense(D::upload(values))
         } else {
             // Start along `dim` of each part, in order.
             let mut pairs: Vec<(u64, T)> = Vec::new();
@@ -724,7 +756,7 @@ impl<T: Element> DistArray<T> {
                         }
                     }
                     Storage::Dense(values) => {
-                        for (flat, v) in values.into_iter().enumerate() {
+                        for (flat, v) in values.into_vec().into_iter().enumerate() {
                             let part_flat = flat as u64;
                             let outer = part_flat / part_block;
                             let c = (part_flat % part_block) / s_dim;

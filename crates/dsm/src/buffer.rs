@@ -147,12 +147,17 @@ impl<T: Element> DistArrayBuffer<T> {
 
     /// Applies (and clears) all pending updates to the backing array with
     /// a user-defined element-wise function, executed atomically per
-    /// element (§3.3: "supports atomic read-modify-writes").
+    /// element (§3.3: "supports atomic read-modify-writes"). Generic over
+    /// the array's device: the buffer itself is host-side staging.
     ///
     /// # Panics
     ///
     /// Panics if the array's shape differs from the buffer's.
-    pub fn apply_to(&mut self, array: &mut DistArray<T>, mut udf: impl FnMut(&mut T, T)) {
+    pub fn apply_to<D: crate::device::Device>(
+        &mut self,
+        array: &mut DistArray<T, D>,
+        mut udf: impl FnMut(&mut T, T),
+    ) {
         assert_eq!(
             array.shape(),
             &self.shape,

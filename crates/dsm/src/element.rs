@@ -49,6 +49,95 @@ impl_element!(i64, 8, put_i64_le, get_i64_le);
 /// as a named type so application code reads naturally.
 pub type Rating = f32;
 
+/// A floating-point [`Element`]: the numeric sub-trait the kernel layer
+/// dispatches on. [`Element`] deliberately carries no arithmetic (it also
+/// covers integer count types); `Float` adds the closed set of operations
+/// the five applications' inner loops need, implemented for `f32`/`f64`
+/// so no kernel silently narrows f64 work to f32.
+pub trait Float:
+    Element
+    + Copy
+    + PartialOrd
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + core::ops::AddAssign
+    + core::ops::SubAssign
+    + core::ops::MulAssign
+{
+    /// Positive zero.
+    const ZERO: Self;
+    /// Negative zero — the true floating-point additive identity
+    /// (`-0.0 + x` preserves `x` bit-for-bit, including `x = -0.0`).
+    /// `std`'s `Sum` folds from it, so serial reduction kernels that
+    /// must match `.sum()` bitwise fold from it too.
+    const NEG_ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant 2, used by the gradient-coefficient kernels.
+    const TWO: Self;
+
+    /// Exact widening (f32) or identity (f64) conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Conversion from `f64`, rounding to nearest for `f32`.
+    fn from_f64(x: f64) -> Self;
+    /// Conversion from `f32` (always exact).
+    fn from_f32(x: f32) -> Self;
+    /// Raw bit pattern widened to `u64` — the currency of the
+    /// bit-identity test suites.
+    fn to_bits_u64(self) -> u64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Base-e exponential.
+    fn exp(self) -> Self;
+}
+
+macro_rules! impl_float {
+    ($t:ty) => {
+        impl Float for $t {
+            const ZERO: Self = 0.0;
+            const NEG_ZERO: Self = -0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            fn from_f64(x: f64) -> Self {
+                x as Self
+            }
+
+            fn from_f32(x: f32) -> Self {
+                x as Self
+            }
+
+            fn to_bits_u64(self) -> u64 {
+                self.to_bits() as u64
+            }
+
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+        }
+    };
+}
+
+impl_float!(f32);
+impl_float!(f64);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,12 @@
 //!   fault tolerance).
 //! - [`AccessValidator`] — runtime verification that a loop body's
 //!   actual accesses are covered by its declared [`orion_ir::LoopSpec`].
+//! - [`Device`] / [`CpuDevice`] — the storage layer DistArray buffers
+//!   live behind, making `DistArray<T, D>` dtype- and device-generic.
+//! - [`kernels`] — explicit-width SIMD implementations of the five
+//!   applications' inner loops, with scalar fallbacks (`simd` feature)
+//!   and an opt-in [`MathMode::FastMath`] for reassociating reductions
+//!   (`fast-math` feature).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +35,10 @@ mod array;
 mod buffer;
 pub mod checkpoint;
 pub mod codec;
+mod device;
 mod element;
 mod index;
+pub mod kernels;
 mod lazy;
 mod partition;
 mod sparse;
@@ -39,8 +47,10 @@ mod validator;
 pub use accumulator::Accumulator;
 pub use array::{DistArray, FlatIter, Storage};
 pub use buffer::DistArrayBuffer;
-pub use element::{Element, Rating};
+pub use device::{CpuDevice, DenseStorage, Device};
+pub use element::{Element, Float, Rating};
 pub use index::Shape;
+pub use kernels::MathMode;
 pub use lazy::{group_by, LazyArray};
 pub use partition::{GridPartition, RangePartition};
 pub use sparse::{SparseIter, SparseStore};

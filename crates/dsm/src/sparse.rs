@@ -6,9 +6,12 @@
 //! *logical* contract (ascending-flat-key order, last-write-wins) on a
 //! layout built for the training hot path:
 //!
-//! - **Frozen pairs**: two parallel vectors `keys`/`vals`, keys strictly
-//!   ascending. Point queries are a binary search over a contiguous `u64`
-//!   array; full scans are linear memory walks.
+//! - **Frozen pairs**: two parallel device buffers `keys`/`vals`, keys
+//!   strictly ascending. Point queries are a binary search over a
+//!   contiguous `u64` array; full scans are linear memory walks. The
+//!   frozen columns are exposed as contiguous slices
+//!   ([`SparseStore::frozen_keys`] / [`SparseStore::frozen_vals`]) for
+//!   kernel dispatch.
 //! - **Staging map**: writes to keys not already frozen land in a small
 //!   `BTreeMap` so ad-hoc inserts stay cheap without resorting the frozen
 //!   arrays. [`SparseStore::freeze`] merges the staging map in (one linear
@@ -25,23 +28,28 @@
 
 use std::collections::BTreeMap;
 
+use crate::device::{CpuDevice, DenseStorage, Device};
+use crate::element::Element;
+
 /// Sorted-pair sparse storage with a staging area for ad-hoc writes.
+/// The frozen columns live in `D`'s dense buffers, so a non-CPU device
+/// would hold them resident while the staging map stays host-side.
 #[derive(Debug, Clone, Default)]
-pub struct SparseStore<T> {
+pub struct SparseStore<T: Element, D: Device = CpuDevice> {
     /// Strictly ascending flat keys of frozen elements.
-    keys: Vec<u64>,
+    keys: D::Dense<u64>,
     /// Values parallel to `keys`.
-    vals: Vec<T>,
+    vals: D::Dense<T>,
     /// Elements written since the last freeze, disjoint from `keys`.
     staging: BTreeMap<u64, T>,
 }
 
-impl<T> SparseStore<T> {
+impl<T: Element, D: Device> SparseStore<T, D> {
     /// An empty store.
     pub fn new() -> Self {
         SparseStore {
-            keys: Vec::new(),
-            vals: Vec::new(),
+            keys: D::Dense::default(),
+            vals: D::Dense::default(),
             staging: BTreeMap::new(),
         }
     }
@@ -64,8 +72,8 @@ impl<T> SparseStore<T> {
             vals.push(v);
         }
         SparseStore {
-            keys,
-            vals,
+            keys: D::upload(keys),
+            vals: D::upload(vals),
             staging: BTreeMap::new(),
         }
     }
@@ -85,11 +93,23 @@ impl<T> SparseStore<T> {
         self.staging.len()
     }
 
+    /// The frozen key column as one contiguous slice (kernel dispatch;
+    /// excludes staged writes — call [`SparseStore::freeze`] first).
+    pub fn frozen_keys(&self) -> &[u64] {
+        self.keys.as_slice()
+    }
+
+    /// The frozen value column as one contiguous slice, parallel to
+    /// [`SparseStore::frozen_keys`].
+    pub fn frozen_vals(&self) -> &[T] {
+        self.vals.as_slice()
+    }
+
     /// Point query by flat key.
     #[inline]
     pub fn get(&self, key: u64) -> Option<&T> {
-        match self.keys.binary_search(&key) {
-            Ok(i) => Some(&self.vals[i]),
+        match self.keys.as_slice().binary_search(&key) {
+            Ok(i) => Some(&self.vals.as_slice()[i]),
             Err(_) => self.staging.get(&key),
         }
     }
@@ -97,8 +117,8 @@ impl<T> SparseStore<T> {
     /// Mutable point query by flat key.
     #[inline]
     pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
-        match self.keys.binary_search(&key) {
-            Ok(i) => Some(&mut self.vals[i]),
+        match self.keys.as_slice().binary_search(&key) {
+            Ok(i) => Some(&mut self.vals.as_mut_slice()[i]),
             Err(_) => self.staging.get_mut(&key),
         }
     }
@@ -106,8 +126,8 @@ impl<T> SparseStore<T> {
     /// Inserts or overwrites (last write wins, like `BTreeMap::insert`).
     #[inline]
     pub fn insert(&mut self, key: u64, value: T) {
-        match self.keys.binary_search(&key) {
-            Ok(i) => self.vals[i] = value,
+        match self.keys.as_slice().binary_search(&key) {
+            Ok(i) => self.vals.as_mut_slice()[i] = value,
             Err(_) => {
                 self.staging.insert(key, value);
             }
@@ -116,12 +136,9 @@ impl<T> SparseStore<T> {
 
     /// Read-modify-write; missing elements start from `T::default()`.
     #[inline]
-    pub fn update(&mut self, key: u64, f: impl FnOnce(&mut T))
-    where
-        T: Default,
-    {
-        match self.keys.binary_search(&key) {
-            Ok(i) => f(&mut self.vals[i]),
+    pub fn update(&mut self, key: u64, f: impl FnOnce(&mut T)) {
+        match self.keys.as_slice().binary_search(&key) {
+            Ok(i) => f(&mut self.vals.as_mut_slice()[i]),
             Err(_) => f(self.staging.entry(key).or_default()),
         }
     }
@@ -135,11 +152,11 @@ impl<T> SparseStore<T> {
             return;
         }
         let staged = std::mem::take(&mut self.staging);
-        let old_keys = std::mem::take(&mut self.keys);
-        let old_vals = std::mem::take(&mut self.vals);
+        let old_keys = std::mem::take(&mut self.keys).into_vec();
+        let old_vals = std::mem::take(&mut self.vals).into_vec();
         let total = old_keys.len() + staged.len();
-        self.keys.reserve(total);
-        self.vals.reserve(total);
+        let mut keys = Vec::with_capacity(total);
+        let mut vals = Vec::with_capacity(total);
         let mut frozen = old_keys.into_iter().zip(old_vals).peekable();
         let mut fresh = staged.into_iter().peekable();
         loop {
@@ -152,22 +169,24 @@ impl<T> SparseStore<T> {
                     } else {
                         fresh.next().unwrap()
                     };
-                    self.keys.push(k);
-                    self.vals.push(v);
+                    keys.push(k);
+                    vals.push(v);
                 }
                 (Some(_), None) => {
                     let (k, v) = frozen.next().unwrap();
-                    self.keys.push(k);
-                    self.vals.push(v);
+                    keys.push(k);
+                    vals.push(v);
                 }
                 (None, Some(_)) => {
                     let (k, v) = fresh.next().unwrap();
-                    self.keys.push(k);
-                    self.vals.push(v);
+                    keys.push(k);
+                    vals.push(v);
                 }
                 (None, None) => break,
             }
         }
+        self.keys = D::upload(keys);
+        self.vals = D::upload(vals);
     }
 
     /// Iterates `(flat_key, &value)` in ascending key order, merging the
@@ -176,8 +195,8 @@ impl<T> SparseStore<T> {
     /// of the parallel vectors.
     pub fn iter(&self) -> SparseIter<'_, T> {
         SparseIter {
-            keys: &self.keys,
-            vals: &self.vals,
+            keys: self.keys.as_slice(),
+            vals: self.vals.as_slice(),
             pos: 0,
             staged: self.staging.iter().peekable(),
         }
@@ -185,13 +204,20 @@ impl<T> SparseStore<T> {
 
     /// Applies `f` to every materialized value.
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
-        self.vals.iter_mut().chain(self.staging.values_mut())
+        self.vals
+            .as_mut_slice()
+            .iter_mut()
+            .chain(self.staging.values_mut())
     }
 
     /// Drains the store into ascending `(key, value)` pairs.
     pub fn into_sorted(mut self) -> Vec<(u64, T)> {
         self.freeze();
-        self.keys.into_iter().zip(self.vals).collect()
+        self.keys
+            .into_vec()
+            .into_iter()
+            .zip(self.vals.into_vec())
+            .collect()
     }
 }
 
@@ -243,15 +269,15 @@ impl<T> ExactSizeIterator for SparseIter<'_, T> {}
 
 /// Logical equality: same elements in the same order, regardless of how
 /// they are split between frozen and staged storage.
-impl<T: PartialEq> PartialEq for SparseStore<T> {
+impl<T: Element, D: Device> PartialEq for SparseStore<T, D> {
     fn eq(&self, other: &Self) -> bool {
         self.len() == other.len() && self.iter().eq(other.iter())
     }
 }
 
-impl<T: Eq> Eq for SparseStore<T> {}
+impl<T: Element + Eq, D: Device> Eq for SparseStore<T, D> {}
 
-impl<T> FromIterator<(u64, T)> for SparseStore<T> {
+impl<T: Element, D: Device> FromIterator<(u64, T)> for SparseStore<T, D> {
     /// Collects arbitrary-order pairs; duplicates resolve last-write-wins
     /// (matching repeated `BTreeMap::insert`).
     fn from_iter<I: IntoIterator<Item = (u64, T)>>(iter: I) -> Self {
@@ -286,6 +312,8 @@ mod tests {
         assert_eq!(s.staged(), 0);
         let again: Vec<(u64, u32)> = s.iter().map(|(k, &v)| (k, v)).collect();
         assert_eq!(got, again);
+        assert_eq!(s.frozen_keys(), &[1, 2, 5, 8]);
+        assert_eq!(s.frozen_vals(), &[10, 20, 50, 80]);
     }
 
     #[test]

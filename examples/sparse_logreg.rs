@@ -100,6 +100,7 @@ fn main() {
         let cfg = SlrConfig {
             step_size: 0.002,
             adaptive: false,
+            ..SlrConfig::new()
         };
         let stats = if let Some(plan) = &fault_plan {
             let dir =
@@ -135,6 +136,7 @@ fn main() {
     let thr_cfg = SlrConfig {
         step_size: 0.002,
         adaptive: false,
+        ..SlrConfig::new()
     };
     let wall_start = std::time::Instant::now();
     let thr_stats = if trace_path.is_some() {

@@ -127,3 +127,88 @@ fn nonconforming_body_is_caught() {
     }
     assert_eq!(v.violations().len(), 8);
 }
+
+// ---------------------------------------------------------------------------
+// FastMath convergence equivalence. `MathMode::FastMath` reassociates the
+// reduction kernels (dot / gather_sum) into lane-partial sums; the spec
+// it must conform to is: deterministic run to run, and the same
+// convergence as Exact — same objective up to reassociation-level FP
+// noise, never a different trajectory class. Without the `fast-math`
+// feature compiled in, dispatch falls back to Exact, so the trained
+// model must be *bit-identical* — these tests pin both sides of that
+// contract and run under every leg of the CI feature matrix.
+// ---------------------------------------------------------------------------
+
+/// Relative tolerance on final objectives between Exact and FastMath
+/// training: generous against FP-reassociation drift compounding over
+/// passes, far below any real convergence difference.
+const FASTMATH_RTOL: f64 = 1e-2;
+
+#[test]
+fn sgd_mf_fastmath_convergence_equivalence() {
+    use orion::apps::sgd_mf::{train_orion, MfConfig, MfRunConfig};
+    use orion::core::ClusterSpec;
+    use orion::data::{RatingsConfig, RatingsData};
+    use orion::dsm::kernels;
+
+    let d = RatingsData::generate(RatingsConfig::tiny());
+    let items = d.items();
+    let run = MfRunConfig {
+        cluster: ClusterSpec::new(4, 4),
+        passes: 5,
+        ordered: true,
+    };
+    let (exact, _) = train_orion(&d, MfConfig::new(4), &run);
+    let (fast1, _) = train_orion(&d, MfConfig::new(4).fast_math(), &run);
+    let (fast2, _) = train_orion(&d, MfConfig::new(4).fast_math(), &run);
+
+    // FastMath is deterministic: the lane fold has a fixed shape.
+    assert_eq!(fast1.w, fast2.w);
+    assert_eq!(fast1.h, fast2.h);
+
+    if kernels::fast_math_available() {
+        let le = exact.loss(&items);
+        let lf = fast1.loss(&items);
+        assert!(le.is_finite() && lf.is_finite(), "{le} vs {lf}");
+        assert!(
+            (le - lf).abs() <= FASTMATH_RTOL * le.abs().max(1e-9),
+            "exact loss {le} vs fast-math loss {lf}"
+        );
+    } else {
+        // No fast-math in this build: FastMath must have been a no-op.
+        assert_eq!(exact.w, fast1.w);
+        assert_eq!(exact.h, fast1.h);
+    }
+}
+
+#[test]
+fn slr_fastmath_convergence_equivalence() {
+    use orion::apps::slr::{train_orion, SlrConfig, SlrRunConfig};
+    use orion::core::ClusterSpec;
+    use orion::data::{SparseConfig, SparseData};
+    use orion::dsm::kernels;
+
+    let d = SparseData::generate(SparseConfig::tiny());
+    let run = SlrRunConfig {
+        cluster: ClusterSpec::new(4, 4),
+        passes: 5,
+        prefetch_override: None,
+    };
+    let (exact, _) = train_orion(&d, SlrConfig::new(), &run);
+    let (fast1, _) = train_orion(&d, SlrConfig::new().fast_math(), &run);
+    let (fast2, _) = train_orion(&d, SlrConfig::new().fast_math(), &run);
+
+    assert_eq!(fast1.weights, fast2.weights);
+
+    if kernels::fast_math_available() {
+        let le = exact.loss(&d);
+        let lf = fast1.loss(&d);
+        assert!(le.is_finite() && lf.is_finite(), "{le} vs {lf}");
+        assert!(
+            (le - lf).abs() <= FASTMATH_RTOL * le.abs().max(1e-9),
+            "exact loss {le} vs fast-math loss {lf}"
+        );
+    } else {
+        assert_eq!(exact.weights, fast1.weights);
+    }
+}
