@@ -20,6 +20,7 @@
 
 pub mod chaos;
 pub mod common;
+pub mod distributed;
 pub mod gbt;
 pub mod lda;
 pub mod sgd_mf;

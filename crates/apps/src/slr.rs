@@ -83,7 +83,11 @@ impl SlrModel {
 
     /// Margin of one sample under a weight lookup function: a gathered
     /// sum over the sample's active features, reduced per `mode`.
-    fn margin_with(features: &[u32], get: impl FnMut(u32) -> f32, mode: MathMode) -> f32 {
+    pub(crate) fn margin_with(
+        features: &[u32],
+        get: impl FnMut(u32) -> f32,
+        mode: MathMode,
+    ) -> f32 {
         kernels::gather_sum(features, get, mode)
     }
 
@@ -371,7 +375,7 @@ fn buf_read(buf: &DistArrayBuffer<f32>, _f: u32) -> f32 {
 /// addition, or the AdaGrad-style adaptive step of the "SLR AdaRev"
 /// variant (the apply-UDF hook of §3.3 that "makes it easy to implement
 /// various adaptive gradient algorithms").
-fn apply_buffer(model: &mut SlrModel, buf: &mut DistArrayBuffer<f32>) {
+pub(crate) fn apply_buffer(model: &mut SlrModel, buf: &mut DistArrayBuffer<f32>) {
     if model.cfg.adaptive {
         let step = model.cfg.step_size;
         for (idx, delta) in buf.drain() {

@@ -137,6 +137,10 @@ pub struct Driver {
     /// (`Exact` keeps seed bit-identity; `FastMath` permits vectorized
     /// reassociation when the `fast-math` feature is compiled in).
     math_mode: MathMode,
+    /// Real per-link wire bytes accumulated by distributed passes
+    /// ([`Driver::run_pass_distributed`]); merged with the simulated
+    /// network's modelled traffic in [`Driver::run_report`].
+    wire_links: Vec<LinkBytes>,
 }
 
 impl Driver {
@@ -156,6 +160,7 @@ impl Driver {
             threads: None,
             pool: None,
             math_mode: MathMode::default(),
+            wire_links: Vec::new(),
         }
     }
 
@@ -410,6 +415,64 @@ impl Driver {
         for w in 0..self.executor.cluster.n_workers() {
             self.executor.clocks.wait_until(w, end);
         }
+    }
+
+    /// Runs one epoch of a distributed pass over a live
+    /// [`orion_net::Coordinator`] cluster: broadcasts the epoch start,
+    /// routes server-mode traffic (prefetch requests, buffered updates)
+    /// through `handler`, and waits for every node's epoch barrier
+    /// contribution. Each node's self-reported compute/rotation times
+    /// are absorbed into the driver's virtual-time trace as real-time
+    /// spans, and the epoch's real per-link wire bytes are accumulated
+    /// for [`Driver::run_report`].
+    ///
+    /// The driver's [`ClusterSpec`] must have one worker per node
+    /// process (`ClusterSpec::new(n_nodes, 1)`), so node `i`'s spans
+    /// land on machine `i` — the coordinator itself appears as machine
+    /// `n_nodes` in the link table, mirroring the wire protocol's
+    /// destination convention.
+    ///
+    /// On a node fault the epoch's effects are *not* absorbed; the
+    /// caller recovers the cluster ([`orion_net::Coordinator::recover`])
+    /// and rewinds its own bookkeeping ([`Driver::rollback_progress`]).
+    pub fn run_pass_distributed<F>(
+        &mut self,
+        cluster: &mut orion_net::Coordinator,
+        epoch: u64,
+        handler: F,
+    ) -> Result<orion_net::EpochStats, orion_net::NodeFault>
+    where
+        F: FnMut(usize, orion_net::Msg) -> Option<orion_net::Msg>,
+    {
+        let stats = cluster.run_epoch_with(epoch, handler)?;
+        let spans: Vec<Vec<ThreadSpan>> = stats
+            .compute_ns
+            .iter()
+            .zip(&stats.rotation_ns)
+            .map(|(&compute, &rotation)| {
+                vec![
+                    ThreadSpan {
+                        phase: ThreadPhase::Compute,
+                        start_ns: 0,
+                        end_ns: compute,
+                    },
+                    ThreadSpan {
+                        phase: ThreadPhase::Rotation,
+                        start_ns: compute,
+                        end_ns: compute + rotation,
+                    },
+                ]
+            })
+            .collect();
+        self.absorb_thread_spans(&spans, stats.wall_ns);
+        self.wire_links
+            .extend(stats.links.iter().map(|l| LinkBytes {
+                src_machine: l.src,
+                dst_machine: l.dst,
+                bytes: l.bytes,
+                messages: l.messages,
+            }));
+        Ok(stats)
     }
 
     /// Executes one pass of a grid (2-D) schedule on real cores: space
@@ -678,18 +741,21 @@ impl Driver {
     /// the caller's concern — these are per-pass estimates), and the
     /// scheduler's load balance.
     pub fn run_report(&self, compiled: &CompiledLoop) -> RunReport {
-        let links = self
-            .executor
-            .net
-            .per_link()
-            .into_iter()
-            .map(|l| LinkBytes {
-                src_machine: l.src_machine,
-                dst_machine: l.dst_machine,
-                bytes: l.bytes,
-                messages: l.messages,
-            })
-            .collect();
+        // Simulated (modelled) traffic and real wire bytes from
+        // distributed passes, aggregated per directed link.
+        let links = orion_trace::merge_links(
+            self.executor
+                .net
+                .per_link()
+                .into_iter()
+                .map(|l| LinkBytes {
+                    src_machine: l.src_machine,
+                    dst_machine: l.dst_machine,
+                    bytes: l.bytes,
+                    messages: l.messages,
+                })
+                .chain(self.wire_links.iter().copied()),
+        );
         let bytes_by_array = compiled
             .plan
             .placements

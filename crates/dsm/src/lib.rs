@@ -26,6 +26,22 @@
 //!   applications' inner loops, with scalar fallbacks (`simd` feature)
 //!   and an opt-in [`MathMode::FastMath`] for reassociating reductions
 //!   (`fast-math` feature).
+//!
+//! # Invariants the wire layer relies on
+//!
+//! The socket runtime (`orion-net`) moves DistArray state between
+//! processes as bytes produced here, so two properties are load-bearing:
+//!
+//! - **Bit-exact round trips** — [`checkpoint::to_bytes`] /
+//!   [`checkpoint::from_bytes`] and [`codec::encode_updates`] /
+//!   [`codec::decode_updates`] reproduce every element *bit for bit*
+//!   (`f32`/`f64` travel as raw IEEE-754 bits, never re-parsed text), so
+//!   a partition that crosses the wire is indistinguishable from one
+//!   that stayed local.
+//! - **Origin-preserving partitions** — a partition made by
+//!   [`DistArray::split_along`] keeps its global origin and answers the
+//!   same global indices after serialization, so remote executors index
+//!   received partitions exactly as the local engines do.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

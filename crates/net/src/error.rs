@@ -1,0 +1,53 @@
+//! Transport-level error type shared by the coordinator and node sides.
+
+use std::fmt;
+use std::io;
+
+use crate::frame::FrameError;
+
+/// Errors raised by cluster control-plane operations.
+#[derive(Debug)]
+pub enum NetError {
+    /// An underlying socket or process operation failed.
+    Io(io::Error),
+    /// A frame failed to read, write, or decode.
+    Frame(FrameError),
+    /// The peer violated the protocol (wrong message, bad handshake,
+    /// mismatched plan fingerprint, …).
+    Protocol(String),
+    /// A handshake or barrier deadline elapsed.
+    Timeout(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Timeout(msg) => write!(f, "timed out {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}

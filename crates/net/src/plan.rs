@@ -1,0 +1,70 @@
+//! Structural fingerprinting of compiled plans.
+//!
+//! Node processes never receive the plan over the wire — they recompile
+//! it locally from the same seeds and configuration (loop bodies cannot
+//! cross process boundaries). The fingerprint is how the cluster proves
+//! all `N + 1` processes compiled the *same* schedule before any state
+//! moves: each node hashes its plan and sends the digest in its `Hello`;
+//! the coordinator rejects any mismatch during the handshake.
+
+use orion_runtime::ThreadedPlan;
+
+/// FNV-1a, 64-bit. Deliberately simple: this detects configuration
+/// divergence, not adversaries.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes everything execution order depends on: per-worker execution
+/// lists (step, block, awaited transfer), the item positions of each
+/// block, forwarding edges, and initial partition placement. Two plans
+/// with equal fingerprints execute the same slots in the same order and
+/// rotate the same partitions along the same edges.
+pub fn plan_fingerprint(plan: &ThreadedPlan) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(plan.n_workers() as u64);
+    h.u64(plan.n_time_partitions() as u64);
+    for w in 0..plan.n_workers() {
+        h.u64(0xe0);
+        for e in plan.execs_of(w) {
+            h.u64(e.step);
+            h.u64(e.block as u64);
+            match e.awaited {
+                None => h.u64(u64::MAX),
+                Some(a) => {
+                    h.u64(a.from_worker as u64);
+                    h.u64(a.sent_after_step);
+                    h.u64(a.time_partition as u64);
+                }
+            }
+            for &pos in plan.blocks().items(e.block) {
+                h.u64(pos as u64);
+            }
+        }
+        h.u64(0xf0);
+        for &(step, dst) in plan.forwards_of(w) {
+            h.u64(step);
+            h.u64(dst as u64);
+        }
+        h.u64(0xf1);
+        for &tp in plan.initial_of(w) {
+            h.u64(tp as u64);
+        }
+    }
+    h.finish()
+}

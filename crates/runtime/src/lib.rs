@@ -17,6 +17,29 @@
 //!   the repo's real multi-core execution path;
 //! - [`comm_model_from_plan`] derives the communication model from the
 //!   analyzer's array placements.
+//!
+//! # Invariants the wire layer relies on
+//!
+//! `orion-net` serializes rotated partitions between processes, which is
+//! only sound because compiled schedules guarantee:
+//!
+//! - **Contiguity** — [`CompiledBlocks`] stores every block's item
+//!   positions as one contiguous `u32` run (CSR layout); a block is a
+//!   slice, never a scatter, so executing it remotely needs no index
+//!   translation beyond the partition's own origin offset.
+//! - **Single ownership** — at any step exactly one worker holds a given
+//!   time partition. Rotation edges (`Exec::awaited`,
+//!   `ThreadedPlan::forwards_of`) form per-partition chains, so a
+//!   serialized partition in flight can never race a concurrent writer.
+//! - **Deterministic order** — a worker's execution list and each
+//!   block's item order are fixed by the plan, independent of transport
+//!   timing. Same plan, same seed ⇒ the same floating-point operations
+//!   in the same order, which is what makes sim / threads / sockets
+//!   bit-identical ([`orion_net::plan_fingerprint`] hashes exactly this
+//!   structure).
+//!
+//! [`orion_net::plan_fingerprint`]:
+//!     https://docs.rs/orion-net/latest/orion_net/fn.plan_fingerprint.html
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

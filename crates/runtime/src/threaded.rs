@@ -154,6 +154,29 @@ impl ThreadedPlan {
     pub fn total_items(&self) -> usize {
         self.blocks.total_items()
     }
+
+    /// One worker's execution list, in step order. The socket runtime
+    /// walks this exactly as the in-process worker loop does.
+    pub fn execs_of(&self, worker: usize) -> &[Exec] {
+        &self.per_worker[worker]
+    }
+
+    /// One worker's rotation edges, `(step, dst)` sorted by step: after
+    /// finishing its step-`step` block the worker forwards the partition
+    /// it just used to `dst`.
+    pub fn forwards_of(&self, worker: usize) -> &[(u64, usize)] {
+        &self.forward[worker]
+    }
+
+    /// Time partitions `worker` holds at pass start, in use order.
+    pub fn initial_of(&self, worker: usize) -> &[usize] {
+        &self.initial[worker]
+    }
+
+    /// The compiled block table shared by all workers.
+    pub fn blocks(&self) -> &crate::schedule::CompiledBlocks {
+        &self.blocks
+    }
 }
 
 /// Everything a grid pass hands back: space partitions (worker order),

@@ -52,5 +52,5 @@ mod report;
 mod span;
 
 pub use perfetto::{write_perfetto, OwnedSession, SessionView, Transfer};
-pub use report::{LinkBytes, LoadStats, PhaseTotals, RunReport, WorkerBreakdown};
+pub use report::{merge_links, LinkBytes, LoadStats, PhaseTotals, RunReport, WorkerBreakdown};
 pub use span::{Span, SpanCat, Tracer};

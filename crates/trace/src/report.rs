@@ -74,6 +74,32 @@ pub struct LinkBytes {
     pub messages: u64,
 }
 
+/// Aggregates link records by `(src, dst)` pair, summing bytes and
+/// message counts, and returns them in deterministic (src, dst) order.
+/// Used to merge the simulator's modelled traffic with the socket
+/// runtime's real per-link byte accounting into one [`RunReport`].
+pub fn merge_links<I: IntoIterator<Item = LinkBytes>>(links: I) -> Vec<LinkBytes> {
+    let mut agg: std::collections::BTreeMap<(usize, usize), (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for link in links {
+        let entry = agg
+            .entry((link.src_machine, link.dst_machine))
+            .or_insert((0, 0));
+        entry.0 += link.bytes;
+        entry.1 += link.messages;
+    }
+    agg.into_iter()
+        .map(
+            |((src_machine, dst_machine), (bytes, messages))| LinkBytes {
+                src_machine,
+                dst_machine,
+                bytes,
+                messages,
+            },
+        )
+        .collect()
+}
+
 /// Scheduler partition balance: iteration items assigned per worker.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadStats {

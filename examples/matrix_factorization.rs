@@ -10,6 +10,7 @@
 //! `out.json.report.json` — see `docs/OBSERVABILITY.md`.
 
 use orion::apps::chaos::ChaosConfig;
+use orion::apps::distributed::{maybe_node, run_as_node, train_mf_distributed, DistOptions};
 use orion::apps::sgd_mf::{
     train_orion, train_orion_chaos, train_orion_chaos_traced, train_orion_traced, train_serial,
     train_threaded, train_threaded_traced, MfConfig, MfPsAdapter, MfRunConfig,
@@ -47,6 +48,36 @@ fn threads_arg() -> Option<usize> {
     None
 }
 
+/// `--nodes N` from argv: run the multi-process distributed demo on a
+/// localhost TCP cluster of N node processes (see `docs/DISTRIBUTED.md`)
+/// instead of the simulated comparison.
+fn nodes_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--nodes" {
+            return Some(
+                args.next()
+                    .expect("--nodes needs a count")
+                    .parse()
+                    .expect("--nodes takes a positive integer"),
+            );
+        }
+    }
+    None
+}
+
+/// `--coordinator ADDR` from argv: join an existing cluster as a node
+/// process (normally only spawned internally by the coordinator).
+fn coordinator_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--coordinator" {
+            return Some(args.next().expect("--coordinator needs host:port"));
+        }
+    }
+    None
+}
+
 /// `--fault-plan <path>` from argv: a scripted fault plan (see
 /// `docs/FAULTS.md` for the format) applied to the Orion run with
 /// checkpoint-every-2 recovery.
@@ -62,6 +93,13 @@ fn fault_plan_arg() -> Option<FaultPlan> {
 }
 
 fn main() {
+    // Distributed-run plumbing: children re-execute this binary with
+    // ORION_NET_ROLE=node and must divert before any other work.
+    maybe_node();
+    if let Some(addr) = coordinator_arg() {
+        run_as_node(&addr);
+    }
+
     let trace_path = trace_arg();
     let data = RatingsData::generate(RatingsConfig {
         n_users: 400,
@@ -75,6 +113,47 @@ fn main() {
     let passes = 10u64;
     let cfg = MfConfig::new(16);
     let cluster = ClusterSpec::new(8, 4);
+
+    if let Some(nodes) = nodes_arg() {
+        // The multi-process path: one OS process per node, partitions
+        // rotating over localhost TCP, sim as conformance oracle.
+        let dir = std::env::temp_dir().join(format!("orion_mf_dist_{}", std::process::id()));
+        let mut opts = DistOptions::new(nodes, passes, &dir);
+        opts.run_id = "mf_example".into();
+        println!("training SGD MF on a {nodes}-process localhost cluster, {passes} epochs\n");
+        let out = train_mf_distributed(&data, cfg.clone(), false, &opts)
+            .expect("distributed run completes");
+        for e in &out.epochs {
+            let rotated: u64 = e
+                .links
+                .iter()
+                .filter(|l| l.src < nodes && l.dst < nodes)
+                .map(|l| l.bytes)
+                .sum();
+            println!(
+                "epoch {:>2}: {:>7.1} ms wall, {:>8.1} KiB rotated between nodes",
+                e.epoch,
+                e.wall_ns as f64 / 1e6,
+                rotated as f64 / 1024.0,
+            );
+        }
+        let (sim_model, _) = train_orion(
+            &data,
+            cfg,
+            &MfRunConfig {
+                cluster: ClusterSpec::new(nodes, 1),
+                passes,
+                ordered: false,
+            },
+        );
+        println!(
+            "\nfinal loss {:.1}; bit-identical to the sim oracle: {}",
+            out.stats.final_metric().unwrap(),
+            sim_model.w == out.model.w && sim_model.h == out.model.h,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
 
     println!(
         "training SGD MF, rank 16, {} ratings, {} passes\n",

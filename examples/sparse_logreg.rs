@@ -10,6 +10,7 @@
 //! regime to regime.
 
 use orion::apps::chaos::ChaosConfig;
+use orion::apps::distributed::{maybe_node, run_as_node, train_slr_distributed, DistOptions};
 use orion::apps::slr::{
     train_orion, train_orion_chaos, train_orion_traced, train_threaded, train_threaded_traced,
     SlrConfig, SlrRunConfig,
@@ -46,6 +47,36 @@ fn threads_arg() -> Option<usize> {
     None
 }
 
+/// `--nodes N` from argv: run the multi-process distributed demo on a
+/// localhost TCP cluster of N stateless worker processes with the
+/// coordinator serving the weights (see `docs/DISTRIBUTED.md`).
+fn nodes_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--nodes" {
+            return Some(
+                args.next()
+                    .expect("--nodes needs a count")
+                    .parse()
+                    .expect("--nodes takes a positive integer"),
+            );
+        }
+    }
+    None
+}
+
+/// `--coordinator ADDR` from argv: join an existing cluster as a node
+/// process (normally only spawned internally by the coordinator).
+fn coordinator_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--coordinator" {
+            return Some(args.next().expect("--coordinator needs host:port"));
+        }
+    }
+    None
+}
+
 /// `--fault-plan <path>` from argv: scripted faults (see
 /// `docs/FAULTS.md`) applied to every prefetch regime with
 /// checkpoint-every-2 recovery. Mutually exclusive with `--trace`.
@@ -61,6 +92,13 @@ fn fault_plan_arg() -> Option<FaultPlan> {
 }
 
 fn main() {
+    // Distributed-run plumbing: children re-execute this binary with
+    // ORION_NET_ROLE=node and must divert before any other work.
+    maybe_node();
+    if let Some(addr) = coordinator_arg() {
+        run_as_node(&addr);
+    }
+
     let trace_path = trace_arg();
     let fault_plan = fault_plan_arg();
     assert!(
@@ -83,6 +121,54 @@ fn main() {
     );
 
     let passes = 5u64;
+
+    if let Some(nodes) = nodes_arg() {
+        // The multi-process path: stateless worker processes prefetch
+        // served weights and ship buffered updates over localhost TCP,
+        // with the sim as conformance oracle.
+        let dir = std::env::temp_dir().join(format!("orion_slr_dist_{}", std::process::id()));
+        let mut opts = DistOptions::new(nodes, passes, &dir);
+        opts.run_id = "slr_example".into();
+        let cfg = SlrConfig {
+            step_size: 0.002,
+            adaptive: false,
+            ..SlrConfig::new()
+        };
+        println!("\ntraining SLR on a {nodes}-process localhost cluster, {passes} epochs\n");
+        let out =
+            train_slr_distributed(&data, cfg.clone(), &opts).expect("distributed run completes");
+        for e in &out.epochs {
+            let served: u64 = e
+                .links
+                .iter()
+                .filter(|l| l.src == nodes || l.dst == nodes)
+                .map(|l| l.bytes)
+                .sum();
+            println!(
+                "epoch {:>2}: {:>7.1} ms wall, {:>8.1} KiB served weights + updates",
+                e.epoch,
+                e.wall_ns as f64 / 1e6,
+                served as f64 / 1024.0,
+            );
+        }
+        let (sim_model, _) = train_orion(
+            &data,
+            cfg,
+            &SlrRunConfig {
+                cluster: ClusterSpec::new(nodes, 1),
+                passes,
+                prefetch_override: None,
+            },
+        );
+        println!(
+            "\nfinal loss {:.4}; bit-identical to the sim oracle: {}",
+            out.stats.final_metric().unwrap(),
+            sim_model.weights == out.model.weights,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+
     let mut rows = Vec::new();
     let mut sessions = Vec::new();
     for (label, mode) in [

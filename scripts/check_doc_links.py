@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Checks that documentation cross-references resolve.
 
-Two classes of reference are verified, repo-wide:
+Three classes of reference are verified, repo-wide:
 
 1. Markdown links ``[text](target)`` in ``*.md`` files whose target is a
-   relative path (external URLs and pure ``#fragment`` anchors are
-   skipped) must point at an existing file or directory.
-2. Bare file mentions of the repo's canonical documents
+   relative path (external URLs are skipped) must point at an existing
+   file or directory.
+2. Intra-document anchors — pure ``#fragment`` links and ``path#fragment``
+   links into another Markdown file — must name a heading that actually
+   exists in the target document, using GitHub's slugification rules
+   (lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes
+   for duplicates).
+3. Bare file mentions of the repo's canonical documents
    (``docs/OBSERVABILITY.md``, ``DESIGN.md`` etc.) inside Markdown and
    Rust doc comments must name files that actually exist, so renames
    cannot silently strand prose.
@@ -28,6 +33,12 @@ DOC_MENTION = re.compile(
 
 SKIP_DIRS = {"target", ".git", "vendor", "results"}
 
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*(?:#+\s*)?$")
+# Markdown inline decoration stripped before slugifying a heading.
+INLINE_LINK = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+# Characters GitHub keeps in an anchor slug: word chars, spaces, hyphens.
+SLUG_DROP = re.compile(r"[^\w\- ]")
+
 
 def repo_files(patterns):
     for pattern in patterns:
@@ -36,21 +47,60 @@ def repo_files(patterns):
                 yield path
 
 
+def slugify(heading):
+    """GitHub's heading-to-anchor slug (without the -N dedup suffix)."""
+    text = INLINE_LINK.sub(r"\1", heading)
+    text = text.replace("`", "").replace("**", "").replace("*", "")
+    text = SLUG_DROP.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path, cache={}):
+    """The set of valid #fragment anchors in one Markdown file."""
+    if md_path in cache:
+        return cache[md_path]
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[md_path] = anchors
+    return anchors
+
+
 def check_md_links(errors):
     for md in repo_files(["*.md"]):
         text = md.read_text(encoding="utf-8")
         for match in MD_LINK.finditer(text):
             target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (md.parent / path).resolve()
+            path, _, fragment = target.partition("#")
+            line = text.count("\n", 0, match.start()) + 1
+            resolved = (md.parent / path).resolve() if path else md
             if not resolved.exists():
-                line = text.count("\n", 0, match.start()) + 1
                 errors.append(
                     f"{md.relative_to(ROOT)}:{line}: broken link `{target}`"
+                )
+                continue
+            if not fragment or resolved.suffix != ".md":
+                continue
+            if fragment not in anchors_of(resolved):
+                errors.append(
+                    f"{md.relative_to(ROOT)}:{line}: dead anchor "
+                    f"`#{fragment}` (no such heading in "
+                    f"{resolved.relative_to(ROOT)})"
                 )
 
 
@@ -59,7 +109,9 @@ def check_doc_mentions(errors):
         text = src.read_text(encoding="utf-8")
         for match in DOC_MENTION.finditer(text):
             name = match.group(1)
-            if not (ROOT / name).exists():
+            # A canonical doc may be mentioned by repo-root path or, from
+            # a sibling document, by plain relative name.
+            if not (ROOT / name).exists() and not (src.parent / name).exists():
                 line = text.count("\n", 0, match.start()) + 1
                 errors.append(
                     f"{src.relative_to(ROOT)}:{line}: "

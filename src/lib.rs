@@ -22,6 +22,9 @@
 //! - [`sim`] — the deterministic virtual-time cluster simulator;
 //! - [`runtime`] — schedules, the simulated executor, the real-thread
 //!   engine, prefetch models;
+//! - [`net`] — the process-per-node socket runtime: TCP framing,
+//!   coordinator/node protocol, distributed rotation and recovery (see
+//!   `docs/DISTRIBUTED.md`);
 //! - [`core`] — the user-facing [`core::Driver`] API;
 //! - [`check`] — dependence lints (`O001`–`O005`), the schedule
 //!   sanitizer (`O100`) and the rustc-style diagnostics pipeline (see
@@ -46,6 +49,7 @@ pub use orion_data as data;
 pub use orion_dataflow as dataflow;
 pub use orion_dsm as dsm;
 pub use orion_ir as ir;
+pub use orion_net as net;
 pub use orion_ps as ps;
 pub use orion_runtime as runtime;
 pub use orion_sim as sim;
