@@ -23,6 +23,7 @@ pub mod common;
 pub mod distributed;
 pub mod gbt;
 pub mod lda;
+pub mod serve;
 pub mod sgd_mf;
 pub mod slr;
 pub mod specs;

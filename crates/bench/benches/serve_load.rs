@@ -1,0 +1,120 @@
+//! Serving load sweep: throughput and latency percentiles of the
+//! sharded MF inference engine across shard counts × concurrency
+//! levels, with cache hit rates.
+//!
+//! An MF model is trained once, checkpointed in memory, and loaded into
+//! fresh engines for every (shards × streams) cell; a seeded Zipf
+//! traffic mix (70% point predictions, 30% top-5 recommendations) is
+//! replayed through the deterministic virtual-clock session loop, so
+//! every number here is exactly reproducible. A spot-check asserts the
+//! served answers agree with the brute-force oracle before anything is
+//! reported. Writes `results/BENCH_serve.json`. Set
+//! `ORION_SERVE_SMOKE=1` for a fast CI run on the tiny dataset.
+
+use orion_apps::serve::{oracle_mf_predict, MfAnswer, MfQuery, MfServe};
+use orion_apps::sgd_mf::{train_orion, MfConfig, MfModel, MfRunConfig};
+use orion_bench::{banner, eval_cluster, write_report, ServeBenchReport, ServeRow};
+use orion_data::{RatingsConfig, RatingsData};
+use orion_serve::{EngineConfig, Request, ServeEngine, TrafficConfig};
+use orion_trace::Tracer;
+
+/// Shard counts of the sweep.
+const SHARDS: [usize; 3] = [2, 4, 8];
+/// Concurrency levels: concurrent client streams.
+const STREAMS: [usize; 3] = [4, 16, 64];
+
+fn smoke() -> bool {
+    std::env::var("ORION_SERVE_SMOKE").is_ok()
+}
+
+fn train() -> MfModel {
+    let (data_cfg, rank, passes) = if smoke() {
+        (RatingsConfig::tiny(), 4, 2)
+    } else {
+        (RatingsConfig::netflix_like(), 16, 3)
+    };
+    let data = RatingsData::generate(data_cfg);
+    let run = MfRunConfig {
+        cluster: eval_cluster(),
+        passes,
+        ordered: false,
+    };
+    train_orion(&data, MfConfig::new(rank), &run).0
+}
+
+fn measure(model: &MfModel, shards: usize, streams: usize, n_requests: usize) -> ServeRow {
+    let (w, h) = MfServe::checkpoint_bytes(model);
+    let serve = MfServe::from_checkpoint_bytes(w, h, shards).expect("checkpoint loads");
+    let engine = ServeEngine::new(serve, EngineConfig::default().with_max_in_flight(128));
+    let mut traffic = TrafficConfig::tiny(engine.model().n_users());
+    traffic.n_requests = n_requests;
+    traffic.streams = streams;
+    traffic.key2_domain = engine.model().n_items();
+    let requests: Vec<Request<MfQuery>> = traffic
+        .generate()
+        .iter()
+        .map(|raw| Request {
+            arrive_ns: raw.arrive_ns,
+            query: engine.model().query_from_raw(raw, 0.7, 5),
+        })
+        .collect();
+    let mut tracer = Tracer::default();
+    tracer.enable(requests.len());
+    let (stats, answers) = engine.run_session(&requests, &mut tracer);
+
+    // Spot-check against the oracle: performance numbers are only
+    // meaningful if the answers are right.
+    for (req, ans) in requests.iter().zip(&answers).take(200) {
+        if let (MfQuery::Predict { user, item }, Some(MfAnswer::Score(got))) = (&req.query, ans) {
+            assert_eq!(
+                got.to_bits(),
+                oracle_mf_predict(model, *user, *item).to_bits(),
+                "served answer diverged from oracle"
+            );
+        }
+    }
+
+    let lat = stats.latency.expect("completed requests produce latency");
+    ServeRow {
+        shards,
+        streams,
+        offered: stats.offered,
+        completed: stats.completed,
+        rejected: stats.rejected,
+        throughput_rps: stats.throughput_rps(),
+        p50_ms: lat.p50_ns as f64 / 1e6,
+        p99_ms: lat.p99_ns as f64 / 1e6,
+        p999_ms: lat.p999_ns as f64 / 1e6,
+        max_ms: lat.max_ns as f64 / 1e6,
+        cache_hit_rate: stats.cache.hit_rate(),
+    }
+}
+
+fn main() {
+    banner(
+        "serve_load",
+        "sharded MF serving: throughput/latency across shards x concurrency",
+    );
+    let model = train();
+    let n_requests = if smoke() { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+    for &shards in &SHARDS {
+        for &streams in &STREAMS {
+            let row = measure(&model, shards, streams, n_requests);
+            println!(
+                "  shards={shards:<2} streams={streams:<3} -> {:.0} rps, p99 {:.3} ms, \
+                 hit rate {:.1}%, rejected {}",
+                row.throughput_rps,
+                row.p99_ms,
+                row.cache_hit_rate * 100.0,
+                row.rejected
+            );
+            rows.push(row);
+        }
+    }
+    let report = ServeBenchReport {
+        model: "sgd_mf".to_string(),
+        rows,
+    };
+    write_report("BENCH_serve.json", &report);
+}

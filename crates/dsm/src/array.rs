@@ -254,6 +254,23 @@ impl<T: Element, D: Device> DistArray<T, D> {
         matches!(self.storage, Storage::Dense(_))
     }
 
+    /// Materializes the array as one contiguous row-major `Vec`, filling
+    /// absent sparse elements with `T::default()` — the read-optimized
+    /// layout `orion-serve` loads checkpoints into. Element values are
+    /// copied bit-for-bit; the result is indexed by local flat offset.
+    pub fn to_dense_vec(&self) -> Vec<T> {
+        match &self.storage {
+            Storage::Dense(v) => v.as_slice().to_vec(),
+            Storage::Sparse(s) => {
+                let mut out = vec![T::default(); self.shape.volume() as usize];
+                for (flat, v) in s.iter() {
+                    out[flat as usize] = v.clone();
+                }
+                out
+            }
+        }
+    }
+
     /// Number of materialized elements.
     pub fn nnz(&self) -> u64 {
         match &self.storage {
@@ -1081,6 +1098,15 @@ mod tests {
         let distinct: std::collections::BTreeSet<u32> =
             a.iter().map(|(_, v)| v.to_bits()).collect();
         assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn to_dense_vec_materializes_defaults() {
+        let d: DistArray<f32> =
+            DistArray::dense_from_vec("d", vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.to_dense_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        let s: DistArray<u32> = DistArray::sparse_from_flat("s", vec![2, 3], vec![(0, 5), (4, 9)]);
+        assert_eq!(s.to_dense_vec(), vec![5, 0, 0, 0, 9, 0]);
     }
 
     #[test]

@@ -52,5 +52,7 @@ mod report;
 mod span;
 
 pub use perfetto::{write_perfetto, OwnedSession, SessionView, Transfer};
-pub use report::{merge_links, LinkBytes, LoadStats, PhaseTotals, RunReport, WorkerBreakdown};
+pub use report::{
+    merge_links, LatencyStats, LinkBytes, LoadStats, PhaseTotals, RunReport, WorkerBreakdown,
+};
 pub use span::{Span, SpanCat, Tracer};

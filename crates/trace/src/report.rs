@@ -100,6 +100,55 @@ pub fn merge_links<I: IntoIterator<Item = LinkBytes>>(links: I) -> Vec<LinkBytes
         .collect()
 }
 
+/// End-to-end request-latency percentiles of a serving session, computed
+/// over the durations of [`SpanCat::Serve`] spans (one span per completed
+/// request, arrival to completion — queueing included).
+///
+/// Percentiles use the nearest-rank definition on the sorted durations:
+/// `p(q)` is the smallest duration such that at least `q` of the requests
+/// finished within it. With fewer than `1/(1-q)` samples the tail
+/// percentiles degrade to the maximum, which is the honest answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Completed requests measured.
+    pub count: u64,
+    /// Mean latency, nanoseconds (integer floor).
+    pub mean_ns: u64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency.
+    pub p999_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Builds the percentile summary from raw durations; `None` when
+    /// there are none (a report without a serving session).
+    pub fn from_durations(durations: &[u64]) -> Option<Self> {
+        if durations.is_empty() {
+            return None;
+        }
+        let mut sorted = durations.to_vec();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let sum: u128 = sorted.iter().map(|&d| d as u128).sum();
+        Some(LatencyStats {
+            count: sorted.len() as u64,
+            mean_ns: (sum / sorted.len() as u128) as u64,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            p999_ns: pct(0.999),
+            max_ns: *sorted.last().unwrap(),
+        })
+    }
+}
+
 /// Scheduler partition balance: iteration items assigned per worker.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadStats {
@@ -165,6 +214,9 @@ pub struct RunReport {
     pub bytes_by_array: Vec<(String, u64)>,
     /// Scheduler partition balance.
     pub load: LoadStats,
+    /// Request-latency percentiles, present when the span buffer holds
+    /// [`SpanCat::Serve`] spans (an `orion-serve` session).
+    pub latency: Option<LatencyStats>,
 }
 
 impl RunReport {
@@ -213,6 +265,11 @@ impl RunReport {
                 .then(a.src_machine.cmp(&b.src_machine))
                 .then(a.dst_machine.cmp(&b.dst_machine))
         });
+        let serve_durations: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.cat == SpanCat::Serve)
+            .map(Span::dur_ns)
+            .collect();
         RunReport {
             wall_ns,
             phase_totals,
@@ -221,6 +278,7 @@ impl RunReport {
             links,
             bytes_by_array,
             load,
+            latency: LatencyStats::from_durations(&serve_durations),
         }
     }
 
@@ -286,6 +344,14 @@ impl RunReport {
             self.recovery_overhead_ns(),
             self.recovery_overhead()
         );
+        if let Some(l) = &self.latency {
+            let _ = write!(
+                out,
+                ",\"serve_latency\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\
+                 \"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+                l.count, l.mean_ns, l.p50_ns, l.p99_ns, l.p999_ns, l.max_ns
+            );
+        }
         out.push_str(",\"workers\":[");
         for (i, w) in self.per_worker.iter().enumerate() {
             if i > 0 {
@@ -382,6 +448,18 @@ impl RunReport {
                 "  recovery overhead: {:.4}s ({:.1}% of worker-track time)",
                 self.recovery_overhead_ns() as f64 / 1e9,
                 100.0 * self.recovery_overhead()
+            );
+        }
+        if let Some(l) = &self.latency {
+            let _ = writeln!(
+                out,
+                "  serve latency over {} requests: p50 {:.3}ms, p99 {:.3}ms, \
+                 p999 {:.3}ms, max {:.3}ms",
+                l.count,
+                l.p50_ns as f64 / 1e6,
+                l.p99_ns as f64 / 1e6,
+                l.p999_ns as f64 / 1e6,
+                l.max_ns as f64 / 1e6
             );
         }
         if !self.links.is_empty() {
@@ -536,6 +614,49 @@ mod tests {
         let clean = report();
         assert_eq!(clean.recovery_overhead_ns(), 0);
         assert!(!clean.render().contains("recovery overhead"));
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        // 1..=1000 ns: p50 = 500, p99 = 990, p999 = 999, max = 1000.
+        let durs: Vec<u64> = (1..=1000).collect();
+        let l = LatencyStats::from_durations(&durs).unwrap();
+        assert_eq!(l.count, 1000);
+        assert_eq!(l.p50_ns, 500);
+        assert_eq!(l.p99_ns, 990);
+        assert_eq!(l.p999_ns, 999);
+        assert_eq!(l.max_ns, 1000);
+        assert_eq!(l.mean_ns, 500); // floor(500.5)
+                                    // Tiny samples degrade the tail to the max, not out of bounds.
+        let tiny = LatencyStats::from_durations(&[7]).unwrap();
+        assert_eq!((tiny.p50_ns, tiny.p99_ns, tiny.p999_ns), (7, 7, 7));
+        assert_eq!(LatencyStats::from_durations(&[]), None);
+    }
+
+    #[test]
+    fn serve_spans_produce_latency_in_report_and_json() {
+        let mut t = Tracer::enabled(8);
+        t.record(SpanCat::Serve, 0, 0, 0, 100, 0, 0);
+        t.record(SpanCat::Serve, 1, 1, 50, 350, 0, 1);
+        t.record(SpanCat::Compute, 0, 0, 0, 40, 0, 0);
+        let r = RunReport::build(400, t.spans(), 2, 1, vec![], vec![], LoadStats::default());
+        let l = r.latency.expect("serve spans yield latency stats");
+        assert_eq!(l.count, 2);
+        assert_eq!(l.p50_ns, 100);
+        assert_eq!((l.p99_ns, l.p999_ns, l.max_ns), (300, 300, 300));
+        // Serve spans stay off the worker track: critical path is the
+        // compute span only, and coverage is unaffected by overlap.
+        assert_eq!(r.critical_path_ns, 40);
+        let v = crate::json::parse(&r.to_json()).expect("valid JSON");
+        let lat = v.get("serve_latency").expect("latency serialized");
+        assert_eq!(lat.get("p50_ns").and_then(|x| x.as_f64()), Some(100.0));
+        assert_eq!(lat.get("p99_ns").and_then(|x| x.as_f64()), Some(300.0));
+        assert_eq!(lat.get("p999_ns").and_then(|x| x.as_f64()), Some(300.0));
+        assert!(r.render().contains("serve latency"));
+        // Reports without serve spans omit the block entirely.
+        let clean = report();
+        assert_eq!(clean.latency, None);
+        assert!(!clean.to_json().contains("serve_latency"));
     }
 
     #[test]

@@ -27,10 +27,16 @@ pub enum SpanCat {
     Recovery = 7,
     /// Writing a periodic checkpoint (atomic temp-file + rename).
     Checkpoint = 8,
+    /// One online-inference request from arrival to completion
+    /// (`orion-serve`). Requests overlap on a shard's track while they
+    /// queue, so the category lives off the worker track like
+    /// [`SpanCat::Server`]; span durations are end-to-end latencies and
+    /// feed [`crate::LatencyStats`] in the run report.
+    Serve = 9,
 }
 
 /// Number of span categories (size of [`crate::PhaseTotals`]).
-pub const N_CATS: usize = 9;
+pub const N_CATS: usize = 10;
 
 impl SpanCat {
     /// All categories, in discriminant order.
@@ -44,6 +50,7 @@ impl SpanCat {
         SpanCat::Fault,
         SpanCat::Recovery,
         SpanCat::Checkpoint,
+        SpanCat::Serve,
     ];
 
     /// Stable lower-case name, used as the Perfetto `cat` field and as
@@ -59,6 +66,7 @@ impl SpanCat {
             SpanCat::Fault => "fault",
             SpanCat::Recovery => "recovery",
             SpanCat::Checkpoint => "checkpoint",
+            SpanCat::Serve => "serve",
         }
     }
 
@@ -66,8 +74,10 @@ impl SpanCat {
     /// [`SpanCat::Server`] is excluded: server work is drawn on a
     /// separate per-machine track and overlaps worker compute, so it
     /// must not count toward executor timeline coverage.
+    /// [`SpanCat::Serve`] is excluded for the same reason: in-flight
+    /// requests overlap on their shard's track while they queue.
     pub const fn on_worker_track(self) -> bool {
-        !matches!(self, SpanCat::Server)
+        !matches!(self, SpanCat::Server | SpanCat::Serve)
     }
 }
 
@@ -207,6 +217,9 @@ mod tests {
     #[test]
     fn server_is_off_worker_track() {
         assert!(!SpanCat::Server.on_worker_track());
+        // Serve spans overlap while requests queue, so they must not
+        // count toward timeline coverage either.
+        assert!(!SpanCat::Serve.on_worker_track());
         assert!(SpanCat::Compute.on_worker_track());
         assert!(SpanCat::Barrier.on_worker_track());
         // Fault-injection phases stall the executor itself, so they tile

@@ -36,7 +36,10 @@
 //! - [`data`] — seeded synthetic datasets (Netflix-, NYTimes-,
 //!   ClueWeb-, KDD-like);
 //! - [`apps`] — SGD MF, LDA, SLR, GBT and CP tensor decomposition, each
-//!   with serial and Orion-parallelized runners.
+//!   with serial and Orion-parallelized runners;
+//! - [`serve`] — sharded online inference over trained checkpoints:
+//!   LRU-cached point lookups and top-k queries, batching, admission
+//!   control, virtual-clock latency modelling (see `docs/SERVING.md`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology.
@@ -52,6 +55,7 @@ pub use orion_ir as ir;
 pub use orion_net as net;
 pub use orion_ps as ps;
 pub use orion_runtime as runtime;
+pub use orion_serve as serve;
 pub use orion_sim as sim;
 pub use orion_strads as strads;
 pub use orion_trace as trace;

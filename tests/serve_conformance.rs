@@ -1,0 +1,230 @@
+//! Serving conformance: every answer the sharded, cached, batched
+//! serving engine produces is bit-identical to a brute-force oracle
+//! scan of the raw trained `DistArray`s — for MF, SLR and LDA, through
+//! a full train → checkpoint → load → serve round trip, with the cache
+//! on and off.
+
+use orion::apps::serve::{
+    oracle_lda_doc_topics, oracle_lda_top_words, oracle_mf_predict, oracle_mf_recommend,
+    oracle_slr_score, LdaAnswer, LdaQuery, LdaServe, MfAnswer, MfQuery, MfServe, SlrQuery,
+    SlrServe,
+};
+use orion::apps::{lda, sgd_mf, slr};
+use orion::core::ClusterSpec;
+use orion::data::{CorpusConfig, CorpusData, RatingsConfig, RatingsData, SparseConfig, SparseData};
+use orion::serve::{EngineConfig, ServeEngine};
+
+fn ckpt_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("orion_serve_{}_{}", std::process::id(), name));
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+fn train_mf() -> sgd_mf::MfModel {
+    let data = RatingsData::generate(RatingsConfig::tiny());
+    let run = sgd_mf::MfRunConfig {
+        cluster: ClusterSpec::new(4, 2),
+        passes: 3,
+        ordered: false,
+    };
+    sgd_mf::train_orion(&data, sgd_mf::MfConfig::new(4), &run).0
+}
+
+/// Engines with the cache on and off, loaded from the same checkpoint
+/// image, across two shard counts.
+fn mf_engines(model: &sgd_mf::MfModel) -> Vec<ServeEngine<MfServe>> {
+    let (w, h) = MfServe::checkpoint_bytes(model);
+    let mut engines = Vec::new();
+    for n_shards in [1, 3] {
+        for cache in [256, 0] {
+            let serve = MfServe::from_checkpoint_bytes(w.clone(), h.clone(), n_shards)
+                .expect("intact checkpoint loads");
+            engines.push(ServeEngine::new(
+                serve,
+                EngineConfig::default().with_cache_capacity(cache),
+            ));
+        }
+    }
+    engines
+}
+
+/// MF point predictions: every user × item, bit-identical to the
+/// oracle, cache on or off, any shard count.
+#[test]
+fn mf_predictions_match_oracle_bitwise() {
+    let model = train_mf();
+    for engine in mf_engines(&model) {
+        let (users, items) = (engine.model().n_users(), engine.model().n_items());
+        for user in 0..users {
+            for item in 0..items {
+                let want = oracle_mf_predict(&model, user, item);
+                match engine.answer(&MfQuery::Predict { user, item }) {
+                    MfAnswer::Score(got) => assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "user {user} item {item}: {got} != {want}"
+                    ),
+                    other => panic!("unexpected answer {other:?}"),
+                }
+            }
+        }
+        // Repeated queries hammered the cache (when enabled) without
+        // changing a single bit; accounting stays balanced either way.
+        let s = engine.cache_stats();
+        assert_eq!(s.hits + s.misses, s.lookups);
+    }
+}
+
+/// MF top-k recommendations: identical ids *and* bit-identical scores
+/// to the brute-force oracle, for several k including over-length.
+#[test]
+fn mf_recommendations_match_oracle() {
+    let model = train_mf();
+    for engine in mf_engines(&model) {
+        let (users, items) = (engine.model().n_users(), engine.model().n_items());
+        for user in 0..users {
+            for k in [1, 5, items as usize + 7] {
+                let want = oracle_mf_recommend(&model, user, k);
+                match engine.answer(&MfQuery::Recommend { user, k }) {
+                    MfAnswer::TopK(got) => {
+                        assert_eq!(got.len(), want.len());
+                        for ((gi, gs), (wi, ws)) in got.iter().zip(&want) {
+                            assert_eq!(gi, wi, "user {user} k {k}");
+                            assert_eq!(gs.to_bits(), ws.to_bits(), "user {user} item {gi}");
+                        }
+                    }
+                    other => panic!("unexpected answer {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// SLR margins: every training sample's feature set scored through the
+/// serving path equals the oracle gather-sum, bit for bit.
+#[test]
+fn slr_scores_match_oracle_bitwise() {
+    let data = SparseData::generate(SparseConfig::tiny());
+    let run = slr::SlrRunConfig {
+        cluster: ClusterSpec::new(4, 2),
+        passes: 2,
+        prefetch_override: None,
+    };
+    let (model, _) = slr::train_orion(&data, slr::SlrConfig::new(), &run);
+    let wire = SlrServe::checkpoint_bytes(&model);
+    for n_shards in [1, 4] {
+        for cache in [128, 0] {
+            let engine = ServeEngine::new(
+                SlrServe::from_checkpoint_bytes(wire.clone(), n_shards).expect("intact"),
+                EngineConfig::default().with_cache_capacity(cache),
+            );
+            for sample in &data.samples {
+                let want = oracle_slr_score(&model, &sample.features);
+                let got = engine.answer(&SlrQuery {
+                    features: sample.features.clone(),
+                });
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+            // The empty feature set is a valid query: margin -0.0 (the
+            // kernel's fold identity), same as the oracle.
+            let empty = engine.answer(&SlrQuery { features: vec![] });
+            assert_eq!(empty.to_bits(), oracle_slr_score(&model, &[]).to_bits());
+        }
+    }
+}
+
+/// LDA: document topic histograms and per-topic top-word lists match
+/// the oracle exactly (u32 counts — equality is already exact).
+#[test]
+fn lda_lookups_match_oracle() {
+    let corpus = CorpusData::generate(CorpusConfig::tiny());
+    let run = lda::LdaRunConfig {
+        cluster: ClusterSpec::new(4, 2),
+        passes: 2,
+        ordered: false,
+    };
+    let (model, _) = lda::train_orion(&corpus, lda::LdaConfig::new(8), &run);
+    let (dt, wt) = LdaServe::checkpoint_bytes(&model);
+    for n_shards in [1, 3] {
+        for cache in [64, 0] {
+            let engine = ServeEngine::new(
+                LdaServe::from_checkpoint_bytes(dt.clone(), wt.clone(), n_shards).expect("intact"),
+                EngineConfig::default().with_cache_capacity(cache),
+            );
+            let serve = engine.model();
+            for doc in 0..serve.n_docs() {
+                match engine.answer(&LdaQuery::DocTopics { doc }) {
+                    LdaAnswer::Histogram(got) => {
+                        assert_eq!(got, oracle_lda_doc_topics(&model, doc))
+                    }
+                    other => panic!("unexpected answer {other:?}"),
+                }
+            }
+            for topic in 0..serve.n_topics() {
+                for k in [1, 10] {
+                    match engine.answer(&LdaQuery::TopWords { topic, k }) {
+                        LdaAnswer::TopK(got) => {
+                            assert_eq!(got, oracle_lda_top_words(&model, topic, k))
+                        }
+                        other => panic!("unexpected answer {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The file-based round trip: checkpoints written with the atomic saver
+/// load into shards that answer exactly like the in-memory model.
+#[test]
+fn checkpoint_files_round_trip_through_serving() {
+    let model = train_mf();
+    let dir = ckpt_dir("files");
+    let (w_path, h_path) = (dir.join("w.ckpt"), dir.join("h.ckpt"));
+    orion::dsm::checkpoint::save(&model.w, &w_path).expect("save W");
+    orion::dsm::checkpoint::save(&model.h, &h_path).expect("save H");
+    let serve = MfServe::from_checkpoint_bytes(
+        std::fs::read(&w_path).expect("read W").into(),
+        std::fs::read(&h_path).expect("read H").into(),
+        3,
+    )
+    .expect("saved checkpoints load");
+    let engine = ServeEngine::new(serve, EngineConfig::default());
+    for user in 0..engine.model().n_users() {
+        for item in 0..engine.model().n_items() {
+            match engine.answer(&MfQuery::Predict { user, item }) {
+                MfAnswer::Score(got) => {
+                    assert_eq!(
+                        got.to_bits(),
+                        oracle_mf_predict(&model, user, item).to_bits()
+                    )
+                }
+                other => panic!("unexpected answer {other:?}"),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Balanced sharding is invisible to answers: a Zipf-weighted partition
+/// of `W` yields the same bits as uniform sharding.
+#[test]
+fn balanced_sharding_preserves_answers() {
+    let model = train_mf();
+    let n_users = model.w.shape().dims()[0];
+    // A heavy-headed traffic profile, like the generator's Zipf draw.
+    let weights: Vec<u64> = (0..n_users).map(|u| 1 + 1000 / (u + 1)).collect();
+    let balanced = ServeEngine::new(
+        MfServe::from_model_balanced(&model, &weights, 3),
+        EngineConfig::default(),
+    );
+    let uniform = ServeEngine::new(MfServe::from_model(&model, 3), EngineConfig::default());
+    for user in 0..n_users {
+        for item in 0..balanced.model().n_items() {
+            let q = MfQuery::Predict { user, item };
+            assert_eq!(balanced.answer(&q), uniform.answer(&q));
+        }
+        let q = MfQuery::Recommend { user, k: 5 };
+        assert_eq!(balanced.answer(&q), uniform.answer(&q));
+    }
+}

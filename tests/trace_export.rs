@@ -2,9 +2,11 @@
 //! Perfetto `trace_event` JSON, the exporter's byte output is pinned by a
 //! golden file, and tracing never perturbs training results.
 
+use orion::apps::serve::MfServe;
 use orion::apps::sgd_mf::{train_orion, train_orion_traced, MfConfig, MfRunConfig};
 use orion::core::ClusterSpec;
 use orion::data::{RatingsConfig, RatingsData};
+use orion::serve::{EngineConfig, Request, ServeEngine, TrafficConfig};
 use orion::trace::json::validate_trace_events;
 use orion::trace::{write_perfetto, SessionView, SpanCat, Tracer, Transfer};
 
@@ -31,6 +33,7 @@ fn golden_session(tracer: &mut Tracer, transfers: &mut Vec<Transfer>) {
     tracer.record(SpanCat::Server, 1, 2, 1_200, 1_700, 128, 0);
     tracer.record(SpanCat::Flush, 1, 2, 4_000, 4_800, 640, 1);
     tracer.record(SpanCat::Barrier, 1, 3, 4_800, 5_500, 0, u64::MAX);
+    tracer.record(SpanCat::Serve, 1, 3, 2_500, 6_000, 0, 42);
     transfers.push(Transfer {
         src_machine: 0,
         dst_machine: 1,
@@ -135,4 +138,59 @@ fn run_report_json_parses() {
     assert!(doc.get("wall_ns").is_some());
     assert!(doc.get("phase_totals_ns").is_some());
     assert!(doc.get("links").is_some());
+}
+
+/// A traced serving session exports schema-valid Perfetto JSON carrying
+/// `serve` spans, and its run report carries the latency percentiles
+/// (p50/p99/p999) in both the struct and the JSON schema.
+#[test]
+fn serve_session_exports_valid_trace_and_latency_report() {
+    let d = data();
+    let (model, _) = train_orion(&d, MfConfig::new(4), &run_cfg(2));
+    let engine = ServeEngine::new(MfServe::from_model(&model, 4), EngineConfig::default());
+    let requests: Vec<Request<_>> = TrafficConfig::tiny(engine.model().n_users())
+        .generate()
+        .iter()
+        .map(|raw| Request {
+            arrive_ns: raw.arrive_ns,
+            query: engine.model().query_from_raw(raw, 0.7, 5),
+        })
+        .collect();
+    let mut tracer = Tracer::default();
+    tracer.enable(requests.len());
+    let (stats, _) = engine.run_session(&requests, &mut tracer);
+    assert!(stats.completed > 0);
+
+    // Perfetto export: schema-valid, and the serve category is present.
+    let view = SessionView {
+        name: "serve/mf",
+        n_machines: engine.n_shards(),
+        workers_per_machine: 1,
+        spans: tracer.spans(),
+        transfers: &[],
+    };
+    let mut buf = Vec::new();
+    write_perfetto(&mut buf, &[view]).expect("write");
+    let out = String::from_utf8(buf).expect("utf8");
+    let summary = validate_trace_events(&out).expect("schema-valid");
+    assert!(
+        summary.categories.iter().any(|c| c == "serve"),
+        "serve category missing from {:?}",
+        summary.categories
+    );
+
+    // Run report: latency percentiles in the struct and in the JSON.
+    let report = engine.session_report(&stats, tracer.spans());
+    let latency = report.latency.expect("serve spans produce latency");
+    assert_eq!(latency.count, stats.completed);
+    assert!(latency.p50_ns <= latency.p99_ns && latency.p99_ns <= latency.p999_ns);
+    let doc = orion::trace::json::parse(&report.to_json()).expect("report JSON parses");
+    let lat = doc.get("serve_latency").expect("serve_latency key");
+    for field in ["count", "mean_ns", "p50_ns", "p99_ns", "p999_ns", "max_ns"] {
+        assert!(lat.get(field).is_some(), "missing serve_latency.{field}");
+    }
+    assert_eq!(
+        lat.get("count").unwrap().as_f64().unwrap() as u64,
+        stats.completed
+    );
 }
