@@ -51,7 +51,7 @@ use orion_net::{
     plan_fingerprint, ClusterConfig, Coordinator, EpochStats, Msg, NetError, NodeConfig,
     NodeEndpoint, PartRecv, ENV_COORD, ENV_NODES, ENV_NODE_ID, ENV_ROLE,
 };
-use orion_runtime::ThreadedPlan;
+use orion_runtime::{HbEvent, ThreadedPlan};
 
 use crate::sgd_mf::{mf_spec, MfConfig, MfModel};
 use crate::slr::{self, SlrConfig, SlrModel};
@@ -121,6 +121,10 @@ pub struct DistOptions {
     /// Fault injection: `(node, epoch)` — that node exits mid-epoch,
     /// once.
     pub crash: Option<(usize, u64)>,
+    /// Record every coordinator-side protocol message for the O204
+    /// runtime monitor (`orion_check::proto::monitor_log` consumes the
+    /// log returned in [`DistRunResult::msg_log`]).
+    pub record_msgs: bool,
 }
 
 impl DistOptions {
@@ -133,6 +137,7 @@ impl DistOptions {
             workdir: workdir.into(),
             run_id: "run".into(),
             crash: None,
+            record_msgs: false,
         }
     }
 }
@@ -154,6 +159,9 @@ pub struct DistRunResult<M> {
     pub recoveries: u64,
     /// Completed epochs that had to be re-executed after rollbacks.
     pub reexecuted: u64,
+    /// Protocol messages seen by the coordinator, in order (empty
+    /// unless [`DistOptions::record_msgs`] was set).
+    pub msg_log: Vec<orion_net::MsgRecord>,
 }
 
 // ---------------------------------------------------------------------
@@ -366,6 +374,9 @@ struct MfNode {
     workdir: PathBuf,
     run_id: String,
     crash_epoch: Option<u64>,
+    /// Happens-before event log of the epoch in flight, shipped to the
+    /// coordinator with `EpochDone` for the O11x detector.
+    events: Vec<HbEvent>,
 }
 
 fn mf_node_main(coord: &str, node: usize, n_nodes: usize) -> ! {
@@ -431,6 +442,7 @@ fn mf_node_main(coord: &str, node: usize, n_nodes: usize) -> ! {
         home_of,
         workdir,
         run_id,
+        events: Vec::new(),
     };
     // Epoch-0 checkpoint: the initial state, so a rollback before the
     // first barrier restarts training from scratch.
@@ -465,6 +477,7 @@ fn mf_control_loop(state: &mut MfNode, node: usize) -> ! {
                     rotation_ns,
                 } => {
                     let sent = state.ep.take_sent();
+                    let events = std::mem::take(&mut state.events);
                     state
                         .ep
                         .send_coord(&Msg::EpochDone {
@@ -473,6 +486,7 @@ fn mf_control_loop(state: &mut MfNode, node: usize) -> ! {
                             compute_ns,
                             rotation_ns,
                             sent,
+                            events,
                         })
                         .expect("send EpochDone");
                     state.ep.gc_below(epoch);
@@ -547,6 +561,11 @@ fn mf_run_epoch(state: &mut MfNode, node: usize, epoch: u64) -> EpochOutcome {
     let n_time = plan.n_time_partitions();
     let mut compute_ns = 0u64;
     let mut rotation_ns = 0u64;
+    // Event log shape mirrors `orion_check::plan_event_log`: rotation
+    // receives, block executions, and cross-node forwards. Local
+    // re-enqueues and the end-of-epoch re-homing are pure bookkeeping
+    // (no further exec awaits them), so they are not recorded.
+    state.events.clear();
 
     // Seed the local queue with the homed partitions, in use order.
     let mut queue: VecDeque<(u32, DistArray<f32>)> = plan
@@ -577,6 +596,7 @@ fn mf_run_epoch(state: &mut MfNode, node: usize, epoch: u64) -> EpochOutcome {
                 Ok(PartRecv::Part(payload)) => {
                     let part =
                         checkpoint::from_bytes::<f32>(payload).expect("rotated partition decodes");
+                    state.events.push(HbEvent::Recv { tp });
                     queue.push_back((tp, part));
                 }
                 Ok(PartRecv::Ctrl(ctrl)) => return EpochOutcome::Preempted(ctrl),
@@ -605,6 +625,10 @@ fn mf_run_epoch(state: &mut MfNode, node: usize, epoch: u64) -> EpochOutcome {
             );
         }
         compute_ns += t0.elapsed().as_nanos() as u64;
+        state.events.push(HbEvent::Exec {
+            step: e.step,
+            block: e.block as u32,
+        });
         // Fig. 8: forward downstream before starting the next block.
         match next_forward {
             Some(&(step, dst)) if step == e.step => {
@@ -612,6 +636,10 @@ fn mf_run_epoch(state: &mut MfNode, node: usize, epoch: u64) -> EpochOutcome {
                 if dst == node {
                     queue.push_back((tp, part));
                 } else {
+                    state.events.push(HbEvent::Send {
+                        tp,
+                        dst: dst as u32,
+                    });
                     state.ep.send_peer(
                         dst,
                         &Msg::Partition {
@@ -708,6 +736,7 @@ pub fn train_mf_distributed(
     let fingerprint = plan_fingerprint(&plan);
 
     let mut ccfg = ClusterConfig::new(opts.nodes, opts.epochs, fingerprint);
+    ccfg.record_msgs = opts.record_msgs;
     ccfg.env = mf_env(&data.config, &model.cfg, ordered, opts);
     if let Some((node, epoch)) = opts.crash {
         ccfg.node_env
@@ -740,7 +769,8 @@ pub fn train_mf_distributed(
         }
         // MF moves no mid-epoch traffic through the coordinator, so the
         // handler only has to exist.
-        match driver.run_pass_distributed(&mut cluster, epoch, |_node, _msg| None) {
+        match driver.run_pass_distributed(Some(&compiled), &mut cluster, epoch, |_node, _msg| None)
+        {
             Ok(stats) => {
                 epochs_out.push(stats);
                 epoch += 1;
@@ -758,6 +788,7 @@ pub fn train_mf_distributed(
     // Gather: W space partitions tagged u32::MAX in node order, H time
     // partitions tagged by index.
     let gathered = cluster.gather()?;
+    let msg_log = cluster.take_msg_log();
     let mut w_parts: Vec<Option<DistArray<f32>>> = (0..opts.nodes).map(|_| None).collect();
     let mut h_parts: Vec<Option<DistArray<f32>>> =
         (0..plan.n_time_partitions()).map(|_| None).collect();
@@ -803,6 +834,7 @@ pub fn train_mf_distributed(
         epochs: epochs_out,
         recoveries,
         reexecuted,
+        msg_log,
         stats: driver.finish(),
     })
 }
@@ -921,6 +953,19 @@ fn slr_node_main(coord: &str, node: usize, n_nodes: usize) -> ! {
         .map(|&p| p as usize)
         .collect();
     let indices = slr::record_prefetch_indices(&data, &positions);
+    // Happens-before log of one SLR epoch: the 1-D pass runs this
+    // node's blocks against a read-only prefetched snapshot and ships
+    // one buffered update the coordinator applies, so the log is the
+    // same every epoch.
+    let hb_events: Vec<HbEvent> = plan
+        .execs_of(node)
+        .iter()
+        .map(|e| HbEvent::Exec {
+            step: e.step,
+            block: e.block as u32,
+        })
+        .chain(std::iter::once(HbEvent::ServerApply { node: node as u32 }))
+        .collect();
     let step = model.cfg.step_size;
     let mode = driver.math_mode();
     let shape = model.weights.shape().clone();
@@ -953,6 +998,7 @@ fn slr_node_main(coord: &str, node: usize, n_nodes: usize) -> ! {
                             compute_ns,
                             rotation_ns,
                             sent,
+                            events: hb_events.clone(),
                         })
                         .expect("send EpochDone");
                         ep.gc_below(epoch);
@@ -1111,6 +1157,7 @@ pub fn train_slr_distributed(
     let fingerprint = plan_fingerprint(&plan);
 
     let mut ccfg = ClusterConfig::new(opts.nodes, opts.epochs, fingerprint);
+    ccfg.record_msgs = opts.record_msgs;
     ccfg.env = slr_env(&data.config, &model.cfg, opts);
     if let Some((node, epoch)) = opts.crash {
         ccfg.node_env
@@ -1125,7 +1172,8 @@ pub fn train_slr_distributed(
         let mut updates: Vec<Option<Bytes>> = vec![None; opts.nodes];
         let result = {
             let weights = &model.weights;
-            driver.run_pass_distributed(&mut cluster, epoch, |node, msg| match msg {
+            driver.run_pass_distributed(Some(&compiled), &mut cluster, epoch, |node, msg| match msg
+            {
                 Msg::PrefetchRequest {
                     epoch: e, indices, ..
                 } if e == epoch => {
@@ -1179,6 +1227,7 @@ pub fn train_slr_distributed(
         }
     }
     let gathered = cluster.gather()?;
+    let msg_log = cluster.take_msg_log();
     debug_assert!(
         gathered.iter().all(Vec::is_empty),
         "SLR nodes are stateless"
@@ -1192,6 +1241,7 @@ pub fn train_slr_distributed(
         epochs: epochs_out,
         recoveries,
         reexecuted: 0,
+        msg_log,
         stats: driver.finish(),
     })
 }

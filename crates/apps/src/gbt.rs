@@ -452,7 +452,8 @@ pub fn train_threaded(data: &TabularData, cfg: GbtConfig, threads: usize) -> (Gb
                 sc.push((f, hist));
             });
             let scratch: Vec<Vec<(u32, Vec<BinStat>)>> = vec![Vec::new(); plan.n_workers()];
-            let out = driver.run_pass_threaded_one_d(&plan, &feats, scratch, &body);
+            let out =
+                driver.run_pass_threaded_one_d(&compiled.spec.name, &plan, &feats, scratch, &body);
             let mut hists: Vec<Vec<BinStat>> = vec![vec![BinStat::default(); hist_len]; n_features];
             for sc in out.scratch {
                 for (f, hist) in sc {

@@ -449,7 +449,15 @@ fn train_threaded_impl(
                 );
             },
         );
-        let out = driver.run_pass_threaded(&plan, &cells, space_parts, time_parts, scratch, &body);
+        let out = driver.run_pass_threaded(
+            &compiled.spec.name,
+            &plan,
+            &cells,
+            space_parts,
+            time_parts,
+            scratch,
+            &body,
+        );
         space_parts = out.space;
         time_parts = out.time;
         // Return the assignments and merge the buffered summary deltas

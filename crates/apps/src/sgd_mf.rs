@@ -514,6 +514,7 @@ fn train_threaded_impl(
     let n_workers = plan.n_workers();
     for pass in 0..passes {
         let out = driver.run_pass_threaded(
+            &compiled.spec.name,
             &plan,
             &triples,
             w_parts,

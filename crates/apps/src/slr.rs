@@ -496,7 +496,8 @@ fn train_threaded_impl(
                 },
             )
         };
-        let out = driver.run_pass_threaded_one_d(&plan, &samples, buffers, &body);
+        let out =
+            driver.run_pass_threaded_one_d(&compiled.spec.name, &plan, &samples, buffers, &body);
         let mut buffers = out.scratch;
         let up: u64 = buffers.iter().map(DistArrayBuffer::payload_bytes).sum();
         driver.sync_exchange(up / n_workers as u64, up / n_workers as u64);

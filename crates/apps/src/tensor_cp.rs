@@ -369,8 +369,15 @@ pub fn train_threaded(
                 cp_update_rows(u_row, v_row, s_snap.row_slice(k), k, x, step, buf);
             },
         );
-        let out =
-            driver.run_pass_threaded(&plan, &entries, space_parts, time_parts, scratch, &body);
+        let out = driver.run_pass_threaded(
+            &compiled.spec.name,
+            &plan,
+            &entries,
+            space_parts,
+            time_parts,
+            scratch,
+            &body,
+        );
         space_parts = out.space;
         time_parts = out.time;
         let up: u64 = out.scratch.iter().map(DistArrayBuffer::payload_bytes).sum();

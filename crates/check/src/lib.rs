@@ -27,14 +27,31 @@
 //!   exempted through DistArray Buffers (§3.3, `analyzed_refs`) are
 //!   exempt here too: the buffer defers their visibility, so they
 //!   cannot race.
+//! - **Happens-before detector** ([`hb`]): vector-clock causality
+//!   checking over the event logs the *real* engines record
+//!   ([`orion_runtime::HbEvent`]). Where the sanitizer reasons about
+//!   virtual-time slots, [`hb::HbChecker`] rebuilds the happens-before
+//!   order from actual partition handoffs, barriers, and messages, and
+//!   reports conflicting-but-unordered accesses (`O110`), unmatched
+//!   handoff edges (`O111`), and barrier anomalies (`O112`).
+//! - **Protocol model checker** ([`proto`]): a small-scope explicit-
+//!   state exploration of the orion-net coordinator/node protocol
+//!   (handshake, epoch barriers, checkpoint, rollback/respawn) with a
+//!   crash injected at every reachable state, checking the `O200`–
+//!   `O203` invariants, plus a runtime monitor ([`proto::monitor_log`])
+//!   that validates recorded message logs from real cluster runs
+//!   against the same state machine (`O204`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hb;
 mod lint;
+pub mod proto;
 pub mod race;
 
-pub use lint::{full_report, has_warnings, lint, lint_all, lint_schedule, LintOptions};
+pub use hb::{plan_event_log, HbChecker, HbViolation};
+pub use lint::{full_report, has_warnings, lint, lint_all, lint_schedule, LintConfig, LintOptions};
 pub use race::{check_schedule, AccessOracle, Race, RaceChecker, RaceViolation};
 
 use orion_ir::{ArrayMeta, ArrayRef};

@@ -30,6 +30,10 @@ impl Default for LintOptions {
     }
 }
 
+/// The lint pass's configuration surface (an alias of [`LintOptions`];
+/// CLI flags like `--skew-threshold` deserialize into it).
+pub type LintConfig = LintOptions;
+
 fn name_of(metas: &[ArrayMeta], id: DistArrayId) -> String {
     metas
         .iter()

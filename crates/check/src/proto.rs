@@ -1,0 +1,814 @@
+//! Small-scope model checker for the orion-net coordinator/node
+//! protocol, plus a runtime monitor over recorded message logs.
+//!
+//! The distributed runtime (`crates/net`) implements a handshake,
+//! per-epoch barriers, periodic checkpoint barriers, and a
+//! rollback/respawn recovery path. Its correctness arguments are
+//! small-scope: every protocol bug observed so far was reachable with
+//! 2–3 nodes and a single crash. [`explore`] encodes the protocol as an
+//! explicit-state machine and exhaustively enumerates every
+//! interleaving of per-node progress plus a crash injected at every
+//! reachable point, checking four invariants:
+//!
+//! - **O200** — each model partition is homed by exactly one node
+//!   whenever an epoch, checkpoint, or gather phase is running.
+//! - **O201** — barrier epoch monotonicity: a node participating in
+//!   epoch `e` sits exactly at `e` (unfinished) or `e + 1` (finished).
+//! - **O202** — a node whose plan fingerprint diverged is never
+//!   admitted past the handshake.
+//! - **O203** — recovery converges: when recovery completes, every
+//!   node sits at the last checkpoint epoch.
+//!
+//! [`ProtoMutation`] seeds one protocol bug at a time (skipping the
+//! rollback rebroadcast, admitting a bad fingerprint, …) so tests can
+//! prove the checker *would* catch each class of violation, and the
+//! goldens under `tests/golden/` pin one counterexample trace per
+//! invariant.
+//!
+//! [`monitor_log`] replays a [`MsgRecord`] log captured from a *real*
+//! cluster run (`ClusterConfig::record_msgs`) against the same barrier
+//! discipline, reporting `O204` when the implementation deviates from
+//! the model. See `docs/CHECKING.md` for the catalogue.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use orion_ir::{Code, Diagnostic, Severity};
+use orion_net::{Msg, MsgRecord};
+
+/// The model's bounds: how many nodes, epochs, and crashes to explore.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoScope {
+    /// Cluster size (the model homes one partition per node).
+    pub nodes: usize,
+    /// Total epochs to run before gathering.
+    pub epochs: u64,
+    /// Checkpoint after every `checkpoint_every` completed epochs.
+    pub checkpoint_every: u64,
+    /// How many node crashes the exploration may inject (each crash is
+    /// injected at every reachable state, one branch per node).
+    pub max_crashes: u8,
+}
+
+impl ProtoScope {
+    /// The standard small scope: `nodes` nodes, 4 epochs, a checkpoint
+    /// every 2, one injected crash.
+    pub fn small(nodes: usize) -> Self {
+        ProtoScope {
+            nodes,
+            epochs: 4,
+            checkpoint_every: 2,
+            max_crashes: 1,
+        }
+    }
+}
+
+/// A protocol bug seeded into the model, for checker-of-the-checker
+/// tests. `None` is the faithful protocol and must explore clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoMutation {
+    /// Faithful protocol.
+    None,
+    /// After respawning a crashed node, resume epochs without
+    /// rebroadcasting `Rollback` — survivors keep divergent epochs
+    /// (caught as O203).
+    SkipRollbackRebroadcast,
+    /// Admit a node whose `Hello` fingerprint diverges (caught as
+    /// O202).
+    SkipFingerprintCheck,
+    /// Home partition 0 on a second node when an epoch starts (caught
+    /// as O200).
+    DoubleHome,
+    /// Broadcast `EpochStart` one epoch past the barrier (caught as
+    /// O201).
+    StartEpochEarly,
+}
+
+/// Where the cluster is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Running epoch `e`; `flags[i]` = node `i` reported `EpochDone`.
+    Epoch(u64),
+    /// Checkpoint barrier after completing `e` epochs.
+    Checkpoint(u64),
+    /// Recovering from a crash of `node`.
+    Recover { node: usize, stage: RecoverStage },
+    /// Recovery completed with a node off the checkpoint epoch (the
+    /// O203 violation state).
+    RecoveryDiverged,
+    /// Final state collection.
+    Gather,
+    /// Clean termination.
+    Done,
+    /// Handshake rejected a divergent plan; the run never started.
+    Aborted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RecoverStage {
+    /// The dead child was killed; respawn + re-handshake pending.
+    Respawn,
+    /// Rollback broadcast sent; `flags[i]` = `RollbackDone` received.
+    Rollback,
+}
+
+/// One explicit model state. `Hash`/`Eq` give state deduplication;
+/// everything is small fixed-size data so cloning is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct St {
+    phase: Phase,
+    /// Epochs each node has completed (its next expected epoch).
+    node_epoch: Vec<u64>,
+    /// Per-node done/ack flag for the current barrier.
+    flags: Vec<bool>,
+    /// How many nodes home each partition (partition `p` starts on
+    /// node `p`). A crash orphans the dead node's partition until
+    /// respawn re-homes it.
+    homes: Vec<u8>,
+    /// Epoch count of the last completed checkpoint barrier.
+    last_ckpt: u64,
+    /// Crashes the exploration may still inject.
+    crashes_left: u8,
+    /// Per-node: did the handshake fingerprint match?
+    fp_ok: Vec<bool>,
+}
+
+/// An invariant violation found by [`explore`] or [`monitor_log`].
+#[derive(Debug, Clone)]
+pub struct ProtoViolation {
+    /// Which invariant broke (`O200`–`O204`).
+    pub code: Code,
+    /// Human-readable statement of the broken invariant.
+    pub detail: String,
+    /// For [`explore`]: the action sequence from the initial state to
+    /// the violation (deterministic — BFS order is fixed). For
+    /// [`monitor_log`]: the offending message records.
+    pub trace: Vec<String>,
+}
+
+impl ProtoViolation {
+    /// Renders the violation as a rustc-style diagnostic with the
+    /// counterexample trace as notes.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let mut d = Diagnostic::new(self.code, Severity::Error, "cluster", self.detail.clone());
+        for (i, step) in self.trace.iter().enumerate() {
+            d = d.with_note(format!("step {i}: {step}"));
+        }
+        d
+    }
+}
+
+impl fmt::Display for ProtoViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_diagnostic().render())
+    }
+}
+
+impl std::error::Error for ProtoViolation {}
+
+/// Outcome of one exhaustive exploration.
+#[derive(Debug)]
+pub struct ProtoReport {
+    /// Distinct states reached.
+    pub states: usize,
+    /// Transitions explored.
+    pub transitions: usize,
+    /// The first invariant violation in BFS order, if any.
+    pub violation: Option<ProtoViolation>,
+}
+
+/// Exhaustively explores the protocol at `scope` with `mutation`
+/// seeded in. Deterministic: successor order is fixed and the search is
+/// breadth-first, so the same inputs always yield the same report and
+/// counterexample trace.
+pub fn explore(scope: &ProtoScope, mutation: ProtoMutation) -> ProtoReport {
+    assert!(scope.nodes >= 1 && scope.epochs >= 1 && scope.checkpoint_every >= 1);
+    let n = scope.nodes;
+    let mut ids: HashMap<St, usize> = HashMap::new();
+    // Parent pointer + the action label that produced each state, for
+    // counterexample reconstruction.
+    let mut parents: Vec<(usize, String)> = Vec::new();
+    let mut queue: VecDeque<(usize, St)> = VecDeque::new();
+    let mut transitions = 0usize;
+
+    fn push(
+        st: St,
+        parent: usize,
+        action: String,
+        ids: &mut HashMap<St, usize>,
+        parents: &mut Vec<(usize, String)>,
+        queue: &mut VecDeque<(usize, St)>,
+    ) {
+        if ids.contains_key(&st) {
+            return;
+        }
+        let id = parents.len();
+        ids.insert(st.clone(), id);
+        parents.push((parent, action));
+        queue.push_back((id, st));
+    }
+
+    // Initial states: a clean handshake, and one where node 0's plan
+    // fingerprint diverges. The faithful protocol rejects the divergent
+    // node (`Aborted`); `SkipFingerprintCheck` admits it.
+    let (phase0, homes0) = enter_epoch(0, mutation, n);
+    let clean = St {
+        phase: phase0.clone(),
+        node_epoch: vec![0; n],
+        flags: vec![false; n],
+        homes: homes0.clone(),
+        last_ckpt: 0,
+        crashes_left: scope.max_crashes,
+        fp_ok: vec![true; n],
+    };
+    push(
+        clean,
+        usize::MAX,
+        "handshake: all fingerprints match".into(),
+        &mut ids,
+        &mut parents,
+        &mut queue,
+    );
+    let divergent = if mutation == ProtoMutation::SkipFingerprintCheck {
+        let mut fp_ok = vec![true; n];
+        fp_ok[0] = false;
+        St {
+            phase: phase0,
+            node_epoch: vec![0; n],
+            flags: vec![false; n],
+            homes: homes0,
+            last_ckpt: 0,
+            crashes_left: scope.max_crashes,
+            fp_ok,
+        }
+    } else {
+        St {
+            phase: Phase::Aborted,
+            node_epoch: vec![0; n],
+            flags: vec![false; n],
+            homes: vec![1; n],
+            last_ckpt: 0,
+            crashes_left: scope.max_crashes,
+            fp_ok: vec![true; n],
+        }
+    };
+    push(
+        divergent,
+        usize::MAX,
+        "handshake: node 0's fingerprint diverges".into(),
+        &mut ids,
+        &mut parents,
+        &mut queue,
+    );
+
+    let mut found: Option<(usize, Code, String)> = None;
+    while let Some((id, st)) = queue.pop_front() {
+        if let Some((code, detail)) = check_invariants(&st) {
+            found = Some((id, code, detail));
+            break;
+        }
+        for (action, succ) in successors(&st, scope, mutation) {
+            transitions += 1;
+            push(succ, id, action, &mut ids, &mut parents, &mut queue);
+        }
+    }
+
+    let violation = found.map(|(id, code, detail)| {
+        let mut trace = Vec::new();
+        let mut cur = id;
+        while cur != usize::MAX {
+            let (parent, action) = parents[cur].clone();
+            trace.push(action);
+            cur = parent;
+        }
+        trace.reverse();
+        ProtoViolation {
+            code,
+            detail,
+            trace,
+        }
+    });
+    ProtoReport {
+        states: parents.len(),
+        transitions,
+        violation,
+    }
+}
+
+/// The phase + partition homing of entering epoch `e`. `DoubleHome`
+/// erroneously homes partition 0 on a second node at epoch entry.
+fn enter_epoch(e: u64, mutation: ProtoMutation, n: usize) -> (Phase, Vec<u8>) {
+    let mut homes = vec![1u8; n];
+    if mutation == ProtoMutation::DoubleHome {
+        homes[0] = 2;
+    }
+    (Phase::Epoch(e), homes)
+}
+
+/// State invariants. O203 is represented by the dedicated
+/// [`Phase::RecoveryDiverged`] state so the violation is attributed to
+/// the recovery-completion transition, not to the epoch that follows.
+fn check_invariants(st: &St) -> Option<(Code, String)> {
+    if st.phase != Phase::Aborted {
+        if let Some(node) = st.fp_ok.iter().position(|ok| !ok) {
+            return Some((
+                Code::ProtoFingerprintAccepted,
+                format!(
+                    "node {node} was admitted past the handshake with a \
+                     divergent plan fingerprint"
+                ),
+            ));
+        }
+    }
+    if st.phase == Phase::RecoveryDiverged {
+        let bad = st
+            .node_epoch
+            .iter()
+            .position(|&ne| ne != st.last_ckpt)
+            .unwrap_or(0);
+        return Some((
+            Code::ProtoRollbackDivergence,
+            format!(
+                "recovery completed with node {bad} at epoch {} while the \
+                 last checkpoint is epoch {}; rollback did not converge",
+                st.node_epoch[bad], st.last_ckpt
+            ),
+        ));
+    }
+    if matches!(
+        st.phase,
+        Phase::Epoch(_) | Phase::Checkpoint(_) | Phase::Gather
+    ) {
+        if let Some(p) = st.homes.iter().position(|&h| h != 1) {
+            return Some((
+                Code::ProtoHomingViolation,
+                format!(
+                    "partition {p} is homed by {} node(s) while the cluster \
+                     is running (phase {:?})",
+                    st.homes[p], st.phase
+                ),
+            ));
+        }
+    }
+    if let Phase::Epoch(e) = st.phase {
+        for (i, (&ne, &done)) in st.node_epoch.iter().zip(&st.flags).enumerate() {
+            let expected = if done { e + 1 } else { e };
+            if ne != expected {
+                return Some((
+                    Code::ProtoBarrierRegression,
+                    format!(
+                        "epoch {e} barrier: node {i} sits at epoch {ne} \
+                         (expected {expected}); the coordinator started a \
+                         barrier the node never agreed to"
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates `st`'s successor states with human-readable action
+/// labels, in a fixed deterministic order.
+fn successors(st: &St, scope: &ProtoScope, mutation: ProtoMutation) -> Vec<(String, St)> {
+    let n = scope.nodes;
+    let mut out = Vec::new();
+    match st.phase.clone() {
+        Phase::Epoch(e) => {
+            for i in 0..n {
+                if !st.flags[i] {
+                    let mut s = st.clone();
+                    s.flags[i] = true;
+                    s.node_epoch[i] = e + 1;
+                    out.push((format!("node {i} reports EpochDone({e})"), s));
+                }
+            }
+            if st.flags.iter().all(|&f| f) {
+                let completed = e + 1;
+                if completed == scope.epochs {
+                    let mut s = st.clone();
+                    s.phase = Phase::Gather;
+                    s.flags = vec![false; n];
+                    out.push(("all epochs done; coordinator gathers".into(), s));
+                } else if completed % scope.checkpoint_every == 0 {
+                    let mut s = st.clone();
+                    s.phase = Phase::Checkpoint(completed);
+                    s.flags = vec![false; n];
+                    out.push((format!("coordinator broadcasts Checkpoint({completed})"), s));
+                } else {
+                    out.push(start_epoch(st, completed, mutation, n));
+                }
+            }
+            inject_crashes(st, e, &mut out);
+        }
+        Phase::Checkpoint(e) => {
+            for i in 0..n {
+                if !st.flags[i] {
+                    let mut s = st.clone();
+                    s.flags[i] = true;
+                    out.push((format!("node {i} reports CheckpointDone({e})"), s));
+                }
+            }
+            if st.flags.iter().all(|&f| f) {
+                let mut s = st.clone();
+                s.last_ckpt = e;
+                if e == scope.epochs {
+                    s.phase = Phase::Gather;
+                    s.flags = vec![false; n];
+                    out.push(("checkpoint complete; coordinator gathers".into(), s));
+                } else {
+                    let (action, s2) = start_epoch(&s, e, mutation, n);
+                    out.push((format!("checkpoint {e} complete; {action}"), s2));
+                }
+            }
+            inject_crashes(st, e, &mut out);
+        }
+        Phase::Recover { node, stage } => match stage {
+            RecoverStage::Respawn => {
+                let mut s = st.clone();
+                s.homes[node] += 1; // the respawned node re-homes its partition
+                s.node_epoch[node] = s.last_ckpt; // restored from its checkpoint
+                if mutation == ProtoMutation::SkipRollbackRebroadcast {
+                    // Seeded bug: resume epochs without rolling the
+                    // survivors back.
+                    let (action, s2) = finish_recovery(&s, mutation, n);
+                    out.push((
+                        format!("node {node} respawned; rollback skipped; {action}"),
+                        s2,
+                    ));
+                } else {
+                    s.phase = Phase::Recover {
+                        node,
+                        stage: RecoverStage::Rollback,
+                    };
+                    s.flags = vec![false; n];
+                    out.push((
+                        format!(
+                            "node {node} respawned and re-handshaken; \
+                             coordinator broadcasts Rollback({})",
+                            s.last_ckpt
+                        ),
+                        s,
+                    ));
+                }
+            }
+            RecoverStage::Rollback => {
+                for i in 0..n {
+                    if !st.flags[i] {
+                        let mut s = st.clone();
+                        s.flags[i] = true;
+                        s.node_epoch[i] = s.last_ckpt; // checkpoint restored
+                        out.push((
+                            format!("node {i} reports RollbackDone({})", st.last_ckpt),
+                            s,
+                        ));
+                    }
+                }
+                if st.flags.iter().all(|&f| f) {
+                    let (action, s) = finish_recovery(st, mutation, n);
+                    out.push((format!("rollback barrier complete; {action}"), s));
+                }
+            }
+        },
+        Phase::Gather => {
+            let mut s = st.clone();
+            s.phase = Phase::Done;
+            out.push(("every node reported FinalState".into(), s));
+        }
+        Phase::RecoveryDiverged | Phase::Done | Phase::Aborted => {}
+    }
+    out
+}
+
+/// The transition entering epoch `e` (common to normal progress and
+/// recovery). `StartEpochEarly` broadcasts one epoch too far.
+fn start_epoch(st: &St, e: u64, mutation: ProtoMutation, n: usize) -> (String, St) {
+    let e = if mutation == ProtoMutation::StartEpochEarly {
+        e + 1
+    } else {
+        e
+    };
+    let mut s = st.clone();
+    let (phase, homes) = enter_epoch(e, mutation, n);
+    s.phase = phase;
+    s.homes = homes;
+    s.flags = vec![false; n];
+    (format!("coordinator broadcasts EpochStart({e})"), s)
+}
+
+/// Completes recovery: if any node is off the last checkpoint epoch the
+/// successor is the O203 violation state, otherwise epochs resume at
+/// the checkpoint.
+fn finish_recovery(st: &St, mutation: ProtoMutation, n: usize) -> (String, St) {
+    if st.node_epoch.iter().any(|&ne| ne != st.last_ckpt) {
+        let mut s = st.clone();
+        s.phase = Phase::RecoveryDiverged;
+        return ("coordinator resumes epochs".into(), s);
+    }
+    start_epoch(st, st.last_ckpt, mutation, n)
+}
+
+/// Adds one crash branch per node (budget permitting). A crash orphans
+/// the dead node's partition and moves the cluster to recovery.
+fn inject_crashes(st: &St, epoch: u64, out: &mut Vec<(String, St)>) {
+    if st.crashes_left == 0 {
+        return;
+    }
+    let n = st.node_epoch.len();
+    for i in 0..n {
+        let mut s = st.clone();
+        s.crashes_left -= 1;
+        s.homes[i] = s.homes[i].saturating_sub(1);
+        s.phase = Phase::Recover {
+            node: i,
+            stage: RecoverStage::Respawn,
+        };
+        s.flags = vec![false; n];
+        out.push((format!("node {i} crashes during epoch/barrier {epoch}"), s));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime monitor (O204)
+// ---------------------------------------------------------------------
+
+/// Validates a control-plane message log recorded from a *real* cluster
+/// run ([`orion_net::MsgRecord`], enabled by
+/// `ClusterConfig::record_msgs`) against the protocol state machine.
+///
+/// The monitor tracks each node's barrier position and checks the same
+/// sequencing discipline [`explore`] enumerates: `EpochStart` must name
+/// the node's expected epoch, `EpochDone` must answer a started epoch
+/// (stale reports from an abandoned pre-rollback epoch are tolerated —
+/// the coordinator discards them too), checkpoint and rollback acks
+/// must answer a pending barrier, and a rollback repositions the node
+/// at the checkpoint epoch. Any deviation is an `O204`.
+///
+/// Handshake and data-plane traffic (`Hello`, `Welcome`, `Peers`,
+/// `Partition`, `ServerUpdate`, prefetch, gather, shutdown) is ignored:
+/// the barrier discipline is what the model checks.
+pub fn monitor_log(nodes: usize, records: &[MsgRecord]) -> Result<(), Box<ProtoViolation>> {
+    // Per-node: epochs completed (next expected), the currently started
+    // epoch, and pending checkpoint/rollback barrier tags.
+    let mut cur_epoch = vec![0u64; nodes];
+    let mut in_epoch: Vec<Option<u64>> = vec![None; nodes];
+    let mut pending_ckpt: Vec<Option<u64>> = vec![None; nodes];
+    let mut pending_rb: Vec<Option<u64>> = vec![None; nodes];
+    let fail = |pos: usize, rec: &MsgRecord, detail: String| {
+        Box::new(ProtoViolation {
+            code: Code::ProtoMonitorDeviation,
+            detail,
+            trace: vec![format!(
+                "record {pos}: {} node {}: {:?}",
+                if rec.to_node { "to" } else { "from" },
+                rec.node,
+                rec.msg
+            )],
+        })
+    };
+    for (pos, rec) in records.iter().enumerate() {
+        let node = rec.node;
+        if node >= nodes {
+            return Err(fail(
+                pos,
+                rec,
+                format!("record names node {node}, cluster has {nodes}"),
+            ));
+        }
+        match (&rec.msg, rec.to_node) {
+            (Msg::EpochStart { epoch }, true) => {
+                if *epoch != cur_epoch[node] {
+                    return Err(fail(
+                        pos,
+                        rec,
+                        format!(
+                            "EpochStart({epoch}) sent to node {node} which \
+                             expects epoch {}",
+                            cur_epoch[node]
+                        ),
+                    ));
+                }
+                in_epoch[node] = Some(*epoch);
+            }
+            (Msg::EpochDone { epoch, .. }, false) => {
+                if in_epoch[node] == Some(*epoch) {
+                    in_epoch[node] = None;
+                    cur_epoch[node] = epoch + 1;
+                } else if *epoch >= cur_epoch[node] {
+                    // Stale reports (epoch < cur) are abandoned
+                    // pre-rollback traffic, tolerated; a *future* epoch
+                    // was never started.
+                    return Err(fail(
+                        pos,
+                        rec,
+                        format!(
+                            "node {node} reported EpochDone({epoch}) for an \
+                             epoch the coordinator never started for it"
+                        ),
+                    ));
+                }
+            }
+            (Msg::Checkpoint { epoch }, true) => {
+                pending_ckpt[node] = Some(*epoch);
+            }
+            (Msg::CheckpointDone { epoch, .. }, false) => {
+                if pending_ckpt[node] == Some(*epoch) {
+                    pending_ckpt[node] = None;
+                } else if *epoch >= cur_epoch[node] {
+                    return Err(fail(
+                        pos,
+                        rec,
+                        format!(
+                            "node {node} acknowledged checkpoint {epoch} \
+                             without a pending Checkpoint barrier"
+                        ),
+                    ));
+                }
+            }
+            (Msg::Rollback { epoch }, true) => {
+                pending_rb[node] = Some(*epoch);
+            }
+            (Msg::RollbackDone { epoch, .. }, false) => {
+                if pending_rb[node] == Some(*epoch) {
+                    pending_rb[node] = None;
+                    cur_epoch[node] = *epoch;
+                    in_epoch[node] = None;
+                } else {
+                    return Err(fail(
+                        pos,
+                        rec,
+                        format!(
+                            "node {node} acknowledged rollback to epoch \
+                             {epoch} without a pending Rollback barrier"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_protocol_explores_clean_at_two_and_three_nodes() {
+        for nodes in [2, 3] {
+            let report = explore(&ProtoScope::small(nodes), ProtoMutation::None);
+            assert!(
+                report.violation.is_none(),
+                "clean protocol at {nodes} nodes violated: {}",
+                report.violation.unwrap()
+            );
+            // The scope must be non-trivial: crash branches multiply
+            // states well past the crash-free skeleton.
+            assert!(
+                report.states > 100,
+                "only {} states explored",
+                report.states
+            );
+            assert!(report.transitions >= report.states - 2);
+        }
+    }
+
+    #[test]
+    fn skipping_the_rollback_rebroadcast_is_o203() {
+        let report = explore(
+            &ProtoScope::small(2),
+            ProtoMutation::SkipRollbackRebroadcast,
+        );
+        let v = report.violation.expect("mutation must be caught");
+        assert_eq!(v.code, Code::ProtoRollbackDivergence);
+        let rendered = v.to_diagnostic().render();
+        assert!(rendered.contains("error[O203]"), "{rendered}");
+        assert!(rendered.contains("rollback skipped"), "{rendered}");
+    }
+
+    #[test]
+    fn admitting_a_divergent_fingerprint_is_o202() {
+        let report = explore(&ProtoScope::small(2), ProtoMutation::SkipFingerprintCheck);
+        let v = report.violation.expect("mutation must be caught");
+        assert_eq!(v.code, Code::ProtoFingerprintAccepted);
+        assert!(v.to_diagnostic().render().contains("error[O202]"));
+    }
+
+    #[test]
+    fn double_homing_a_partition_is_o200() {
+        let report = explore(&ProtoScope::small(3), ProtoMutation::DoubleHome);
+        let v = report.violation.expect("mutation must be caught");
+        assert_eq!(v.code, Code::ProtoHomingViolation);
+        assert!(v.to_diagnostic().render().contains("error[O200]"));
+    }
+
+    #[test]
+    fn starting_an_epoch_early_is_o201() {
+        let report = explore(&ProtoScope::small(2), ProtoMutation::StartEpochEarly);
+        let v = report.violation.expect("mutation must be caught");
+        assert_eq!(v.code, Code::ProtoBarrierRegression);
+        assert!(v.to_diagnostic().render().contains("error[O201]"));
+    }
+
+    #[test]
+    fn counterexample_traces_are_deterministic() {
+        let scope = ProtoScope::small(2);
+        let a = explore(&scope, ProtoMutation::SkipRollbackRebroadcast);
+        let b = explore(&scope, ProtoMutation::SkipRollbackRebroadcast);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.violation.unwrap().trace, b.violation.unwrap().trace);
+    }
+
+    fn rec(to_node: bool, node: usize, msg: Msg) -> MsgRecord {
+        MsgRecord { to_node, node, msg }
+    }
+
+    fn done(epoch: u64, node: usize) -> MsgRecord {
+        rec(
+            false,
+            node,
+            Msg::EpochDone {
+                epoch,
+                node: node as u32,
+                compute_ns: 0,
+                rotation_ns: 0,
+                sent: vec![],
+                events: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn a_faithful_two_epoch_log_passes_the_monitor() {
+        let log = vec![
+            rec(true, 0, Msg::EpochStart { epoch: 0 }),
+            rec(true, 1, Msg::EpochStart { epoch: 0 }),
+            done(0, 1),
+            done(0, 0),
+            rec(true, 0, Msg::Checkpoint { epoch: 1 }),
+            rec(true, 1, Msg::Checkpoint { epoch: 1 }),
+            rec(false, 0, Msg::CheckpointDone { epoch: 1, node: 0 }),
+            rec(false, 1, Msg::CheckpointDone { epoch: 1, node: 1 }),
+            rec(true, 0, Msg::EpochStart { epoch: 1 }),
+            rec(true, 1, Msg::EpochStart { epoch: 1 }),
+            done(1, 0),
+            done(1, 1),
+        ];
+        monitor_log(2, &log).expect("faithful log is clean");
+    }
+
+    #[test]
+    fn a_rollback_log_with_stale_epoch_done_passes_the_monitor() {
+        // Node 0 finished epoch 1, node 1 crashed mid-epoch; after
+        // rollback to epoch 0 both re-run epoch 1. Node 0's first
+        // EpochDone(1) arrives late (stale) and must be tolerated.
+        let log = vec![
+            rec(true, 0, Msg::EpochStart { epoch: 0 }),
+            rec(true, 1, Msg::EpochStart { epoch: 0 }),
+            done(0, 0),
+            done(0, 1),
+            rec(true, 0, Msg::EpochStart { epoch: 1 }),
+            rec(true, 1, Msg::EpochStart { epoch: 1 }),
+            done(1, 0),
+            // node 1 dies; rollback to checkpoint 0 (= epoch count 0)
+            rec(true, 0, Msg::Rollback { epoch: 0 }),
+            rec(true, 1, Msg::Rollback { epoch: 0 }),
+            rec(false, 0, Msg::RollbackDone { epoch: 0, node: 0 }),
+            rec(false, 1, Msg::RollbackDone { epoch: 0, node: 1 }),
+            rec(true, 0, Msg::EpochStart { epoch: 0 }),
+            rec(true, 1, Msg::EpochStart { epoch: 0 }),
+            done(0, 0),
+            done(0, 1),
+        ];
+        monitor_log(2, &log).expect("rollback log is clean");
+    }
+
+    #[test]
+    fn an_epoch_start_past_the_barrier_is_o204() {
+        let log = vec![
+            rec(true, 0, Msg::EpochStart { epoch: 0 }),
+            done(0, 0),
+            // skips epoch 1 entirely
+            rec(true, 0, Msg::EpochStart { epoch: 2 }),
+        ];
+        let v = monitor_log(1, &log).unwrap_err();
+        assert_eq!(v.code, Code::ProtoMonitorDeviation);
+        assert!(v.to_diagnostic().render().contains("error[O204]"));
+    }
+
+    #[test]
+    fn an_unstarted_epoch_done_is_o204() {
+        let log = vec![rec(true, 0, Msg::EpochStart { epoch: 0 }), done(3, 0)];
+        let v = monitor_log(1, &log).unwrap_err();
+        assert_eq!(v.code, Code::ProtoMonitorDeviation);
+        assert!(v.detail.contains("never started"), "{}", v.detail);
+    }
+
+    #[test]
+    fn an_unrequested_rollback_ack_is_o204() {
+        let log = vec![rec(false, 0, Msg::RollbackDone { epoch: 0, node: 0 })];
+        let v = monitor_log(1, &log).unwrap_err();
+        assert_eq!(v.code, Code::ProtoMonitorDeviation);
+    }
+}

@@ -243,7 +243,7 @@ pub fn check_schedule<I: AsRef<[i64]>>(
 }
 
 /// Cross product of two blocks' items through the oracle.
-fn check_block_pair<I: AsRef<[i64]>>(
+pub(crate) fn check_block_pair<I: AsRef<[i64]>>(
     oracle: &AccessOracle,
     indices: &[I],
     blocks: &CompiledBlocks,

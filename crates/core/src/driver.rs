@@ -11,15 +11,15 @@
 use std::collections::HashMap;
 
 use orion_analysis::{analyze, ParallelPlan, Strategy};
-use orion_check::{full_report, RaceChecker};
+use orion_check::{full_report, HbChecker, RaceChecker};
 use orion_dsm::{Device, DistArray, Element, MathMode};
 use orion_ir::{ArrayMeta, DistArrayId, LoopSpec};
 use std::sync::Arc;
 
 use orion_runtime::{
     build_schedule, comm_model_with_spec, default_threads, run_grid_pass_pooled,
-    run_one_d_pass_pooled, GridPassOutput, LoopCommModel, OneDPassOutput, PassStats, Schedule,
-    SimExecutor, ThreadPhase, ThreadSpan, ThreadedPlan, WorkerPool,
+    run_one_d_pass_pooled, CompiledBlocks, GridPassOutput, HbEvent, LoopCommModel, OneDPassOutput,
+    PassStats, Schedule, SimExecutor, ThreadPhase, ThreadSpan, ThreadedPlan, WorkerPool,
 };
 use orion_sim::{ClusterSpec, FaultPlan, RunStats, VirtualTime};
 use orion_trace::{LinkBytes, LoadStats, OwnedSession, RunReport, SpanCat, Transfer};
@@ -127,6 +127,9 @@ pub struct Driver {
     validate: bool,
     /// Per-loop schedule sanitizers (`orion-check`), keyed by loop name.
     checkers: HashMap<String, RaceChecker>,
+    /// Per-loop happens-before checkers (`orion-check`, O11x), fed the
+    /// event logs the threaded and distributed engines record.
+    hb_checkers: HashMap<String, HbChecker>,
     /// Thread count for the real-core execution path (`None` = host
     /// parallelism).
     threads: Option<usize>,
@@ -157,6 +160,7 @@ impl Driver {
             recovery: RecoveryStats::default(),
             validate: Self::validate_by_default(),
             checkers: HashMap::new(),
+            hb_checkers: HashMap::new(),
             threads: None,
             pool: None,
             math_mode: MathMode::default(),
@@ -276,6 +280,10 @@ impl Driver {
                 spec.name.clone(),
                 RaceChecker::new(&spec, &self.metas, &indices),
             );
+            self.hb_checkers.insert(
+                spec.name.clone(),
+                HbChecker::new(&spec, &self.metas, &indices),
+            );
         }
         self.compiled.insert(spec.name.clone(), 0);
         Ok(CompiledLoop {
@@ -325,6 +333,50 @@ impl Driver {
                 panic!("schedule sanitizer tripped:\n{violation}");
             }
         }
+    }
+
+    /// Feeds a recorded per-actor event log to the loop's
+    /// happens-before checker. No-op when validation is off (no checker
+    /// was registered) or every log is empty (un-instrumented actors).
+    fn sanitize_hb(
+        &mut self,
+        loop_name: &str,
+        blocks: &CompiledBlocks,
+        events: &[Vec<HbEvent>],
+        context: &str,
+    ) {
+        if events.iter().all(Vec::is_empty) {
+            return;
+        }
+        if let Some(checker) = self.hb_checkers.get_mut(loop_name) {
+            if let Err(violation) = checker.check_pass(blocks, events, context) {
+                panic!("happens-before checker tripped:\n{violation}");
+            }
+        }
+    }
+
+    /// Checks an externally recorded per-actor [`HbEvent`] log against
+    /// `compiled`'s happens-before order — the entry point for replaying
+    /// logs captured outside the driver's own pass methods (e.g. logs
+    /// persisted from a cluster run).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a rendered O110–O112 diagnostic when the log
+    /// contains a concurrent conflicting access pair, an unmatched
+    /// handoff edge, or a barrier anomaly (and validation is on).
+    pub fn check_hb_events(
+        &mut self,
+        compiled: &CompiledLoop,
+        events: &[Vec<HbEvent>],
+        context: &str,
+    ) {
+        self.sanitize_hb(
+            &compiled.spec.name,
+            &compiled.schedule.blocks,
+            events,
+            context,
+        );
     }
 
     /// Pins the thread count of the real-core execution path (default:
@@ -435,8 +487,14 @@ impl Driver {
     /// On a node fault the epoch's effects are *not* absorbed; the
     /// caller recovers the cluster ([`orion_net::Coordinator::recover`])
     /// and rewinds its own bookkeeping ([`Driver::rollback_progress`]).
+    /// When `compiled` is provided and validation is on, the per-node
+    /// [`HbEvent`] logs the nodes attach to their epoch barrier
+    /// contributions are checked against the loop's happens-before
+    /// order (O110–O112); un-instrumented nodes (empty logs) skip the
+    /// check.
     pub fn run_pass_distributed<F>(
         &mut self,
+        compiled: Option<&CompiledLoop>,
         cluster: &mut orion_net::Coordinator,
         epoch: u64,
         handler: F,
@@ -445,6 +503,14 @@ impl Driver {
         F: FnMut(usize, orion_net::Msg) -> Option<orion_net::Msg>,
     {
         let stats = cluster.run_epoch_with(epoch, handler)?;
+        if let Some(compiled) = compiled {
+            self.sanitize_hb(
+                &compiled.spec.name,
+                &compiled.schedule.blocks,
+                &stats.events,
+                &format!("epoch {epoch}"),
+            );
+        }
         let spans: Vec<Vec<ThreadSpan>> = stats
             .compute_ns
             .iter()
@@ -484,8 +550,15 @@ impl Driver {
     ///
     /// Panics if partition counts mismatch `plan` or a worker dies
     /// mid-pass (with the worker's panic message).
+    /// Under validation the pass's recorded [`HbEvent`] logs are fed to
+    /// the loop's happens-before checker (`loop_name` keys the checker
+    /// registered by [`Driver::parallel_for`]): every conflicting
+    /// access pair must be ordered by a handoff or barrier edge, else
+    /// the pass panics with a rendered O110–O112 diagnostic.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_pass_threaded<T, A, B, S, F, D>(
         &mut self,
+        loop_name: &str,
         plan: &Arc<ThreadedPlan>,
         items: &Arc<Vec<T>>,
         space: Vec<DistArray<A, D>>,
@@ -504,6 +577,7 @@ impl Driver {
         self.ensure_pool(plan.n_workers());
         let pool = self.pool.as_ref().expect("pool just ensured");
         let out = run_grid_pass_pooled(pool, plan, items, space, time, scratch, body);
+        self.sanitize_hb(loop_name, plan.blocks(), &out.events, "threaded pass");
         self.absorb_thread_spans(&out.spans, out.wall_ns);
         out
     }
@@ -518,6 +592,7 @@ impl Driver {
     /// mid-pass (with the worker's panic message).
     pub fn run_pass_threaded_one_d<T, S, F>(
         &mut self,
+        loop_name: &str,
         plan: &Arc<ThreadedPlan>,
         items: &Arc<Vec<T>>,
         scratch: Vec<S>,
@@ -531,6 +606,7 @@ impl Driver {
         self.ensure_pool(plan.n_workers());
         let pool = self.pool.as_ref().expect("pool just ensured");
         let out = run_one_d_pass_pooled(pool, plan, items, scratch, body);
+        self.sanitize_hb(loop_name, plan.blocks(), &out.events, "threaded pass");
         self.absorb_thread_spans(&out.spans, out.wall_ns);
         out
     }
@@ -985,6 +1061,71 @@ mod tests {
         let indices: Vec<&[i64]> = items.iter().map(|(i, _)| i.as_slice()).collect();
         c.schedule = build_schedule(&Strategy::OneD { dim: 0 }, &indices, &[8, 1], 4);
         d.run_pass(&c, &mut |_| 10.0, &mut |_, _| {});
+    }
+
+    /// Dense MF-shaped loop whose compiled grid schedule rotates time
+    /// partitions: the raw material for the happens-before tests.
+    fn dense_mf(d: &mut Driver) -> (CompiledLoop, Vec<(Vec<i64>, f32)>) {
+        let n = 8i64;
+        let z: DistArray<f32> = DistArray::sparse_from(
+            "z",
+            vec![n as u64, n as u64],
+            (0..n).flat_map(|i| (0..n).map(move |j| (vec![i, j], 1.0))),
+        );
+        let z_id = d.register(&z);
+        let w: DistArray<f32> = DistArray::dense("W", vec![n as u64, 4]);
+        let h: DistArray<f32> = DistArray::dense("H", vec![n as u64, 4]);
+        let w_id = d.register(&w);
+        let h_id = d.register(&h);
+        let spec = LoopSpec::builder("mf_hb", z_id, vec![n as u64, n as u64])
+            .read_write(w_id, vec![Subscript::loop_index(0), Subscript::Full])
+            .read_write(h_id, vec![Subscript::loop_index(1), Subscript::Full])
+            .build()
+            .unwrap();
+        let items: Vec<(Vec<i64>, f32)> = z.iter().map(|(i, &v)| (i, v)).collect();
+        let c = d.parallel_for(spec, &items).unwrap();
+        (c, items)
+    }
+
+    #[test]
+    fn hb_checker_accepts_a_faithful_rotation_log() {
+        let mut d = Driver::new(ClusterSpec::new(4, 1));
+        assert!(d.validating());
+        let (c, _items) = dense_mf(&mut d);
+        let plan = ThreadedPlan::compile(&c.schedule);
+        let logs = orion_check::plan_event_log(&plan);
+        d.check_hb_events(&c, &logs, "faithful replay");
+    }
+
+    #[test]
+    #[should_panic(expected = "O110")]
+    fn hb_checker_catches_a_severed_rotation_edge() {
+        // Replay the plan's own event log with one rotation handoff
+        // (send + matching recv) deleted: the freed blocks share a time
+        // partition, so the detector must report a race on H or W.
+        let mut d = Driver::new(ClusterSpec::new(4, 1));
+        let (c, _items) = dense_mf(&mut d);
+        let plan = ThreadedPlan::compile(&c.schedule);
+        let mut logs = orion_check::plan_event_log(&plan);
+        let (a, p, tp, dst) = logs
+            .iter()
+            .enumerate()
+            .find_map(|(a, log)| {
+                log.iter().enumerate().find_map(|(p, e)| match e {
+                    HbEvent::Send { tp, dst } => Some((a, p, *tp, *dst)),
+                    _ => None,
+                })
+            })
+            .expect("grid plans rotate");
+        logs[a].remove(p);
+        // Also drop the matching recv so the worklist still completes
+        // and the failure is a race, not an unmatched edge.
+        let rp = logs[dst as usize]
+            .iter()
+            .position(|e| *e == HbEvent::Recv { tp })
+            .expect("every send has a matching recv");
+        logs[dst as usize].remove(rp);
+        d.check_hb_events(&c, &logs, "severed rotation edge");
     }
 
     #[test]

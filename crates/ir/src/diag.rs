@@ -40,8 +40,11 @@ impl core::fmt::Display for Severity {
 /// Stable diagnostic codes.
 ///
 /// Numbering scheme: `O000` is the plan summary, `O001`–`O009` are
-/// analysis lints, `O010`–`O019` map [`crate::SpecError`] variants, and
-/// `O100`+ are runtime sanitizer findings. Codes are never renumbered.
+/// analysis lints, `O010`–`O019` map [`crate::SpecError`] variants,
+/// `O100`–`O109` are schedule sanitizer findings, `O110`–`O119` are
+/// happens-before race detector findings, and `O200`–`O209` are
+/// protocol model checker / runtime monitor findings. Codes are never
+/// renumbered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Plan summary (the Fig. 6-style compilation report).
@@ -66,6 +69,26 @@ pub enum Code {
     /// The schedule sanitizer observed two conflicting accesses in
     /// concurrent time slots.
     ScheduleRace,
+    /// The happens-before checker found two conflicting accesses with
+    /// no ordering edge between them (lost update / stale rotation).
+    HbRace,
+    /// An event log has an unmatched handoff edge (a recv with no send,
+    /// or vice versa) or is otherwise malformed.
+    HbUnmatchedEdge,
+    /// An actor's barrier events are out of order (epoch regressed or
+    /// exit without enter).
+    HbBarrierAnomaly,
+    /// A time partition was homed by zero or multiple nodes in one
+    /// epoch step.
+    ProtoHomingViolation,
+    /// A barrier epoch moved backwards or skipped ahead.
+    ProtoBarrierRegression,
+    /// A node with a mismatched plan fingerprint was admitted.
+    ProtoFingerprintAccepted,
+    /// Recovery finished without converging to the last checkpoint.
+    ProtoRollbackDivergence,
+    /// A recorded message log deviates from the protocol state machine.
+    ProtoMonitorDeviation,
 }
 
 impl Code {
@@ -82,6 +105,14 @@ impl Code {
             Code::SpecEmptyIterSpace => "O011",
             Code::SpecBufferedArrayNotWritten => "O012",
             Code::ScheduleRace => "O100",
+            Code::HbRace => "O110",
+            Code::HbUnmatchedEdge => "O111",
+            Code::HbBarrierAnomaly => "O112",
+            Code::ProtoHomingViolation => "O200",
+            Code::ProtoBarrierRegression => "O201",
+            Code::ProtoFingerprintAccepted => "O202",
+            Code::ProtoRollbackDivergence => "O203",
+            Code::ProtoMonitorDeviation => "O204",
         }
     }
 
@@ -98,6 +129,14 @@ impl Code {
             Code::SpecEmptyIterSpace,
             Code::SpecBufferedArrayNotWritten,
             Code::ScheduleRace,
+            Code::HbRace,
+            Code::HbUnmatchedEdge,
+            Code::HbBarrierAnomaly,
+            Code::ProtoHomingViolation,
+            Code::ProtoBarrierRegression,
+            Code::ProtoFingerprintAccepted,
+            Code::ProtoRollbackDivergence,
+            Code::ProtoMonitorDeviation,
         ]
     }
 }
@@ -259,7 +298,10 @@ mod tests {
         let rendered: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
         assert_eq!(
             rendered,
-            ["O000", "O001", "O002", "O003", "O004", "O005", "O010", "O011", "O012", "O100"]
+            [
+                "O000", "O001", "O002", "O003", "O004", "O005", "O010", "O011", "O012", "O100",
+                "O110", "O111", "O112", "O200", "O201", "O202", "O203", "O204"
+            ]
         );
     }
 

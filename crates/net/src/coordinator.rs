@@ -19,6 +19,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use orion_runtime::HbEvent;
 
 use crate::error::NetError;
 use crate::message::{recv_msg, send_msg, Msg};
@@ -44,6 +45,10 @@ pub struct ClusterConfig {
     /// How long an epoch/checkpoint/rollback barrier may take before the
     /// lagging node is declared dead.
     pub barrier_timeout: Duration,
+    /// Record every control-plane message the coordinator sends or
+    /// receives as a [`MsgRecord`], for `orion-check`'s protocol monitor
+    /// (O204). Off by default — recording clones data payloads.
+    pub record_msgs: bool,
 }
 
 impl ClusterConfig {
@@ -59,8 +64,24 @@ impl ClusterConfig {
             node_env: Vec::new(),
             handshake_timeout: Duration::from_secs(60),
             barrier_timeout: Duration::from_secs(300),
+            record_msgs: false,
         }
     }
+}
+
+/// One control-plane message as observed by the coordinator, recorded
+/// when [`ClusterConfig::record_msgs`] is set. Feed the accumulated log
+/// to `orion_check::proto::monitor_log` to validate a real run against
+/// the protocol state machine (diagnostic `O204`).
+#[derive(Debug, Clone)]
+pub struct MsgRecord {
+    /// `true` for a coordinator → node send, `false` for a message the
+    /// coordinator received from the node.
+    pub to_node: bool,
+    /// The node on the other end.
+    pub node: usize,
+    /// The message itself.
+    pub msg: Msg,
 }
 
 /// A node failure observed at an epoch barrier: the connection closed or
@@ -104,6 +125,9 @@ pub struct EpochStats {
     /// Every link that carried traffic this epoch (node→node rotation,
     /// node→coordinator reports, coordinator→node responses).
     pub links: Vec<WireLink>,
+    /// Per-node happens-before event logs carried on `EpochDone`, for
+    /// `orion-check`'s O11x detector. Empty unless nodes record them.
+    pub events: Vec<Vec<HbEvent>>,
 }
 
 enum ReaderEvent {
@@ -128,6 +152,9 @@ pub struct Coordinator {
     rx: Receiver<Event>,
     /// (bytes, frames) sent to each node by the coordinator.
     sent: Vec<(u64, u64)>,
+    /// Control-plane message log; only populated when
+    /// `cfg.record_msgs` is set.
+    msg_log: Vec<MsgRecord>,
 }
 
 impl Coordinator {
@@ -152,6 +179,7 @@ impl Coordinator {
             tx,
             rx,
             sent: vec![(0, 0); n],
+            msg_log: Vec::new(),
         };
         for node in 0..n {
             coord.spawn_child(node)?;
@@ -265,7 +293,20 @@ impl Coordinator {
         let bytes = send_msg(writer, msg)?;
         self.sent[node].0 += bytes;
         self.sent[node].1 += 1;
+        if self.cfg.record_msgs {
+            self.msg_log.push(MsgRecord {
+                to_node: true,
+                node,
+                msg: msg.clone(),
+            });
+        }
         Ok(())
+    }
+
+    /// Returns the recorded control-plane message log (empty unless
+    /// [`ClusterConfig::record_msgs`] was set), clearing it.
+    pub fn take_msg_log(&mut self) -> Vec<MsgRecord> {
+        std::mem::take(&mut self.msg_log)
     }
 
     /// Sends to every node; on failure reports which node broke.
@@ -297,6 +338,15 @@ impl Coordinator {
             match self.rx.recv_timeout(remaining) {
                 Ok((node, generation, event)) => {
                     if generation == self.gens[node] {
+                        if self.cfg.record_msgs {
+                            if let ReaderEvent::Msg(msg) = &event {
+                                self.msg_log.push(MsgRecord {
+                                    to_node: false,
+                                    node,
+                                    msg: msg.clone(),
+                                });
+                            }
+                        }
                         return Ok((node, event));
                     }
                 }
@@ -332,6 +382,7 @@ impl Coordinator {
         let mut compute = vec![0u64; n];
         let mut rotation = vec![0u64; n];
         let mut links: Vec<WireLink> = Vec::new();
+        let mut events: Vec<Vec<HbEvent>> = vec![Vec::new(); n];
         let mut n_done = 0;
         while n_done < n {
             let (node, event) = match self.next_event(deadline, "epoch") {
@@ -359,6 +410,7 @@ impl Coordinator {
                     compute_ns,
                     rotation_ns,
                     sent,
+                    events: node_events,
                 }) if done_epoch == epoch => {
                     debug_assert_eq!(node, reported as usize);
                     if !done[node] {
@@ -366,6 +418,7 @@ impl Coordinator {
                         n_done += 1;
                         compute[node] = compute_ns;
                         rotation[node] = rotation_ns;
+                        events[node] = node_events;
                         for s in sent {
                             links.push(WireLink {
                                 src: node,
@@ -410,6 +463,7 @@ impl Coordinator {
             compute_ns: compute,
             rotation_ns: rotation,
             links,
+            events,
         })
     }
 

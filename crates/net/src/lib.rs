@@ -43,7 +43,7 @@ pub mod message;
 pub mod node;
 pub mod plan;
 
-pub use coordinator::{ClusterConfig, Coordinator, EpochStats, NodeFault, WireLink};
+pub use coordinator::{ClusterConfig, Coordinator, EpochStats, MsgRecord, NodeFault, WireLink};
 pub use error::NetError;
 pub use frame::{FrameDecoder, FrameError, HEADER_LEN, MAGIC, MAX_FRAME_LEN};
 pub use message::{recv_msg, send_msg, LinkStat, Msg};

@@ -11,6 +11,7 @@
 use std::io::{Read, Write};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use orion_runtime::HbEvent;
 
 use crate::frame::{self, FrameError};
 
@@ -93,6 +94,10 @@ pub enum Msg {
         rotation_ns: u64,
         /// Per-destination wire accounting for the epoch.
         sent: Vec<LinkStat>,
+        /// The node's happens-before event log for the epoch
+        /// ([`orion_runtime::HbEvent`]), consumed by `orion-check`'s
+        /// O11x detector when validation is on; empty otherwise.
+        events: Vec<HbEvent>,
     },
     /// Node → node: one rotated time partition (Fig. 8), serialized with
     /// `orion_dsm::checkpoint::to_bytes`.
@@ -187,6 +192,11 @@ fn need(b: &Bytes, n: usize, what: &str) -> Result<(), FrameError> {
     Ok(())
 }
 
+fn get_u8(b: &mut Bytes, what: &str) -> Result<u8, FrameError> {
+    need(b, 1, what)?;
+    Ok(b.get_u8())
+}
+
 fn get_u16(b: &mut Bytes, what: &str) -> Result<u16, FrameError> {
     need(b, 2, what)?;
     Ok(b.get_u16_le())
@@ -265,6 +275,7 @@ impl Msg {
                 compute_ns,
                 rotation_ns,
                 sent,
+                events,
             } => {
                 b.put_u64_le(*epoch);
                 b.put_u32_le(*node);
@@ -275,6 +286,13 @@ impl Msg {
                     b.put_u32_le(s.dst);
                     b.put_u64_le(s.bytes);
                     b.put_u64_le(s.messages);
+                }
+                b.put_u64_le(events.len() as u64);
+                for ev in events {
+                    let (tag, a, v) = ev.to_wire();
+                    b.put_u8(tag);
+                    b.put_u64_le(a);
+                    b.put_u64_le(v);
                 }
                 kind::EPOCH_DONE
             }
@@ -385,12 +403,23 @@ impl Msg {
                         messages: get_u64(&mut b, "epoch_done.messages")?,
                     });
                 }
+                let count = get_count(&mut b, 17, "epoch_done.events")?;
+                let mut events = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let tag = get_u8(&mut b, "epoch_done.event_tag")?;
+                    let a = get_u64(&mut b, "epoch_done.event_a")?;
+                    let v = get_u64(&mut b, "epoch_done.event_b")?;
+                    events.push(HbEvent::from_wire(tag, a, v).ok_or_else(|| {
+                        FrameError::Malformed(format!("bad hb event tag {tag} in epoch_done"))
+                    })?);
+                }
                 Msg::EpochDone {
                     epoch,
                     node,
                     compute_ns,
                     rotation_ns,
                     sent,
+                    events,
                 }
             }
             kind::PARTITION => Msg::Partition {
@@ -511,6 +540,12 @@ mod tests {
                 bytes: 999,
                 messages: 3,
             }],
+            events: vec![
+                HbEvent::Recv { tp: 1 },
+                HbEvent::Exec { step: 7, block: 3 },
+                HbEvent::Send { tp: 1, dst: 2 },
+                HbEvent::BarrierEnter { epoch: 2 },
+            ],
         });
         round_trip(Msg::Partition {
             epoch: 1,
@@ -561,6 +596,23 @@ mod tests {
         .encode();
         assert!(matches!(
             Msg::decode(kind, payload.slice(0..5)),
+            Err(FrameError::Malformed(_))
+        ));
+        // An EpochDone whose event list carries an unknown tag.
+        let (kind, payload) = Msg::EpochDone {
+            epoch: 1,
+            node: 0,
+            compute_ns: 0,
+            rotation_ns: 0,
+            sent: vec![],
+            events: vec![HbEvent::Recv { tp: 0 }],
+        }
+        .encode();
+        let mut bad: Vec<u8> = payload.to_vec();
+        let tag_at = bad.len() - 17;
+        bad[tag_at] = 200; // no such HbEvent tag
+        assert!(matches!(
+            Msg::decode(kind, Bytes::from(bad)),
             Err(FrameError::Malformed(_))
         ));
         // Trailing garbage.

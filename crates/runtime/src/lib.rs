@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
 mod executor;
 mod model;
 mod pool;
@@ -51,6 +52,7 @@ mod prefetch;
 mod schedule;
 mod threaded;
 
+pub use event::HbEvent;
 pub use executor::{LoopCommModel, PassStats, SimExecutor, SlotLog, SlotRecord};
 pub use model::{comm_model_from_plan, comm_model_with_spec};
 pub use pool::{default_threads, Job, WorkerPool};

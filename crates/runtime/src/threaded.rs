@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 
 use orion_dsm::{CpuDevice, Device, DistArray, Element};
 
+use crate::event::HbEvent;
 use crate::pool::WorkerPool;
 use crate::schedule::{Exec, Schedule};
 
@@ -192,6 +193,9 @@ pub struct GridPassOutput<A: Element, B: Element, S, D: Device = CpuDevice> {
     pub scratch: Vec<S>,
     /// Timed compute/rotation phases per worker.
     pub spans: Vec<Vec<ThreadSpan>>,
+    /// Per-worker happens-before event logs (program order), for the
+    /// `O11x` causality checker.
+    pub events: Vec<Vec<HbEvent>>,
     /// Wall-clock duration of the pass in nanoseconds.
     pub wall_ns: u64,
 }
@@ -205,6 +209,9 @@ pub struct OneDPassOutput<S> {
     pub scratch: Vec<S>,
     /// Timed compute phases per worker.
     pub spans: Vec<Vec<ThreadSpan>>,
+    /// Per-worker happens-before event logs (`Exec` only — 1-D passes
+    /// have no rotation edges), for the `O11x` causality checker.
+    pub events: Vec<Vec<HbEvent>>,
     /// Wall-clock duration of the pass in nanoseconds.
     pub wall_ns: u64,
 }
@@ -302,6 +309,7 @@ where
         VecDeque<Parcel<B, D>>,
         S,
         Vec<ThreadSpan>,
+        Vec<HbEvent>,
     );
     let (result_tx, result_rx) = channel::<GridResult<A, B, S, D>>();
     let poison = pool.poison_flag();
@@ -323,13 +331,19 @@ where
         let job = Box::new(move || {
             let mut kept: Vec<Parcel<B, D>> = Vec::new();
             let mut spans: Vec<ThreadSpan> = Vec::new();
+            let mut events: Vec<HbEvent> = Vec::new();
             let mut forwards = plan.forward[w].iter();
             let mut next_forward = forwards.next();
             for e in &plan.per_worker[w] {
                 if e.awaited.is_some() {
                     let wait_from = start.elapsed().as_nanos() as u64;
                     match recv_parcel(&rx, &poison) {
-                        Some(parcel) => queue.push_back(parcel),
+                        Some(parcel) => {
+                            events.push(HbEvent::Recv {
+                                tp: parcel.0 as u32,
+                            });
+                            queue.push_back(parcel);
+                        }
                         None => return, // peer died; pass abandoned
                     }
                     spans.push(ThreadSpan {
@@ -344,6 +358,10 @@ where
                 for &pos in plan.blocks.items(e.block) {
                     body(&items[pos as usize], &mut space, &mut part, &mut sc);
                 }
+                events.push(HbEvent::Exec {
+                    step: e.step,
+                    block: e.block as u32,
+                });
                 spans.push(ThreadSpan {
                     phase: ThreadPhase::Compute,
                     start_ns: block_from,
@@ -358,6 +376,10 @@ where
                             // Single-owner ring: re-enqueue locally.
                             queue.push_back((tp, part));
                         } else {
+                            events.push(HbEvent::Send {
+                                tp: tp as u32,
+                                dst: dst as u32,
+                            });
                             let tx = senders[dst].as_ref().expect("rotation edges cross workers");
                             if tx.send((tp, part)).is_err() {
                                 return; // downstream died; pass abandoned
@@ -371,7 +393,7 @@ where
             // disconnects propagate even if the result is never read.
             senders.clear();
             drop(rx);
-            let _ = result_tx.send((w, space, kept, queue, sc, spans));
+            let _ = result_tx.send((w, space, kept, queue, sc, spans, events));
         });
         if let Err(_job) = pool.submit(w, job) {
             break; // poison; the collection loop reports the panic
@@ -406,11 +428,13 @@ where
     let mut out_space = Vec::with_capacity(n_workers);
     let mut out_scratch = Vec::with_capacity(n_workers);
     let mut out_spans = Vec::with_capacity(n_workers);
+    let mut out_events = Vec::with_capacity(n_workers);
     let mut out_time: Vec<Option<DistArray<B, D>>> = (0..n_time).map(|_| None).collect();
-    for (_, space, kept, queue, sc, spans) in results {
+    for (_, space, kept, queue, sc, spans, events) in results {
         out_space.push(space);
         out_scratch.push(sc);
         out_spans.push(spans);
+        out_events.push(events);
         for (tp, part) in kept.into_iter().chain(queue) {
             assert!(out_time[tp].is_none(), "time partition {tp} duplicated");
             out_time[tp] = Some(part);
@@ -426,6 +450,7 @@ where
         time,
         scratch: out_scratch,
         spans: out_spans,
+        events: out_events,
         wall_ns,
     }
 }
@@ -458,7 +483,7 @@ where
         pool.size()
     );
     assert_eq!(scratch.len(), n_workers, "one scratch slot per worker");
-    type OneDResult<S> = (usize, S, Vec<ThreadSpan>);
+    type OneDResult<S> = (usize, S, Vec<ThreadSpan>, Vec<HbEvent>);
     let (result_tx, result_rx) = channel::<OneDResult<S>>();
     let start = Instant::now();
     for (w, mut sc) in scratch.into_iter().enumerate() {
@@ -468,18 +493,23 @@ where
         let result_tx = result_tx.clone();
         let job = Box::new(move || {
             let mut spans = Vec::new();
+            let mut events = Vec::new();
             for e in &plan.per_worker[w] {
                 let block_from = start.elapsed().as_nanos() as u64;
                 for &pos in plan.blocks.items(e.block) {
                     body(&items[pos as usize], &mut sc);
                 }
+                events.push(HbEvent::Exec {
+                    step: e.step,
+                    block: e.block as u32,
+                });
                 spans.push(ThreadSpan {
                     phase: ThreadPhase::Compute,
                     start_ns: block_from,
                     end_ns: start.elapsed().as_nanos() as u64,
                 });
             }
-            let _ = result_tx.send((w, sc, spans));
+            let _ = result_tx.send((w, sc, spans, events));
         });
         if let Err(_job) = pool.submit(w, job) {
             break;
@@ -509,13 +539,16 @@ where
     results.sort_by_key(|r| r.0);
     let mut out_scratch = Vec::with_capacity(n_workers);
     let mut out_spans = Vec::with_capacity(n_workers);
-    for (_, sc, spans) in results {
+    let mut out_events = Vec::with_capacity(n_workers);
+    for (_, sc, spans, events) in results {
         out_scratch.push(sc);
         out_spans.push(spans);
+        out_events.push(events);
     }
     OneDPassOutput {
         scratch: out_scratch,
         spans: out_spans,
+        events: out_events,
         wall_ns,
     }
 }
@@ -612,6 +645,30 @@ mod tests {
         assert_eq!(out.spans.len(), 4);
         assert!(out.spans.iter().all(|s| !s.is_empty()));
         assert!(out.wall_ns > 0);
+        // Every worker logs one Exec per scheduled block, plus
+        // send/recv pairs along every cross-worker rotation edge.
+        assert_eq!(out.events.len(), 4);
+        for (w, log) in out.events.iter().enumerate() {
+            let execs = log
+                .iter()
+                .filter(|e| matches!(e, HbEvent::Exec { .. }))
+                .count();
+            assert_eq!(execs, plan.execs_of(w).len());
+        }
+        let sends: usize = out
+            .events
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, HbEvent::Send { .. }))
+            .count();
+        let recvs: usize = out
+            .events
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, HbEvent::Recv { .. }))
+            .count();
+        assert_eq!(sends, recvs);
+        assert!(sends > 0, "a 4-worker grid pass rotates partitions");
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! - `sgd_mf lda …`: lint only the named loops;
 //! - `--deny-warnings`: exit nonzero if any report contains a warning
 //!   or error (the CI conformance gate);
+//! - `--json`: emit one JSON array of `{code, severity, loop, message}`
+//!   objects instead of the rustc-style text (machine-readable, used by
+//!   the CI artifact upload);
+//! - `--skew-threshold <x>`: override the O005 partition-skew warning
+//!   threshold (max/mean block size; default 2.0);
 //! - `--list`: print the available loop names and exit.
 //!
 //! Diagnostic codes are catalogued in `docs/CHECKING.md`.
@@ -17,31 +22,69 @@
 use orion::apps::specs::{self, AppSpec};
 use orion::check::{has_warnings, lint_all, LintOptions};
 use orion::core::{plan_diagnostic, render_all};
+use orion::ir::Diagnostic;
 
-fn lint_app(app: &AppSpec) -> (String, bool) {
+fn lint_app(app: &AppSpec, opts: &LintOptions) -> (Vec<Diagnostic>, bool) {
     let plan = app.analyze();
     let schedule = app.schedule(&plan);
     let mut diags = vec![plan_diagnostic(&app.spec, &app.metas, &plan)];
-    let lints = lint_all(
-        &app.spec,
-        &app.metas,
-        &plan,
-        Some(&schedule),
-        &LintOptions::default(),
-    );
+    let lints = lint_all(&app.spec, &app.metas, &plan, Some(&schedule), opts);
     let noisy = has_warnings(&lints);
     diags.extend(lints);
-    (render_all(&diags), noisy)
+    (diags, noisy)
+}
+
+/// Minimal JSON string escaping (the diagnostics are ASCII, but array
+/// names are user-controlled in principle).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One diagnostic as a JSON object on the fields CI consumes.
+fn json_object(loop_name: &str, d: &Diagnostic) -> String {
+    format!(
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"loop\":\"{}\",\"message\":\"{}\"}}",
+        d.code.as_str(),
+        d.severity.label(),
+        json_escape(loop_name),
+        json_escape(&d.message)
+    )
 }
 
 fn main() {
     let mut deny_warnings = false;
     let mut demo = false;
+    let mut json = false;
+    let mut opts = LintOptions::default();
     let mut names: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
             "--demo" => demo = true,
+            "--json" => json = true,
+            "--skew-threshold" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --skew-threshold needs a value");
+                    std::process::exit(2);
+                });
+                opts.skew_threshold = value.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid skew threshold `{value}`");
+                    std::process::exit(2);
+                });
+            }
             "--list" => {
                 for app in specs::all() {
                     println!("{}", app.name());
@@ -49,7 +92,10 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: orion_lint [--deny-warnings] [--demo] [--list] [loop names...]");
+                println!(
+                    "usage: orion_lint [--deny-warnings] [--demo] [--json] \
+                     [--skew-threshold X] [--list] [loop names...]"
+                );
                 return;
             }
             other if other.starts_with("--") => {
@@ -79,11 +125,24 @@ fn main() {
     };
 
     let mut any_warnings = false;
+    let mut objects: Vec<String> = Vec::new();
     for app in &apps {
-        let (report, noisy) = lint_app(app);
-        println!("== {} ==", app.name());
-        println!("{report}");
+        let (diags, noisy) = lint_app(app, &opts);
+        if json {
+            objects.extend(diags.iter().map(|d| json_object(app.name(), d)));
+        } else {
+            println!("== {} ==", app.name());
+            println!("{}", render_all(&diags));
+        }
         any_warnings |= noisy;
+    }
+    if json {
+        println!("[");
+        for (i, obj) in objects.iter().enumerate() {
+            let comma = if i + 1 < objects.len() { "," } else { "" };
+            println!("  {obj}{comma}");
+        }
+        println!("]");
     }
 
     if deny_warnings && any_warnings {

@@ -27,8 +27,9 @@
 //!   `docs/DISTRIBUTED.md`);
 //! - [`core`] — the user-facing [`core::Driver`] API;
 //! - [`check`] — dependence lints (`O001`–`O005`), the schedule
-//!   sanitizer (`O100`) and the rustc-style diagnostics pipeline (see
-//!   `docs/CHECKING.md`);
+//!   sanitizer (`O100`), the happens-before race detector
+//!   (`O110`–`O112`), the protocol model checker (`O200`–`O204`) and
+//!   the rustc-style diagnostics pipeline (see `docs/CHECKING.md`);
 //! - [`trace`] — phase-level span tracing, per-link byte accounting and
 //!   Chrome/Perfetto trace export (see `docs/OBSERVABILITY.md`);
 //! - [`ps`] / [`strads`] / [`dataflow`] — the Bösen, STRADS and

@@ -36,9 +36,15 @@ fn mf_conformance() {
     let dir = workdir("mf");
     let mut opts = DistOptions::new(NODES, run.passes, &dir);
     opts.run_id = "mf_conf".into();
+    opts.record_msgs = true;
     let out = distributed::train_mf_distributed(&data, cfg, run.ordered, &opts)
         .expect("distributed MF run succeeds");
     assert_eq!(out.recoveries, 0, "fault-free run must not recover");
+    // O204 runtime monitor: the recorded coordinator traffic must
+    // replay cleanly against the protocol model.
+    assert!(!out.msg_log.is_empty(), "record_msgs captures traffic");
+    orion::check::proto::monitor_log(NODES, &out.msg_log)
+        .expect("fault-free MF protocol log passes the O204 monitor");
     assert_eq!(out.epochs.len(), run.passes as usize);
     assert!(
         out.epochs.iter().all(|e| e
@@ -97,12 +103,17 @@ fn mf_crash_recovery() {
     let mut opts = DistOptions::new(NODES, run.passes, &dir);
     opts.run_id = "mf_crash".into();
     opts.checkpoint_every = 2;
+    opts.record_msgs = true;
     // Node 2 dies mid-epoch 3; the cluster rolls back to the epoch-2
     // checkpoint barrier and re-executes.
     opts.crash = Some((2, 3));
     let out = distributed::train_mf_distributed(&data, cfg, run.ordered, &opts)
         .expect("crashed MF run recovers");
     assert_eq!(out.recoveries, 1, "exactly one injected crash");
+    // The monitor must also accept a log containing a real rollback
+    // (stale EpochDones from the abandoned epoch included).
+    orion::check::proto::monitor_log(NODES, &out.msg_log)
+        .expect("crash-recovery protocol log passes the O204 monitor");
     assert_eq!(
         out.reexecuted, 1,
         "epoch 2..3 re-executes after rollback to the barrier"

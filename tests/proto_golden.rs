@@ -1,0 +1,103 @@
+//! Golden-snapshot regressions for the O20x protocol model checker:
+//! each seeded protocol mutation's rendered counterexample is pinned
+//! byte-for-byte under `tests/golden/`. The traces are deterministic
+//! (fixed successor order, breadth-first search), which is what makes
+//! pinning them meaningful: a search-order or wording change must
+//! update the goldens deliberately (re-run with `GOLDEN_REGEN=1`).
+
+use orion::check::proto::{explore, monitor_log, ProtoMutation, ProtoScope};
+use orion::net::{Msg, MsgRecord};
+
+fn assert_matches_golden(tag: &str, produced: &str) {
+    let path = format!(
+        "{}/tests/golden/proto_{tag}.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, produced).expect("regenerate golden file");
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (regenerate with GOLDEN_REGEN=1)"));
+    assert_eq!(
+        produced, committed,
+        "counterexample for `{tag}` drifted from {path}; if the change is \
+         intentional, re-run with GOLDEN_REGEN=1 and review the diff"
+    );
+}
+
+/// Explores the 3-node scope with `mutation` seeded in and pins the
+/// rendered counterexample, asserting it carries `code`.
+fn seeded_violation(tag: &str, mutation: ProtoMutation, code: &str) {
+    let report = explore(&ProtoScope::small(3), mutation);
+    let v = report
+        .violation
+        .unwrap_or_else(|| panic!("seeded mutation {mutation:?} must be caught"));
+    let text = v.to_diagnostic().render();
+    assert!(
+        text.starts_with(&format!("error[{code}]:")),
+        "expected {code}, got:\n{text}"
+    );
+    assert_matches_golden(tag, &text);
+}
+
+#[test]
+fn faithful_protocol_explores_clean_at_2_and_3_nodes() {
+    for nodes in [2, 3] {
+        let report = explore(&ProtoScope::small(nodes), ProtoMutation::None);
+        assert!(
+            report.violation.is_none(),
+            "faithful protocol must satisfy every invariant at {nodes} nodes: {}",
+            report.violation.unwrap()
+        );
+        assert!(report.states > 100, "exploration covers the state space");
+    }
+}
+
+#[test]
+fn double_homing_counterexample_is_pinned_o200() {
+    seeded_violation("o200", ProtoMutation::DoubleHome, "O200");
+}
+
+#[test]
+fn early_epoch_start_counterexample_is_pinned_o201() {
+    seeded_violation("o201", ProtoMutation::StartEpochEarly, "O201");
+}
+
+#[test]
+fn accepted_fingerprint_mismatch_counterexample_is_pinned_o202() {
+    seeded_violation("o202", ProtoMutation::SkipFingerprintCheck, "O202");
+}
+
+#[test]
+fn skipped_rollback_rebroadcast_counterexample_is_pinned_o203() {
+    seeded_violation("o203", ProtoMutation::SkipRollbackRebroadcast, "O203");
+}
+
+#[test]
+fn monitor_rejects_an_unstarted_epoch_as_pinned_o204() {
+    // A node reports an epoch the coordinator never started: the O204
+    // runtime monitor must reject the recorded log.
+    let records = vec![
+        MsgRecord {
+            to_node: true,
+            node: 0,
+            msg: Msg::EpochStart { epoch: 0 },
+        },
+        MsgRecord {
+            to_node: false,
+            node: 0,
+            msg: Msg::EpochDone {
+                epoch: 5,
+                node: 0,
+                compute_ns: 1,
+                rotation_ns: 1,
+                sent: Vec::new(),
+                events: Vec::new(),
+            },
+        },
+    ];
+    let v = monitor_log(1, &records).expect_err("future EpochDone must be rejected");
+    let text = v.to_diagnostic().render();
+    assert!(text.starts_with("error[O204]:"), "{text}");
+    assert_matches_golden("o204", &text);
+}
