@@ -76,8 +76,67 @@ pub struct ArrayPlacement {
 /// per-element index overhead.
 const SERVED_OVERHEAD: u64 = 4;
 
+/// Tunable constants of the communication-cost model.
+///
+/// The static analyzer (paper §4.3) compares candidate partitionings by
+/// weighted byte counts; historically the weights were hard-coded
+/// (`SERVED_OVERHEAD`). `CostParams` exposes them so a calibration pass
+/// (`orion-tune`) can fit measured values back into the model and
+/// re-rank candidates. [`CostParams::default`] reproduces the static
+/// model bit-exactly.
+///
+/// The byte weights (`local_byte_cost`, `rotated_byte_cost`,
+/// `served_byte_cost`) are consumed here when scoring placements. The
+/// time-model fields (`compute_ns_per_iter`, `net_bytes_per_ns`, `skew`)
+/// are carried for consumers that convert byte estimates into predicted
+/// pass times — this crate only stores them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Weight of one halo byte crossing a partition border of a `Local`
+    /// array.
+    pub local_byte_cost: f64,
+    /// Weight of one byte of a `Rotated` array forwarded between
+    /// workers at a time-step boundary.
+    pub rotated_byte_cost: f64,
+    /// Weight of one byte of a `Served` array: fetch plus write-back
+    /// plus per-element index overhead. The static default is the old
+    /// `SERVED_OVERHEAD` constant.
+    pub served_byte_cost: f64,
+    /// Measured compute cost of one loop iteration in nanoseconds; zero
+    /// in the static model (unknown before calibration).
+    pub compute_ns_per_iter: f64,
+    /// Measured effective network throughput in bytes per nanosecond;
+    /// zero in the static model (costs stay pure byte counts).
+    pub net_bytes_per_ns: f64,
+    /// Measured load imbalance (max/mean items per worker), `>= 1.0`.
+    pub skew: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            local_byte_cost: 1.0,
+            rotated_byte_cost: 1.0,
+            served_byte_cost: SERVED_OVERHEAD as f64,
+            compute_ns_per_iter: 0.0,
+            net_bytes_per_ns: 0.0,
+            skew: 1.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Scales a raw byte count by a weight, rounding to the nearest
+    /// integer cost unit. With the default integer-valued weights this
+    /// is exact for any realistic byte count.
+    fn weigh(bytes: u64, weight: f64) -> u64 {
+        (bytes as f64 * weight).round() as u64
+    }
+}
+
 /// Classifies one array against `(space, time)` partitioning dims and
-/// estimates its per-pass communication.
+/// estimates its per-pass communication, using the default (static)
+/// cost parameters.
 ///
 /// `n_workers` scales rotation/serving costs: a rotated array is
 /// retransmitted once per time step and there are as many time steps as
@@ -90,6 +149,19 @@ pub fn place_array(
     time: Option<Dim>,
     n_workers: u64,
 ) -> ArrayPlacement {
+    place_array_with(meta, refs, space, time, n_workers, &CostParams::default())
+}
+
+/// [`place_array`] with explicit [`CostParams`] weights, for calibrated
+/// re-planning.
+pub fn place_array_with(
+    meta: &ArrayMeta,
+    refs: &[&ArrayRef],
+    space: Option<Dim>,
+    time: Option<Dim>,
+    n_workers: u64,
+    params: &CostParams,
+) -> ArrayPlacement {
     debug_assert!(!refs.is_empty(), "placement of an unreferenced array");
 
     if let Some((array_dim, halo)) = space.and_then(|s| alignment(refs, s)) {
@@ -100,7 +172,10 @@ pub fn place_array(
         return ArrayPlacement {
             array: meta.id,
             placement: Placement::Local { array_dim },
-            est_bytes_per_pass: halo * slice_bytes * n_workers,
+            est_bytes_per_pass: CostParams::weigh(
+                halo * slice_bytes * n_workers,
+                params.local_byte_cost,
+            ),
         };
     }
     if let Some(t) = time {
@@ -113,7 +188,7 @@ pub fn place_array(
             return ArrayPlacement {
                 array: meta.id,
                 placement: Placement::Rotated { array_dim },
-                est_bytes_per_pass: bytes * n_workers,
+                est_bytes_per_pass: CostParams::weigh(bytes * n_workers, params.rotated_byte_cost),
             };
         }
     }
@@ -122,7 +197,10 @@ pub fn place_array(
     ArrayPlacement {
         array: meta.id,
         placement: Placement::Served { prefetch },
-        est_bytes_per_pass: meta.total_bytes() * SERVED_OVERHEAD * n_workers,
+        est_bytes_per_pass: CostParams::weigh(
+            meta.total_bytes() * n_workers,
+            params.served_byte_cost,
+        ),
     }
 }
 
@@ -179,13 +257,27 @@ pub fn prefetch_plan(refs: &[&ArrayRef]) -> PrefetchPlan {
 }
 
 /// Places every referenced array for the candidate `(space, time)` dims
-/// and returns the placements with the total estimated bytes per pass.
+/// and returns the placements with the total estimated bytes per pass,
+/// using the default (static) cost parameters.
 pub fn plan_placements(
     spec: &LoopSpec,
     metas: &[ArrayMeta],
     space: Option<Dim>,
     time: Option<Dim>,
     n_workers: u64,
+) -> (Vec<ArrayPlacement>, u64) {
+    plan_placements_with(spec, metas, space, time, n_workers, &CostParams::default())
+}
+
+/// [`plan_placements`] with explicit [`CostParams`] weights, for
+/// calibrated re-planning.
+pub fn plan_placements_with(
+    spec: &LoopSpec,
+    metas: &[ArrayMeta],
+    space: Option<Dim>,
+    time: Option<Dim>,
+    n_workers: u64,
+    params: &CostParams,
 ) -> (Vec<ArrayPlacement>, u64) {
     let mut placements = Vec::new();
     let mut total = 0u64;
@@ -203,7 +295,7 @@ pub fn plan_placements(
             });
             continue;
         };
-        let p = place_array(meta, &refs, space, time, n_workers);
+        let p = place_array_with(meta, &refs, space, time, n_workers, params);
         total = total.saturating_add(p.est_bytes_per_pass);
         placements.push(p);
     }
@@ -304,6 +396,47 @@ mod tests {
         assert_eq!(pl[0].placement, Placement::Local { array_dim: 0 });
         // Halo spread = 2 offsets, slice = 8 bytes, 4 workers.
         assert_eq!(total, 2 * 8 * 4);
+    }
+
+    #[test]
+    fn default_params_reproduce_static_costs_bit_exactly() {
+        let (spec, metas) = mf_spec();
+        for (space, time) in [(Some(0), Some(1)), (Some(1), Some(0)), (Some(0), None)] {
+            let a = plan_placements(&spec, &metas, space, time, 4);
+            let b = plan_placements_with(&spec, &metas, space, time, 4, &CostParams::default());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn served_weight_can_flip_the_cheapest_candidate() {
+        // With the static 4x served weight the mixed-alignment array is
+        // expensive; dropping served_byte_cost below the rotated weight
+        // must lower the candidate's total accordingly.
+        let (spec, metas) = mf_spec();
+        let cheap_served = CostParams {
+            served_byte_cost: 1.0,
+            ..CostParams::default()
+        };
+        // space=None, time=None forces everything onto the server.
+        let (_, static_cost) = plan_placements(&spec, &metas, None, None, 4);
+        let (_, tuned_cost) = plan_placements_with(&spec, &metas, None, None, 4, &cheap_served);
+        assert_eq!(tuned_cost * 4, static_cost);
+    }
+
+    #[test]
+    fn rotated_weight_scales_rotation_cost_only() {
+        let (spec, metas) = mf_spec();
+        let heavy_rotation = CostParams {
+            rotated_byte_cost: 3.0,
+            ..CostParams::default()
+        };
+        let (pl, _) = plan_placements_with(&spec, &metas, Some(0), Some(1), 4, &heavy_rotation);
+        let w = pl.iter().find(|p| p.array == DistArrayId(1)).unwrap();
+        let h = pl.iter().find(|p| p.array == DistArrayId(2)).unwrap();
+        // Local W stays free; rotated H triples.
+        assert_eq!(w.est_bytes_per_pass, 0);
+        assert_eq!(h.est_bytes_per_pass, 3 * 32 * 480 * 4 * 4);
     }
 
     #[test]

@@ -52,10 +52,11 @@ mod strategy;
 mod unimodular;
 
 pub use comm::{
-    place_array, plan_placements, prefetch_plan, ArrayPlacement, Placement, PrefetchPlan,
+    place_array, place_array_with, plan_placements, plan_placements_with, prefetch_plan,
+    ArrayPlacement, CostParams, Placement, PrefetchPlan,
 };
 pub use deptest::dependence_vectors;
 pub use depvec::{normalize, DepElem, DepVec};
 pub use report::{plan_diagnostic, report, report_with};
-pub use strategy::{analyze, ParallelPlan, Strategy};
+pub use strategy::{analyze, analyze_with, ParallelPlan, Strategy};
 pub use unimodular::{find_unimodular, Ext, UniMat};

@@ -2,7 +2,7 @@
 
 use orion_ir::{ArrayMeta, Dim, LoopSpec};
 
-use crate::comm::{plan_placements, ArrayPlacement};
+use crate::comm::{plan_placements_with, ArrayPlacement, CostParams};
 use crate::deptest::dependence_vectors;
 use crate::depvec::DepVec;
 use crate::unimodular::{find_unimodular, UniMat};
@@ -113,12 +113,26 @@ pub struct ParallelPlan {
 /// assert_eq!(plan.strategy, Strategy::TwoD { space: 0, time: 1, ordered: false });
 /// ```
 pub fn analyze(spec: &LoopSpec, metas: &[ArrayMeta], n_workers: u64) -> ParallelPlan {
+    analyze_with(spec, metas, n_workers, &CostParams::default())
+}
+
+/// [`analyze`] with explicit [`CostParams`] weights: strategy candidates
+/// are identical (they are dictated by the dependence vectors alone) but
+/// partitioning-dimension choices are ranked by the weighted cost model,
+/// so calibrated weights can flip the picked dims.
+pub fn analyze_with(
+    spec: &LoopSpec,
+    metas: &[ArrayMeta],
+    n_workers: u64,
+    params: &CostParams,
+) -> ParallelPlan {
     let dvecs = dependence_vectors(spec);
     let ndims = spec.ndims();
 
     // No loop-carried dependence: partition by the cheapest dimension.
     if dvecs.is_empty() {
-        let (dim, placements, cost) = best_single_dim(spec, metas, (0..ndims).collect(), n_workers);
+        let (dim, placements, cost) =
+            best_single_dim(spec, metas, (0..ndims).collect(), n_workers, params);
         return ParallelPlan {
             strategy: Strategy::FullyParallel { dim },
             dep_vectors: dvecs,
@@ -132,7 +146,7 @@ pub fn analyze(spec: &LoopSpec, metas: &[ArrayMeta], n_workers: u64) -> Parallel
         .filter(|&i| dvecs.iter().all(|d| d.elem(i).is_zero()))
         .collect();
     if !one_d.is_empty() {
-        let (dim, placements, cost) = best_single_dim(spec, metas, one_d, n_workers);
+        let (dim, placements, cost) = best_single_dim(spec, metas, one_d, n_workers, params);
         return ParallelPlan {
             strategy: Strategy::OneD { dim },
             dep_vectors: dvecs,
@@ -157,7 +171,7 @@ pub fn analyze(spec: &LoopSpec, metas: &[ArrayMeta], n_workers: u64) -> Parallel
                 continue;
             }
             let (placements, cost) =
-                plan_placements(spec, metas, Some(space), Some(time), n_workers);
+                plan_placements_with(spec, metas, Some(space), Some(time), n_workers, params);
             if best.as_ref().map(|b| cost < b.3).unwrap_or(true) {
                 best = Some((space, time, placements, cost));
             }
@@ -189,9 +203,9 @@ pub fn analyze(spec: &LoopSpec, metas: &[ArrayMeta], n_workers: u64) -> Parallel
             // dimension aligns with the transformed space/time dims, so
             // arrays fall back to server placement.
             let (placements, cost) = if t == UniMat::identity(ndims) {
-                plan_placements(spec, metas, Some(space), Some(0), n_workers)
+                plan_placements_with(spec, metas, Some(space), Some(0), n_workers, params)
             } else {
-                plan_placements(spec, metas, None, None, n_workers)
+                plan_placements_with(spec, metas, None, None, n_workers, params)
             };
             return ParallelPlan {
                 strategy: Strategy::TwoDUnimodular {
@@ -206,7 +220,7 @@ pub fn analyze(spec: &LoopSpec, metas: &[ArrayMeta], n_workers: u64) -> Parallel
         }
     }
 
-    let (placements, cost) = plan_placements(spec, metas, Some(0), None, 1);
+    let (placements, cost) = plan_placements_with(spec, metas, Some(0), None, 1, params);
     ParallelPlan {
         strategy: Strategy::Serial,
         dep_vectors: dvecs,
@@ -221,11 +235,13 @@ fn best_single_dim(
     metas: &[ArrayMeta],
     candidates: Vec<Dim>,
     n_workers: u64,
+    params: &CostParams,
 ) -> (Dim, Vec<ArrayPlacement>, u64) {
     debug_assert!(!candidates.is_empty());
     let mut best: Option<(Dim, Vec<ArrayPlacement>, u64)> = None;
     for dim in candidates {
-        let (placements, cost) = plan_placements(spec, metas, Some(dim), None, n_workers);
+        let (placements, cost) =
+            plan_placements_with(spec, metas, Some(dim), None, n_workers, params);
         if best.as_ref().map(|b| cost < b.2).unwrap_or(true) {
             best = Some((dim, placements, cost));
         }
@@ -469,6 +485,61 @@ mod tests {
         );
         assert!(!Strategy::Serial.is_parallel());
         assert!(Strategy::OneD { dim: 0 }.is_parallel());
+    }
+
+    #[test]
+    fn analyze_with_default_params_matches_analyze() {
+        let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+        let spec = LoopSpec::builder("mf", z, vec![600, 480])
+            .read_write(w, vec![Subscript::Full, Subscript::loop_index(0)])
+            .read_write(h, vec![Subscript::Full, Subscript::loop_index(1)])
+            .build()
+            .unwrap();
+        let metas = [
+            ArrayMeta::sparse(z, "ratings", vec![600, 480], 4, 80_000),
+            meta_dense(1, "W", vec![32, 600]),
+            meta_dense(2, "H", vec![32, 480]),
+        ];
+        assert_eq!(
+            analyze(&spec, &metas, 8),
+            analyze_with(&spec, &metas, 8, &CostParams::default())
+        );
+    }
+
+    #[test]
+    fn calibrated_weights_can_flip_the_partition_dims() {
+        // Statically H (the smaller factor) rotates: space=0, time=1.
+        // A calibration that observes rotation to be nearly free but halo
+        // traffic expensive cannot flip MF (both candidates have zero
+        // halo); instead check the dual: boosting rotation cost leaves
+        // the ranking intact while shrinking the measured cost gap.
+        let (z, w, h) = (DistArrayId(0), DistArrayId(1), DistArrayId(2));
+        let spec = LoopSpec::builder("mf", z, vec![600, 480])
+            .read_write(w, vec![Subscript::Full, Subscript::loop_index(0)])
+            .read_write(h, vec![Subscript::Full, Subscript::loop_index(1)])
+            .build()
+            .unwrap();
+        let metas = [
+            ArrayMeta::sparse(z, "ratings", vec![600, 480], 4, 80_000),
+            meta_dense(1, "W", vec![32, 600]),
+            meta_dense(2, "H", vec![32, 480]),
+        ];
+        let heavy = CostParams {
+            rotated_byte_cost: 5.0,
+            ..CostParams::default()
+        };
+        let plan = analyze_with(&spec, &metas, 8, &heavy);
+        // Ranking between rotate-H and rotate-W is scale-invariant here,
+        // so the choice is stable but the estimate is 5x.
+        assert_eq!(
+            plan.strategy,
+            Strategy::TwoD {
+                space: 0,
+                time: 1,
+                ordered: false
+            }
+        );
+        assert_eq!(plan.est_bytes_per_pass, 5 * 32 * 480 * 4 * 8);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 use std::sync::Arc;
 
 use orion_core::{
-    ClusterSpec, DistArray, Driver, LoopSpec, MathMode, RunStats, Strategy, Subscript,
+    ClusterSpec, DistArray, Driver, LoopSpec, MathMode, RunStats, Strategy, Subscript, TuneConfig,
+    TuneOutcome,
 };
 use orion_data::RatingsData;
 use orion_dsm::{kernels, Element};
@@ -251,6 +252,54 @@ fn train_orion_impl(
     }
     let artifacts = traced.then(|| TraceArtifacts::collect(&driver, "orion/sgd_mf", &compiled));
     (model, driver.finish(), artifacts)
+}
+
+/// [`train_orion`] behind the calibrating auto-tuner
+/// (`Driver::run_pass_tuned`): the first pass calibrates the static
+/// plan with seeded no-op passes, re-plans strategy / partition dims /
+/// worker count / prefetch regime from measured costs, and trains on
+/// the winner. Additionally returns the tuner's decision record (with
+/// the `O020` diagnostic when the plan changed).
+pub fn train_orion_tuned(
+    data: &RatingsData,
+    cfg: MfConfig,
+    run: &MfRunConfig,
+    tune: &TuneConfig,
+) -> (MfModel, RunStats, TuneOutcome) {
+    let items = data.items();
+    let dims = data.ratings.shape().dims().to_vec();
+    let mut model = MfModel::new(dims[0], dims[1], cfg);
+
+    let mut driver = Driver::new(run.cluster.clone());
+    driver.set_math_mode(model.cfg.math);
+    let z_id = driver.register(&data.ratings);
+    let w_id = driver.register(&model.w);
+    let h_id = driver.register(&model.h);
+    let spec = mf_spec(z_id, w_id, h_id, dims, run.ordered);
+    let mut compiled = driver
+        .parallel_for(spec, &items)
+        .expect("MF loop parallelizes");
+
+    let iter_ns = cost::mf_iter_ns(model.cfg.rank) * cost::ORION_OVERHEAD;
+    let triples: Vec<(i64, i64, f32)> = items.iter().map(|(i, v)| (i[0], i[1], *v)).collect();
+    for pass in 0..run.passes {
+        driver.run_pass_tuned(
+            &mut compiled,
+            &items,
+            tune,
+            &mut |_pos| iter_ns,
+            &mut |_w, pos| {
+                let (u, i, v) = triples[pos];
+                model.sgd_update(u, i, v);
+            },
+        );
+        driver.record_progress(pass, model.loss(&items));
+    }
+    let outcome = driver
+        .tune_outcome("sgd_mf")
+        .expect("tuned loop has an outcome")
+        .clone();
+    (model, driver.finish(), outcome)
 }
 
 /// Trains under a fault plan with checkpoint-every-N recovery: crashes
@@ -812,6 +861,24 @@ mod tests {
             lo < lp * 0.9,
             "dependence-aware {lo} must beat stale data-parallel {lp} per pass"
         );
+    }
+
+    #[test]
+    fn tuned_training_is_deterministic_and_never_slower() {
+        let data = tiny();
+        let run = MfRunConfig {
+            cluster: ClusterSpec::new(2, 2),
+            passes: 4,
+            ordered: false,
+        };
+        let tune = TuneConfig::default();
+        let (m1, _, o1) = train_orion_tuned(&data, MfConfig::new(4), &run, &tune);
+        let (m2, _, o2) = train_orion_tuned(&data, MfConfig::new(4), &run, &tune);
+        // Same schedule => bit-identical factors, same decision record.
+        assert_eq!(m1.w, m2.w);
+        assert_eq!(m1.h, m2.h);
+        assert_eq!(o1, o2);
+        assert!(o1.chosen.measured_ns <= o1.baseline.measured_ns);
     }
 
     #[test]

@@ -306,7 +306,10 @@ fn run_head_to_head() {
         compare_sparse_iteration(),
         compare_sparse_point_query(),
     ];
-    let mut json = String::from("{\n  \"bench\": \"micro_dsm\",\n  \"comparisons\": [\n");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = format!(
+        "{{\n  \"bench\": \"micro_dsm\",\n  \"host_parallelism\": {host},\n  \"comparisons\": [\n"
+    );
     for (i, c) in comparisons.iter().enumerate() {
         let per_op_seed = c.seed_ns / c.ops as f64;
         let per_op_new = c.new_ns / c.ops as f64;

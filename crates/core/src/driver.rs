@@ -23,6 +23,7 @@ use orion_runtime::{
 };
 use orion_sim::{ClusterSpec, FaultPlan, RunStats, VirtualTime};
 use orion_trace::{LinkBytes, LoadStats, OwnedSession, RunReport, SpanCat, Transfer};
+use orion_tune::{tune_spec, TuneConfig, TuneOutcome};
 
 use crate::recovery::{FaultEvent, RecoveryConfig, RecoveryStats};
 
@@ -144,6 +145,9 @@ pub struct Driver {
     /// ([`Driver::run_pass_distributed`]); merged with the simulated
     /// network's modelled traffic in [`Driver::run_report`].
     wire_links: Vec<LinkBytes>,
+    /// Auto-tuner decision records, keyed by loop name
+    /// ([`Driver::run_pass_tuned`] re-plans once per loop).
+    tune_outcomes: HashMap<String, TuneOutcome>,
 }
 
 impl Driver {
@@ -165,6 +169,7 @@ impl Driver {
             pool: None,
             math_mode: MathMode::default(),
             wire_links: Vec::new(),
+            tune_outcomes: HashMap::new(),
         }
     }
 
@@ -314,6 +319,78 @@ impl Driver {
             .run_pass(&compiled.schedule, &compiled.comm, cost, body);
         self.sanitize_pass(compiled);
         stats
+    }
+
+    /// Re-plans a compiled loop from measured costs (`orion-tune`):
+    /// calibrates the static plan with seeded no-op passes on this
+    /// driver's cluster, fits [`orion_analysis::CostParams`], and
+    /// returns the fastest measured candidate plan together with the
+    /// decision record (including the `O020` diagnostic on a re-plan).
+    ///
+    /// `items` must be the same slice the loop was compiled from —
+    /// schedules address iterations by position. The returned loop is
+    /// checked by the `O100` race checker and the happens-before
+    /// checker, and this driver's per-pass sanitizers keep validating
+    /// it on every executed pass (they resolve slots against the
+    /// schedule that actually ran).
+    pub fn tune_loop<T: Element>(
+        &mut self,
+        compiled: &CompiledLoop,
+        items: &[(Vec<i64>, T)],
+        cfg: &TuneConfig,
+        cost: &mut dyn FnMut(usize) -> f64,
+    ) -> (CompiledLoop, TuneOutcome) {
+        let indices: Vec<&[i64]> = items.iter().map(|(i, _)| i.as_slice()).collect();
+        let tuned = tune_spec(
+            &compiled.spec,
+            &self.metas,
+            &indices,
+            &self.executor.cluster,
+            self.served_reads_per_iter,
+            cost,
+            cfg,
+        );
+        (
+            CompiledLoop {
+                spec: compiled.spec.clone(),
+                plan: tuned.plan,
+                schedule: tuned.schedule,
+                comm: tuned.comm,
+            },
+            tuned.outcome,
+        )
+    }
+
+    /// [`Driver::run_pass`] behind the auto-tuner: on the first call
+    /// for a loop, calibrates and re-plans it (swapping the tuned
+    /// schedule into `compiled` in place), then runs the pass. Later
+    /// calls reuse the tuned plan — re-planning happens once per loop
+    /// name, like compilation itself.
+    ///
+    /// Tuned execution stays bit-identical per plan: the schedule is
+    /// fixed after the first call, and the same schedule always yields
+    /// the same execution order (and therefore the same results).
+    pub fn run_pass_tuned<T: Element>(
+        &mut self,
+        compiled: &mut CompiledLoop,
+        items: &[(Vec<i64>, T)],
+        cfg: &TuneConfig,
+        cost: &mut dyn FnMut(usize) -> f64,
+        body: &mut dyn FnMut(usize, usize),
+    ) -> PassStats {
+        if !self.tune_outcomes.contains_key(&compiled.spec.name) {
+            let (tuned, outcome) = self.tune_loop(compiled, items, cfg, cost);
+            *compiled = tuned;
+            self.tune_outcomes
+                .insert(compiled.spec.name.clone(), outcome);
+        }
+        self.run_pass(compiled, cost, body)
+    }
+
+    /// The auto-tuner's decision record for a loop previously run via
+    /// [`Driver::run_pass_tuned`], if any.
+    pub fn tune_outcome(&self, loop_name: &str) -> Option<&TuneOutcome> {
+        self.tune_outcomes.get(loop_name)
     }
 
     /// Feeds the pass's recorded time slots to the loop's race checker
@@ -929,6 +1006,72 @@ mod tests {
         assert!(c.comm.rotated_bytes > 0);
         let rep = d.report(&c);
         assert!(rep.contains("2D Unordered"));
+    }
+
+    fn mf_compiled(d: &mut Driver) -> (CompiledLoop, Vec<(Vec<i64>, f32)>) {
+        let z = ratings();
+        let w: DistArray<f32> = DistArray::dense("W", vec![16, 8]);
+        let h: DistArray<f32> = DistArray::dense("H", vec![12, 8]);
+        let z_id = d.register(&z);
+        let w_id = d.register(&w);
+        let h_id = d.register(&h);
+        let spec = LoopSpec::builder("sgd_mf", z_id, vec![16, 12])
+            .read_write(w_id, vec![Subscript::loop_index(0), Subscript::Full])
+            .read_write(h_id, vec![Subscript::loop_index(1), Subscript::Full])
+            .build()
+            .unwrap();
+        let items: Vec<(Vec<i64>, f32)> = z.iter().map(|(i, &v)| (i, v)).collect();
+        let c = d.parallel_for(spec, &items).unwrap();
+        (c, items)
+    }
+
+    #[test]
+    fn tuned_pass_runs_under_the_sanitizer_and_records_an_outcome() {
+        let mut d = Driver::new(ClusterSpec::new(2, 2));
+        let (mut c, items) = mf_compiled(&mut d);
+        let cfg = TuneConfig::default();
+        let mut hits = vec![0u32; items.len()];
+        // Validation is on in test builds (`Driver::validate_by_default`),
+        // so every tuned pass is fed to the O100 sanitizer via the
+        // swapped-in schedule.
+        assert!(Driver::validate_by_default());
+        let stats = d.run_pass_tuned(&mut c, &items, &cfg, &mut |_| 75.0, &mut |_w, pos| {
+            hits[pos] += 1;
+        });
+        assert_eq!(stats.iterations, items.len() as u64);
+        assert!(hits.iter().all(|&h| h == 1));
+        let outcome = d.tune_outcome("sgd_mf").expect("outcome recorded");
+        assert!(outcome.candidates_evaluated >= 2);
+        assert!(outcome.chosen.measured_ns <= outcome.baseline.measured_ns);
+        // Second pass reuses the tuned plan without re-planning.
+        let before = outcome.clone();
+        d.run_pass_tuned(&mut c, &items, &cfg, &mut |_| 75.0, &mut |_w, pos| {
+            hits[pos] += 1;
+        });
+        assert_eq!(d.tune_outcome("sgd_mf"), Some(&before));
+    }
+
+    #[test]
+    fn tuned_plan_is_bit_identical_across_runs() {
+        // Same schedule => same execution order => same float results.
+        let run = || {
+            let mut d = Driver::new(ClusterSpec::new(2, 2));
+            let (mut c, items) = mf_compiled(&mut d);
+            let cfg = TuneConfig::default();
+            let mut acc = vec![0.0f32; 16];
+            for _ in 0..3 {
+                d.run_pass_tuned(&mut c, &items, &cfg, &mut |_| 75.0, &mut |_w, pos| {
+                    let (idx, v) = &items[pos];
+                    acc[idx[0] as usize] += v * 0.5 + acc[idx[0] as usize] * 1e-3;
+                });
+            }
+            (acc, c.schedule.n_workers, c.plan.strategy.clone())
+        };
+        let (a, wa, sa) = run();
+        let (b, wb, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
+        assert_eq!(sa, sb);
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub use recovery::{
 // The layers re-exported for convenience, so applications can depend on
 // `orion-core` alone.
 pub use orion_analysis::{
-    analyze, dependence_vectors, plan_diagnostic, report_with, DepElem, DepVec, ParallelPlan,
-    Placement, PrefetchPlan, Strategy, UniMat,
+    analyze, analyze_with, dependence_vectors, plan_diagnostic, report_with, CostParams, DepElem,
+    DepVec, ParallelPlan, Placement, PrefetchPlan, Strategy, UniMat,
 };
 pub use orion_check::{
     check_schedule, full_report, has_warnings, lint, lint_all, lint_schedule, AccessOracle,
@@ -63,3 +63,7 @@ pub use orion_sim::{
     Straggler, VirtualTime,
 };
 pub use orion_trace::{write_perfetto, OwnedSession, RunReport, SessionView, SpanCat};
+pub use orion_tune::{
+    calibrate, measure_pass_ns, tune_spec, Calibration, PlanChoice, TuneConfig, TuneOutcome,
+    TunedPlan,
+};

@@ -41,10 +41,10 @@ impl core::fmt::Display for Severity {
 ///
 /// Numbering scheme: `O000` is the plan summary, `O001`–`O009` are
 /// analysis lints, `O010`–`O019` map [`crate::SpecError`] variants,
-/// `O100`–`O109` are schedule sanitizer findings, `O110`–`O119` are
-/// happens-before race detector findings, and `O200`–`O209` are
-/// protocol model checker / runtime monitor findings. Codes are never
-/// renumbered.
+/// `O020`–`O029` are profile-guided tuning findings, `O100`–`O109` are
+/// schedule sanitizer findings, `O110`–`O119` are happens-before race
+/// detector findings, and `O200`–`O209` are protocol model checker /
+/// runtime monitor findings. Codes are never renumbered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Plan summary (the Fig. 6-style compilation report).
@@ -66,6 +66,9 @@ pub enum Code {
     SpecEmptyIterSpace,
     /// `SpecError::BufferedArrayNotWritten`.
     SpecBufferedArrayNotWritten,
+    /// A calibrating auto-tuner re-planned the loop from measured costs
+    /// (strategy, partition dims, worker count, or prefetch regime).
+    Replanned,
     /// The schedule sanitizer observed two conflicting accesses in
     /// concurrent time slots.
     ScheduleRace,
@@ -104,6 +107,7 @@ impl Code {
             Code::SpecIterDimOutOfRange => "O010",
             Code::SpecEmptyIterSpace => "O011",
             Code::SpecBufferedArrayNotWritten => "O012",
+            Code::Replanned => "O020",
             Code::ScheduleRace => "O100",
             Code::HbRace => "O110",
             Code::HbUnmatchedEdge => "O111",
@@ -128,6 +132,7 @@ impl Code {
             Code::SpecIterDimOutOfRange,
             Code::SpecEmptyIterSpace,
             Code::SpecBufferedArrayNotWritten,
+            Code::Replanned,
             Code::ScheduleRace,
             Code::HbRace,
             Code::HbUnmatchedEdge,
@@ -299,8 +304,8 @@ mod tests {
         assert_eq!(
             rendered,
             [
-                "O000", "O001", "O002", "O003", "O004", "O005", "O010", "O011", "O012", "O100",
-                "O110", "O111", "O112", "O200", "O201", "O202", "O203", "O204"
+                "O000", "O001", "O002", "O003", "O004", "O005", "O010", "O011", "O012", "O020",
+                "O100", "O110", "O111", "O112", "O200", "O201", "O202", "O203", "O204"
             ]
         );
     }

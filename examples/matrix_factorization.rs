@@ -8,17 +8,24 @@
 //! run and the parameter-server baseline into one Perfetto-loadable
 //! trace (open at <https://ui.perfetto.dev>), plus a run report at
 //! `out.json.report.json` — see `docs/OBSERVABILITY.md`.
+//!
+//! Pass `--autotune` to run the profile-guided adaptive planner instead:
+//! calibration passes fit the cost model from measurements, candidate
+//! plans are re-measured, and the `O020` re-plan decision is printed —
+//! see `docs/TUNING.md`.
 
 use orion::apps::chaos::ChaosConfig;
 use orion::apps::distributed::{maybe_node, run_as_node, train_mf_distributed, DistOptions};
 use orion::apps::sgd_mf::{
-    train_orion, train_orion_chaos, train_orion_chaos_traced, train_orion_traced, train_serial,
-    train_threaded, train_threaded_traced, MfConfig, MfPsAdapter, MfRunConfig,
+    train_orion, train_orion_chaos, train_orion_chaos_traced, train_orion_traced,
+    train_orion_tuned, train_serial, train_threaded, train_threaded_traced, MfConfig, MfPsAdapter,
+    MfRunConfig,
 };
-use orion::core::{clean_checkpoints, default_threads, ClusterSpec, FaultPlan};
+use orion::core::{clean_checkpoints, default_threads, ClusterSpec, FaultPlan, TuneConfig};
 use orion::data::{RatingsConfig, RatingsData};
 use orion::ps::{PsConfig, PsEngine};
 use orion::trace::write_perfetto;
+use orion::tune::fmt_ns;
 
 /// `--trace <path>` from argv.
 fn trace_arg() -> Option<std::path::PathBuf> {
@@ -46,6 +53,13 @@ fn threads_arg() -> Option<usize> {
         }
     }
     None
+}
+
+/// `--autotune` from argv: run the profile-guided adaptive planner
+/// (calibrate, re-plan, report the O020 decision) instead of the static
+/// comparison — see `docs/TUNING.md`.
+fn autotune_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--autotune")
 }
 
 /// `--nodes N` from argv: run the multi-process distributed demo on a
@@ -152,6 +166,43 @@ fn main() {
             sim_model.w == out.model.w && sim_model.h == out.model.h,
         );
         let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+
+    if autotune_arg() {
+        // Profile-guided adaptive planning: short seeded calibration
+        // passes fit measured compute/bandwidth/skew into the cost
+        // model, candidate plans are re-measured, the winner runs.
+        println!(
+            "auto-tuning SGD MF ({} ratings, {passes} passes)\n",
+            data.nnz()
+        );
+        let run = MfRunConfig {
+            cluster,
+            passes,
+            ordered: false,
+        };
+        let (_, stats, outcome) = train_orion_tuned(&data, cfg, &run, &TuneConfig::default());
+        for d in &outcome.diagnostics {
+            println!("{}", d.render());
+        }
+        println!(
+            "static plan:  {} — measured {}/pass",
+            outcome.baseline.label,
+            fmt_ns(outcome.baseline.measured_ns)
+        );
+        println!(
+            "tuned plan:   {} — measured {}/pass ({} candidate(s) evaluated)",
+            outcome.chosen.label,
+            fmt_ns(outcome.chosen.measured_ns),
+            outcome.candidates_evaluated,
+        );
+        println!(
+            "re-planned: {}; final loss {:.1}; virtual time {}",
+            outcome.replanned,
+            stats.final_metric().unwrap(),
+            stats.progress.last().unwrap().time,
+        );
         return;
     }
 

@@ -8,16 +8,24 @@
 //! separate process groups in one Perfetto-loadable trace (see
 //! `docs/OBSERVABILITY.md`) — the Prefetch spans shrink visibly from
 //! regime to regime.
+//!
+//! Pass `--autotune` to let the profile-guided planner pick the regime
+//! from measurements instead: it discovers that caching the recorded
+//! indices is strictly cheaper and reports the `O020` re-plan decision
+//! (see `docs/TUNING.md`).
 
 use orion::apps::chaos::ChaosConfig;
 use orion::apps::distributed::{maybe_node, run_as_node, train_slr_distributed, DistOptions};
 use orion::apps::slr::{
-    train_orion, train_orion_chaos, train_orion_traced, train_threaded, train_threaded_traced,
-    SlrConfig, SlrRunConfig,
+    train_orion, train_orion_chaos, train_orion_traced, train_orion_tuned, train_threaded,
+    train_threaded_traced, SlrConfig, SlrRunConfig,
 };
-use orion::core::{clean_checkpoints, default_threads, ClusterSpec, FaultPlan, PrefetchMode};
+use orion::core::{
+    clean_checkpoints, default_threads, ClusterSpec, FaultPlan, PrefetchMode, TuneConfig,
+};
 use orion::data::{SparseConfig, SparseData};
 use orion::trace::write_perfetto;
+use orion::tune::fmt_ns;
 
 /// `--trace <path>` from argv.
 fn trace_arg() -> Option<std::path::PathBuf> {
@@ -45,6 +53,13 @@ fn threads_arg() -> Option<usize> {
         }
     }
     None
+}
+
+/// `--autotune` from argv: run the profile-guided adaptive planner
+/// (calibrate, re-plan, report the O020 decision) instead of the static
+/// regime sweep — see `docs/TUNING.md`.
+fn autotune_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--autotune")
 }
 
 /// `--nodes N` from argv: run the multi-process distributed demo on a
@@ -166,6 +181,45 @@ fn main() {
             sim_model.weights == out.model.weights,
         );
         let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+
+    if autotune_arg() {
+        // Profile-guided adaptive planning: the static planner picks the
+        // recording-pass prefetch regime; calibration discovers caching
+        // the recorded indices is strictly cheaper (§6.3) and re-plans.
+        println!("\nauto-tuning SLR ({passes} passes)\n");
+        let run = SlrRunConfig {
+            cluster: ClusterSpec::new(1, 8),
+            passes,
+            prefetch_override: None,
+        };
+        let cfg = SlrConfig {
+            step_size: 0.002,
+            adaptive: false,
+            ..SlrConfig::new()
+        };
+        let (_, stats, outcome) = train_orion_tuned(&data, cfg, &run, &TuneConfig::default());
+        for d in &outcome.diagnostics {
+            println!("{}", d.render());
+        }
+        println!(
+            "static plan:  {} — measured {}/pass",
+            outcome.baseline.label,
+            fmt_ns(outcome.baseline.measured_ns)
+        );
+        println!(
+            "tuned plan:   {} — measured {}/pass ({} candidate(s) evaluated)",
+            outcome.chosen.label,
+            fmt_ns(outcome.chosen.measured_ns),
+            outcome.candidates_evaluated,
+        );
+        println!(
+            "re-planned: {}; final loss {:.4}; virtual time {}",
+            outcome.replanned,
+            stats.final_metric().unwrap(),
+            stats.progress.last().unwrap().time,
+        );
         return;
     }
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validates every ``results/BENCH_*.json`` benchmark artifact.
+
+The bench harnesses hand-roll their JSON (no serde dependency), so a
+formatting slip would ship a malformed artifact that downstream
+tooling — and the EXPERIMENTS.md schema tables — silently choke on.
+This checker enforces the invariants every artifact shares:
+
+1. **Well-formed**: the file parses as a JSON object, with no NaN or
+   Infinity literals (hand-rolled ``{:.3}`` formatting can emit them
+   from a division by zero).
+2. **Name**: a ``"bench"`` key holding a non-empty snake_case string.
+   ``BENCH_trace.json`` is the one exception — it is a raw run report
+   whose schema is pinned by docs/OBSERVABILITY.md — so the name falls
+   back to the filename stem.
+3. **Config axes**: at least one top-level scalar besides ``"bench"``
+   (worker counts, smoke flags, pass counts ... whatever the bench
+   sweeps or fixes), so a reader can tell two runs apart.
+4. **Numeric samples**: at least one non-empty list of records in which
+   every record carries at least one finite numeric field — the
+   measurements themselves.
+
+Exit status is non-zero if any artifact violates the schema.
+"""
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+NAME_RE = re.compile(r"^[a-z0-9_]+$")
+
+
+def reject_constant(const: str):
+    raise ValueError(f"non-finite JSON literal {const!r}")
+
+
+def is_scalar(v) -> bool:
+    return isinstance(v, (str, int, float, bool)) or v is None
+
+
+def finite_numbers(record: dict) -> int:
+    """Count finite numeric fields in one record."""
+    return sum(
+        1
+        for v in record.values()
+        if isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        and math.isfinite(v)
+    )
+
+
+def sample_lists(node, path="$"):
+    """Yield (path, list) for every list-of-objects found recursively."""
+    if isinstance(node, list):
+        if node and all(isinstance(x, dict) for x in node):
+            yield path, node
+        for i, x in enumerate(node):
+            yield from sample_lists(x, f"{path}[{i}]")
+    elif isinstance(node, dict):
+        for k, v in node.items():
+            yield from sample_lists(v, f"{path}.{k}")
+
+
+def check(path: Path) -> list[str]:
+    errors = []
+    try:
+        data = json.loads(path.read_text(), parse_constant=reject_constant)
+    except ValueError as e:
+        return [f"does not parse: {e}"]
+    if not isinstance(data, dict):
+        return ["top level must be a JSON object"]
+
+    # Name: the "bench" key, or the filename stem for the raw run report.
+    name = data.get("bench")
+    if name is None:
+        name = path.stem.removeprefix("BENCH_")
+        if "bench" not in data and path.name != "BENCH_trace.json":
+            errors.append('missing "bench" name key')
+    if not (isinstance(name, str) and name and NAME_RE.fullmatch(name)):
+        errors.append(f'"bench" must be a non-empty snake_case string, got {name!r}')
+
+    # Config axes: at least one top-level scalar besides the name.
+    axes = [k for k, v in data.items() if k != "bench" and is_scalar(v)]
+    if not axes:
+        errors.append("no top-level scalar config axes")
+
+    # Numeric samples: somewhere, a non-empty list of records where every
+    # record has at least one finite numeric field.
+    found_samples = False
+    for list_path, records in sample_lists(data):
+        if all(finite_numbers(r) >= 1 for r in records):
+            found_samples = True
+            break
+        errors.append(f"record list at {list_path} has records with no finite numeric field")
+    if not found_samples and not errors:
+        errors.append("no list of numeric-sample records found")
+    elif found_samples:
+        # A good list makes earlier complaints about other lists moot
+        # only if those lists were genuinely sample-free metadata; keep
+        # errors raised for malformed records (NaN etc. already caught).
+        errors = [e for e in errors if "no finite numeric field" not in e]
+
+    return errors
+
+
+def main() -> int:
+    artifacts = sorted((ROOT / "results").glob("BENCH_*.json"))
+    if not artifacts:
+        print("error: no results/BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    failed = False
+    for path in artifacts:
+        errors = check(path)
+        rel = path.relative_to(ROOT)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"error: {rel}: {e}", file=sys.stderr)
+        else:
+            print(f"ok: {rel}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

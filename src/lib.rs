@@ -40,7 +40,12 @@
 //!   with serial and Orion-parallelized runners;
 //! - [`serve`] — sharded online inference over trained checkpoints:
 //!   LRU-cached point lookups and top-k queries, batching, admission
-//!   control, virtual-clock latency modelling (see `docs/SERVING.md`).
+//!   control, virtual-clock latency modelling (see `docs/SERVING.md`);
+//! - [`tune`] — profile-guided adaptive planning: seeded calibration
+//!   passes fit measured compute/bandwidth/skew into the analysis cost
+//!   model and re-plan strategy, partition dims, worker count and
+//!   prefetch regime, reporting decisions as `O020` diagnostics (see
+//!   `docs/TUNING.md`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology.
@@ -60,3 +65,4 @@ pub use orion_serve as serve;
 pub use orion_sim as sim;
 pub use orion_strads as strads;
 pub use orion_trace as trace;
+pub use orion_tune as tune;

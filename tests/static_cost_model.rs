@@ -1,0 +1,174 @@
+//! Pins the static cost model's predictions for the five packaged
+//! application specs (Table 2). The tuner (`orion-tune`) calibrates
+//! *away* from these numbers, so they are the baseline every ablation
+//! compares against: a silent change to the byte-cost heuristics in
+//! `comm.rs`/`strategy.rs` would skew every tuning decision. Any
+//! deliberate cost-model change must update these constants.
+
+use orion::analysis::{analyze_with, CostParams, Placement, PrefetchPlan};
+use orion::apps::specs;
+use orion::core::Strategy;
+
+/// Expected (strategy label, est bytes/pass, per-array placements) for
+/// one canonical app, with placements as (placement label, est bytes).
+fn expected(name: &str) -> (&'static str, u64, Vec<(&'static str, u64)>) {
+    match name {
+        "sgd_mf" => (
+            "2d-unordered(0,1)",
+            2560,
+            vec![("local(0)", 0), ("rotated(0)", 2560)],
+        ),
+        "lda_gibbs" => (
+            "2d-unordered(1,0)",
+            6144,
+            vec![
+                ("rotated(0)", 5120),
+                ("local(0)", 0),
+                ("served(static)", 1024),
+            ],
+        ),
+        "slr_sgd" => ("1d(0)", 32000, vec![("served(recorded)", 32000)]),
+        "cp_sgd_buffered" => (
+            "2d-unordered(0,1)",
+            3968,
+            vec![
+                ("local(0)", 0),
+                ("rotated(0)", 1920),
+                ("served(static)", 2048),
+            ],
+        ),
+        "gbt_split_finding" => (
+            "1d(0)",
+            19200,
+            vec![("served(static)", 19200), ("local(0)", 0)],
+        ),
+        other => panic!("unexpected canonical app {other}"),
+    }
+}
+
+fn strategy_label(s: &Strategy) -> String {
+    match s {
+        Strategy::FullyParallel { dim } => format!("1d({dim})"),
+        Strategy::OneD { dim } => format!("1d-pipelined({dim})"),
+        Strategy::TwoD {
+            space,
+            time,
+            ordered,
+        } => format!(
+            "2d-{}({space},{time})",
+            if *ordered { "ordered" } else { "unordered" }
+        ),
+        Strategy::TwoDUnimodular { .. } => "2d-unimodular".to_string(),
+        Strategy::Serial => "serial".to_string(),
+    }
+}
+
+fn placement_label(p: &Placement) -> String {
+    match p {
+        Placement::Local { array_dim } => format!("local({array_dim})"),
+        Placement::Rotated { array_dim } => format!("rotated({array_dim})"),
+        Placement::Served { prefetch } => format!(
+            "served({})",
+            match prefetch {
+                PrefetchPlan::Static => "static",
+                PrefetchPlan::Recorded => "recorded",
+                PrefetchPlan::None => "none",
+            }
+        ),
+    }
+}
+
+#[test]
+fn static_predictions_are_pinned_for_all_five_apps() {
+    let apps = specs::canonical();
+    assert_eq!(apps.len(), 5, "Table 2 packages five applications");
+    for app in &apps {
+        let plan = app.analyze();
+        let (want_strategy, want_est, want_placements) = expected(app.name());
+        assert_eq!(
+            strategy_label(&plan.strategy),
+            want_strategy,
+            "{}: strategy drifted",
+            app.name()
+        );
+        assert_eq!(
+            plan.est_bytes_per_pass,
+            want_est,
+            "{}: est bytes/pass drifted",
+            app.name()
+        );
+        let got: Vec<(String, u64)> = plan
+            .placements
+            .iter()
+            .map(|p| (placement_label(&p.placement), p.est_bytes_per_pass))
+            .collect();
+        let want: Vec<(String, u64)> = want_placements
+            .into_iter()
+            .map(|(l, b)| (l.to_string(), b))
+            .collect();
+        assert_eq!(got, want, "{}: placements drifted", app.name());
+    }
+}
+
+#[test]
+fn default_cost_params_reproduce_the_static_plan_bit_exactly() {
+    // `analyze_with(CostParams::default())` is the tuner's starting
+    // point; it must agree with `analyze` on every app, byte for byte,
+    // or calibration would start from a different baseline than the
+    // static planner ships.
+    for app in specs::canonical() {
+        let static_plan = app.analyze();
+        let default_plan = analyze_with(
+            &app.spec,
+            &app.metas,
+            app.n_workers as u64,
+            &CostParams::default(),
+        );
+        assert_eq!(
+            static_plan.strategy,
+            default_plan.strategy,
+            "{}: strategies diverge",
+            app.name()
+        );
+        assert_eq!(
+            static_plan.est_bytes_per_pass,
+            default_plan.est_bytes_per_pass,
+            "{}: cost estimates diverge",
+            app.name()
+        );
+        for (a, b) in static_plan
+            .placements
+            .iter()
+            .zip(default_plan.placements.iter())
+        {
+            assert_eq!(a.placement, b.placement, "{}: placement", app.name());
+            assert_eq!(
+                a.est_bytes_per_pass,
+                b.est_bytes_per_pass,
+                "{}: placement cost",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pathological_weights_still_produce_valid_plans() {
+    // Calibration can only scale costs, never corrupt correctness: even
+    // an absurd fitted parameter set must yield a plan whose strategy is
+    // legal for the spec (buffered SLR stays fully parallel, never
+    // serial).
+    let extreme = CostParams {
+        served_byte_cost: 1000.0,
+        rotated_byte_cost: 0.001,
+        ..CostParams::default()
+    };
+    for app in specs::canonical() {
+        let plan = analyze_with(&app.spec, &app.metas, app.n_workers as u64, &extreme);
+        assert!(
+            !matches!(plan.strategy, Strategy::Serial),
+            "{}: weights must not serialize a parallelizable loop",
+            app.name()
+        );
+    }
+}
